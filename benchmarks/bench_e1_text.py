@@ -1,0 +1,144 @@
+"""E1 — §3.2.1: text query execution, pre-8i two-step vs integrated.
+
+Regenerates the paper's comparison: the integrated (extensible-indexing)
+execution is pipelined, writes no temporary result table, performs no
+extra join, and returns its first row before the full result is known.
+"The performance of text queries has improved due to: 1) Reduced I/O
+because of no temporary result table.  2) Improved response time because
+the row satisfying the text predicate can be identified on demand.
+3) Better query plans because the number of joins is reduced ...
+We have observed as much as 10X improvement in performance for certain
+search-intensive queries."
+"""
+
+import pytest
+
+from repro import Database
+from repro.bench.harness import ReportTable, io_delta, time_to_first_row
+from repro.bench.workloads import make_corpus
+from repro.cartridges.text import LegacyTextIndex, install
+
+REPORT_FILE = "e1_text.txt"
+SIZES = (400, 1600)
+
+
+def build_database(n_docs):
+    corpus = make_corpus(n_docs, words_per_doc=40, vocabulary_size=400,
+                         seed=17)
+    db = Database()
+    install(db)
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(4000))")
+    db.insert_rows("docs", [[i, d] for i, d in enumerate(corpus.documents)])
+    db.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    db.execute("ANALYZE TABLE docs COMPUTE STATISTICS")
+    legacy = LegacyTextIndex(db, "docs", "body", name="legacy_docs")
+    legacy.create()
+    return db, corpus, legacy
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {n: build_database(n) for n in SIZES}
+
+
+def search_query(corpus):
+    """A search-intensive boolean query with moderate selectivity."""
+    return f"{corpus.common_word(5)} AND {corpus.common_word(9)}"
+
+
+@pytest.mark.parametrize("n_docs", SIZES)
+def test_e1_integrated_query(benchmark, workloads, n_docs):
+    db, corpus, __ = workloads[n_docs]
+    query = search_query(corpus)
+    sql = "SELECT id, body FROM docs WHERE Contains(body, :1)"
+    rows = benchmark(lambda: db.query(sql, [query]))
+    assert rows  # the query matches something
+
+
+@pytest.mark.parametrize("n_docs", SIZES)
+def test_e1_legacy_two_step_query(benchmark, workloads, n_docs):
+    db, corpus, legacy = workloads[n_docs]
+    query = search_query(corpus)
+    rows = benchmark(lambda: legacy.query(query, "d.id, d.body"))
+    assert rows
+
+
+@pytest.mark.parametrize("n_docs", SIZES)
+def test_e1_first_row_integrated(benchmark, workloads, n_docs):
+    db, corpus, __ = workloads[n_docs]
+    query = search_query(corpus)
+    sql = "SELECT id FROM docs WHERE Contains(body, :1)"
+
+    def first_row():
+        cursor = db.execute(sql, [query])
+        return cursor.fetchone()
+
+    assert benchmark(first_row) is not None
+
+
+@pytest.mark.parametrize("n_docs", SIZES)
+def test_e1_first_row_legacy(benchmark, workloads, n_docs):
+    db, corpus, legacy = workloads[n_docs]
+    query = search_query(corpus)
+
+    def first_row():
+        return next(legacy.iter_query(query, "d.id"))
+
+    assert benchmark(first_row) is not None
+
+
+def test_e1_report(benchmark, workloads, fresh_result_file):
+    """Regenerate the paper's comparison table and check its shape."""
+
+    def build_report():
+        table = ReportTable(
+            "E1 (§3.2.1) — text query: pre-8i two-step vs integrated "
+            "(speedup = legacy/integrated)",
+            ["docs", "query", "legacy_s", "integrated_s", "speedup",
+             "legacy_tmp_writes", "integ_tmp_writes",
+             "legacy_first_row_s", "integ_first_row_s"])
+        shape = []
+        for n_docs in SIZES:
+            db, corpus, legacy = workloads[n_docs]
+            for label, query in [
+                    ("common", corpus.common_word(2)),
+                    ("AND pair", search_query(corpus)),
+                    ("rare", corpus.rare_word(4))]:
+                sql = "SELECT id, body FROM docs WHERE Contains(body, :1)"
+                integrated = io_delta(db, lambda: db.query(sql, [query]))
+                legacy_run = io_delta(
+                    db, lambda: legacy.query(query, "d.id, d.body"))
+                first_int = time_to_first_row(
+                    lambda: iter(db.execute(sql, [query])))
+                first_leg = time_to_first_row(
+                    lambda: legacy.iter_query(query, "d.id, d.body"))
+                # temp-table traffic: writes against heap pages during query
+                legacy_writes = legacy_run.io.get("logical_writes", 0)
+                integ_writes = integrated.io.get("logical_writes", 0)
+                speedup = (legacy_run.elapsed / integrated.elapsed
+                           if integrated.elapsed > 0 else float("inf"))
+                table.add_row(n_docs, label, legacy_run.elapsed,
+                              integrated.elapsed, speedup, legacy_writes,
+                              integ_writes, first_leg.first_row,
+                              first_int.first_row)
+                shape.append((legacy_run, integrated, first_leg, first_int))
+        return table, shape
+
+    table, shape = benchmark.pedantic(build_report, iterations=1, rounds=1)
+    table.emit(fresh_result_file)
+
+    # the paper's three effects, as assertions on the shape:
+    for legacy_run, integrated, first_leg, first_int in shape:
+        # 1) reduced I/O: no temp-table writes on the integrated path
+        assert integrated.io.get("logical_writes", 0) == 0
+        assert legacy_run.io.get("logical_writes", 0) > 0
+        # results agree in size
+        assert legacy_run.rows == integrated.rows
+    # 2) improved response time on the search-intensive configuration
+    totals_legacy = sum(s[0].elapsed for s in shape)
+    totals_integrated = sum(s[1].elapsed for s in shape)
+    assert totals_integrated < totals_legacy
+    # 3) first-row latency strictly better in aggregate
+    assert (sum(s[3].first_row for s in shape)
+            < sum(s[2].first_row for s in shape))

@@ -1,0 +1,89 @@
+"""F1 — Figure 1: the Oracle8i extensibility architecture.
+
+Regenerates the figure as a call trace: client SQL enters the server,
+the optimizer consults the cartridge's ODCIStats routines, and index
+access drives ODCIIndexStart/Fetch/Close — with the framework-dispatch
+overhead measured against a plain (non-extensible) query.
+"""
+
+import pytest
+
+from repro import Database
+from repro.bench.harness import ReportTable
+from repro.bench.workloads import make_corpus
+from repro.cartridges.text import install
+
+REPORT_FILE = "f1_architecture.txt"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    corpus = make_corpus(300, words_per_doc=30, vocabulary_size=150,
+                         seed=81)
+    db = Database()
+    install(db)
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(2000))")
+    db.insert_rows("docs", [[i, d] for i, d in enumerate(corpus.documents)])
+    db.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    return db, corpus
+
+
+def test_f1_traced_query_overhead(benchmark, workload):
+    """Tracing on: the full framework round trip."""
+    db, corpus = workload
+    db.enable_tracing()
+    word = corpus.common_word(0)
+    sql = f"SELECT id FROM docs WHERE Contains(body, '{word}')"
+    try:
+        rows = benchmark(lambda: db.query(sql))
+    finally:
+        db.disable_tracing()
+    assert rows
+
+
+def test_f1_plain_query_baseline(benchmark, workload):
+    """A non-extensible query of similar result size, for contrast."""
+    db, __ = workload
+    rows = benchmark(lambda: db.query("SELECT id FROM docs WHERE id < 50"))
+    assert rows
+
+
+def test_f1_report(benchmark, workload, fresh_result_file):
+    db, corpus = workload
+    word = corpus.common_word(0)
+
+    def capture():
+        db.enable_tracing()
+        db.query(f"SELECT id FROM docs WHERE Contains(body, '{word}')")
+        trace = list(db.trace_log)
+        db.disable_tracing()
+        return trace
+
+    trace = benchmark.pedantic(capture, iterations=1, rounds=1)
+
+    table = ReportTable(
+        "F1 — Figure 1 as a call trace (client -> ORDBMS -> cartridge)",
+        ["step", "component", "framework call"])
+    step = 0
+    for event in trace:
+        if event.startswith("optimizer:ODCIStats"):
+            component = "Optimizer"
+        elif event.startswith("optimizer:candidate"):
+            continue  # plan enumeration detail, not a figure arrow
+        elif event.startswith("exec:"):
+            component = "Index Access"
+        else:
+            component = "Server"
+        step += 1
+        table.add_row(step, component, event.split(":", 1)[1])
+    table.emit(fresh_result_file)
+
+    # the figure's arrows, in order: optimizer first, then index access
+    stats_calls = [e for e in trace if e.startswith("optimizer:ODCIStats")]
+    exec_calls = [e for e in trace if e.startswith("exec:")]
+    assert any("ODCIStatsSelectivity" in e for e in stats_calls)
+    assert any("ODCIStatsIndexCost" in e for e in stats_calls)
+    assert exec_calls[0].startswith("exec:ODCIIndexStart")
+    assert exec_calls[-1] == "exec:ODCIIndexClose()"
+    assert trace.index(stats_calls[0]) < trace.index(exec_calls[0])

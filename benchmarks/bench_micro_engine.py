@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the engine substrates (baseline health numbers).
+
+Not tied to a paper table; these keep the substrate performance visible
+so regressions in the storage/index layers are caught before they skew
+the experiment benchmarks.
+"""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.index import BitmapIndex, BTree, HashIndex
+
+N = 5000
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    db = Database(buffer_capacity=2048)
+    db.execute("CREATE TABLE t (id INTEGER, grp VARCHAR2(8), val NUMBER)")
+    rng = random.Random(91)
+    db.insert_rows("t", [[i, f"g{i % 16}", rng.random()]
+                         for i in range(N)])
+    db.execute("CREATE INDEX t_id ON t(id)")
+    db.execute("CREATE BITMAP INDEX t_grp ON t(grp)")
+    db.execute("ANALYZE TABLE t COMPUTE STATISTICS")
+    return db
+
+
+def test_micro_btree_build(benchmark):
+    keys = list(range(N))
+    random.Random(1).shuffle(keys)
+
+    def build():
+        tree = BTree(order=64)
+        for key in keys:
+            tree.insert(key, key)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == N
+
+
+def test_micro_btree_point_lookup(benchmark):
+    tree = BTree(order=64)
+    for key in range(N):
+        tree.insert(key, key)
+    benchmark(lambda: [tree.search(k) for k in range(0, N, 97)])
+
+
+def test_micro_hash_point_lookup(benchmark):
+    index = HashIndex()
+    for key in range(N):
+        index.insert(key, key)
+    benchmark(lambda: [index.search(k) for k in range(0, N, 97)])
+
+
+def test_micro_bitmap_or(benchmark):
+    index = BitmapIndex()
+    for key in range(N):
+        index.insert(f"g{key % 16}", key)
+    rows = benchmark(lambda: index.search_any_of(["g1", "g5", "g9"]))
+    expected = sum(1 for key in range(N) if key % 16 in (1, 5, 9))
+    assert len(rows) == expected
+
+
+def test_micro_full_scan_sql(benchmark, loaded_db):
+    rows = benchmark(lambda: loaded_db.query(
+        "SELECT COUNT(*) FROM t WHERE val < 0.5"))
+    assert rows[0][0] > 0
+
+
+def test_micro_indexed_point_sql(benchmark, loaded_db):
+    rows = benchmark(lambda: loaded_db.query(
+        "SELECT grp FROM t WHERE id = 2500"))
+    assert rows
+
+
+def test_micro_insert_with_indexes(benchmark, loaded_db):
+    counter = [10 ** 6]
+
+    def insert():
+        counter[0] += 1
+        loaded_db.execute("INSERT INTO t VALUES (:1, 'g1', 0.5)",
+                          [counter[0]])
+
+    benchmark(insert)
+
+
+def test_micro_group_by_sql(benchmark, loaded_db):
+    rows = benchmark(lambda: loaded_db.query(
+        "SELECT grp, COUNT(*), AVG(val) FROM t GROUP BY grp"))
+    assert len(rows) == 16
+
+
+def test_micro_hash_join_sql(benchmark, loaded_db):
+    loaded_db.execute("CREATE TABLE g (grp VARCHAR2(8), label VARCHAR2(8))")
+    for i in range(16):
+        loaded_db.execute("INSERT INTO g VALUES (:1, :2)",
+                          [f"g{i}", f"L{i}"])
+    rows = benchmark(lambda: loaded_db.query(
+        "SELECT COUNT(*) FROM t, g WHERE t.grp = g.grp"))
+    assert rows[0][0] >= N

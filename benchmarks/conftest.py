@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures: results directory and determinism."""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory benchmark reports are appended to; cleared per session."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def result_path(name: str) -> str:
+    """Path of one experiment's report file (truncated on first use)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    return path
+
+
+@pytest.fixture(scope="module")
+def fresh_result_file(request):
+    """Truncate this module's report file once per run."""
+    name = request.module.REPORT_FILE
+    path = result_path(name)
+    with open(path, "w"):
+        pass
+    return path

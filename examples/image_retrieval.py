@@ -1,0 +1,77 @@
+"""VIR scenario (§3.2.3): content-based image retrieval.
+
+Builds a synthetic photo library, indexes the image signatures, and runs
+weighted similarity queries — printing the three-phase filtering funnel
+that makes content-based search feasible on large tables.
+
+Run:  python examples/image_retrieval.py
+"""
+
+import random
+
+from repro import Database
+from repro.cartridges import vir
+
+
+def main() -> None:
+    db = Database()
+    vir.install(db)
+    image_type = db.catalog.get_object_type("IMAGE_T")
+
+    db.execute("CREATE TABLE photos (pid INTEGER, title VARCHAR2(64),"
+               " img IMAGE_T)")
+
+    rng = random.Random(42)
+    # a "sunset" visual theme, plus unrelated photos
+    sunset = vir.signature.structured_signature(rng)
+    titles = []
+    for pid in range(400):
+        if pid % 25 == 0:
+            signature = vir.perturb_signature(rng, sunset, 0.03)
+            title = f"sunset_{pid:03d}"
+        else:
+            signature = vir.signature.structured_signature(rng)
+            title = f"photo_{pid:03d}"
+        titles.append(title)
+        db.execute("INSERT INTO photos VALUES (:1, :2, :3)",
+                   [pid, title,
+                    image_type.new(signature=signature, width=640,
+                                   height=480)])
+
+    db.execute("CREATE INDEX photos_vidx ON photos(img)"
+               " INDEXTYPE IS VirIndexType")
+
+    # the paper's weighted query: colour and texture matter, layout not
+    weights = "globalcolor=0.5,localcolor=0.0,texture=0.5,structure=0.0"
+    query_signature = sunset
+
+    sql = ("SELECT pid, title FROM photos"
+           " WHERE VIRSimilar(img.signature, :1, :2, 5)")
+    print("plan:")
+    for line in db.explain(sql, [query_signature, weights]):
+        print("  " + line)
+
+    db.stats.extra.clear()
+    rows = db.query(sql, [query_signature, weights])
+    extra = db.stats.extra
+    print(f"\nthree-phase funnel over {400} photos:")
+    print(f"  phase 1 (coarse range filter):    "
+          f"{extra.get('vir_phase1_candidates', 0):5d} candidates")
+    print(f"  phase 2 (coarse distance filter): "
+          f"{extra.get('vir_phase2_candidates', 0):5d} candidates")
+    print(f"  phase 3 (full signature compare): "
+          f"{extra.get('vir_phase3_comparisons', 0):5d} comparisons")
+    print(f"  matches: {len(rows)}")
+    print("\nmatching photos:", sorted(title for __, title in rows)[:8],
+          "...")
+
+    # the functional path gives identical answers (drop the index)
+    db.execute("DROP INDEX photos_vidx")
+    fallback = db.query(sql, [query_signature, weights])
+    print("\nwithout the index (functional evaluation per row):",
+          len(fallback), "matches — same answer:",
+          sorted(fallback) == sorted(rows))
+
+
+if __name__ == "__main__":
+    main()

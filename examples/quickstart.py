@@ -1,0 +1,67 @@
+"""Quickstart: the paper's §1 walkthrough, end to end.
+
+Creates the Employees table, installs the text cartridge, builds a
+domain index with the paper's PARAMETERS string, and runs the famous
+query::
+
+    SELECT * FROM Employees WHERE Contains(resume, 'Oracle AND UNIX');
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+from repro.cartridges import text
+
+
+def main() -> None:
+    db = Database()
+
+    # cartridge developer steps (§2.2): functional implementation,
+    # CREATE OPERATOR, implementation type, CREATE INDEXTYPE
+    text.install(db)
+
+    # end-user steps (§2.3)
+    db.execute("CREATE TABLE Employees (name VARCHAR(128), id INTEGER,"
+               " resume VARCHAR2(1024))")
+    people = [
+        ("Jane", 1, "Oracle and UNIX expert, shipped three Oracle releases"),
+        ("Ravi", 2, "Java services on Linux; some UNIX administration"),
+        ("Wei", 3, "Technical writer: COBOL, Fortran, documentation"),
+        ("Aiko", 4, "DBA for Oracle, PostgreSQL and a little UNIX"),
+    ]
+    for name, ident, resume in people:
+        db.execute("INSERT INTO Employees VALUES (:1, :2, :3)",
+                   [name, ident, resume])
+
+    db.execute("CREATE INDEX ResumeTextIndex ON Employees(resume)"
+               " INDEXTYPE IS TextIndexType"
+               " PARAMETERS (':Language English :Ignore the a an')")
+
+    query = ("SELECT name, id FROM Employees"
+             " WHERE Contains(resume, 'Oracle AND UNIX')")
+    print("plan:")
+    for line in db.explain(query):
+        print("  " + line)
+    print("\nresults:")
+    for name, ident in db.execute(query):
+        print(f"  {ident}: {name}")
+
+    # the index is maintained implicitly on DML (§2.4.1)
+    db.execute("UPDATE Employees SET resume = 'Rust evangelist'"
+               " WHERE id = 1")
+    print("\nafter Jane's career change:")
+    for (name,) in db.execute("SELECT name FROM Employees"
+                              " WHERE Contains(resume, 'Oracle AND UNIX')"):
+        print(f"  {name}")
+
+    # ancillary operator: relevance scores from the same index scan
+    print("\nranked by Score:")
+    for name, score in db.execute(
+            "SELECT name, Score(1) FROM Employees"
+            " WHERE Contains(resume, 'Oracle', 1)"
+            " ORDER BY Score(1) DESC"):
+        print(f"  {name}: score {score}")
+
+
+if __name__ == "__main__":
+    main()

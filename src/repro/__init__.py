@@ -1,0 +1,97 @@
+"""repro — a reproduction of "Extensible Indexing: A Framework for
+Integrating Domain-Specific Indexing Schemes into Oracle8i" (ICDE 2000).
+
+The package provides:
+
+* a from-scratch relational engine (:class:`repro.Database`) with SQL,
+  heap/index-organized storage, LOBs, native B-tree/hash/bitmap indexes,
+  transactions, and a cost-based optimizer;
+* the paper's extensible indexing framework (:mod:`repro.core`) —
+  user-defined operators, indextypes, domain indexes driven through the
+  ODCIIndex interface, and extensible optimizer statistics;
+* the four cartridge case studies (:mod:`repro.cartridges`): interMedia
+  Text, Spatial, Visual Information Retrieval, and the Daylight-style
+  chemistry cartridge, each with its pre-Oracle8i baseline.
+
+Quickstart::
+
+    from repro import Database
+    from repro.cartridges import text
+
+    db = Database()
+    text.install(db)
+    db.execute("CREATE TABLE employees (name VARCHAR2(128), id INTEGER,"
+               " resume VARCHAR2(1024))")
+    db.execute("INSERT INTO employees VALUES ('Amy', 1,"
+               " 'Oracle and UNIX expert')")
+    db.execute("CREATE INDEX resume_text_idx ON employees(resume)"
+               " INDEXTYPE IS TextIndexType")
+    rows = db.execute("SELECT name FROM employees"
+                      " WHERE Contains(resume, 'Oracle AND UNIX')").fetchall()
+"""
+
+from repro.errors import (
+    CallbackViolation,
+    CatalogError,
+    ConstraintError,
+    DatabaseError,
+    ExecutionError,
+    ExtensibleIndexError,
+    IndextypeError,
+    LockTimeoutError,
+    ODCIError,
+    OperatorBindingError,
+    ParseError,
+    PrivilegeError,
+    StorageError,
+    TransactionError,
+    TypeMismatchError,
+)
+from repro.sql.session import Cursor, Database
+from repro.core import (
+    FetchResult,
+    IndexMethods,
+    IndexCost,
+    ODCIEnv,
+    ODCIIndexInfo,
+    ODCIPredInfo,
+    ODCIQueryInfo,
+    PrecomputedScan,
+    ScanContext,
+    StatsMethods,
+)
+from repro.types.values import NULL
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Cursor",
+    "NULL",
+    "IndexMethods",
+    "StatsMethods",
+    "IndexCost",
+    "FetchResult",
+    "ODCIEnv",
+    "ODCIIndexInfo",
+    "ODCIPredInfo",
+    "ODCIQueryInfo",
+    "ScanContext",
+    "PrecomputedScan",
+    "DatabaseError",
+    "ParseError",
+    "CatalogError",
+    "TypeMismatchError",
+    "ConstraintError",
+    "ExecutionError",
+    "PrivilegeError",
+    "TransactionError",
+    "LockTimeoutError",
+    "StorageError",
+    "ExtensibleIndexError",
+    "ODCIError",
+    "CallbackViolation",
+    "OperatorBindingError",
+    "IndextypeError",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Benchmark infrastructure: synthetic workloads and measurement helpers."""
+
+from repro.bench.workloads import (
+    TextCorpus, make_corpus, make_rect_layer, make_signature_table,
+    make_molecule_table)
+from repro.bench.harness import (
+    Measurement, ReportTable, io_delta, time_call, time_to_first_row)
+
+__all__ = [
+    "TextCorpus",
+    "make_corpus",
+    "make_rect_layer",
+    "make_signature_table",
+    "make_molecule_table",
+    "Measurement",
+    "ReportTable",
+    "io_delta",
+    "time_call",
+    "time_to_first_row",
+]

@@ -1,0 +1,137 @@
+"""Synthetic workload generators for the benchmarks.
+
+Each generator is deterministic given a seed, so benchmark comparisons
+(integrated vs legacy) always run on identical data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+from repro.cartridges.chemistry.molecule import random_molecule, to_smiles
+from repro.cartridges.spatial.geometry import make_rect
+from repro.cartridges.spatial.tiling import WORLD_SIZE
+from repro.cartridges.vir.signature import (
+    perturb_signature, structured_signature)
+
+# ---------------------------------------------------------------------------
+# text: Zipfian corpus
+# ---------------------------------------------------------------------------
+
+#: Consonant-vowel syllables used to mint pronounceable fake words.
+_SYLLABLES = ["ba", "co", "di", "fu", "ge", "hi", "jo", "ka", "lu", "me",
+              "ni", "po", "qua", "re", "si", "tu", "ve", "wo", "xi", "za"]
+
+
+def _word(index: int) -> str:
+    parts = []
+    value = index
+    for __ in range(3):
+        parts.append(_SYLLABLES[value % len(_SYLLABLES)])
+        value //= len(_SYLLABLES)
+    return "".join(parts) + str(index % 7)
+
+
+@dataclass
+class TextCorpus:
+    """A generated document collection with a Zipfian vocabulary."""
+
+    documents: List[str]
+    vocabulary: List[str]
+    #: per-word document frequency (how many documents contain the word)
+    doc_frequency: dict = field(default_factory=dict)
+
+    def common_word(self, rank: int = 0) -> str:
+        """A frequent word (low rank = more frequent)."""
+        ordered = sorted(self.doc_frequency,
+                         key=lambda w: -self.doc_frequency[w])
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def rare_word(self, rank: int = 0) -> str:
+        """An infrequent (but present) word."""
+        ordered = sorted((w for w, df in self.doc_frequency.items() if df),
+                         key=lambda w: self.doc_frequency[w])
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def selectivity_of(self, query_word: str) -> float:
+        """Fraction of documents containing the word."""
+        return self.doc_frequency.get(query_word, 0) / max(
+            1, len(self.documents))
+
+
+def make_corpus(n_docs: int, words_per_doc: int = 40,
+                vocabulary_size: int = 500, seed: int = 1) -> TextCorpus:
+    """Generate documents whose word ranks follow a Zipf distribution."""
+    rng = random.Random(seed)
+    vocabulary = [_word(i) for i in range(vocabulary_size)]
+    weights = [1.0 / (rank + 1) for rank in range(vocabulary_size)]
+    documents = []
+    doc_frequency = {word: 0 for word in vocabulary}
+    for __ in range(n_docs):
+        words = rng.choices(vocabulary, weights=weights, k=words_per_doc)
+        documents.append(" ".join(words))
+        for word in set(words):
+            doc_frequency[word] += 1
+    return TextCorpus(documents=documents, vocabulary=vocabulary,
+                      doc_frequency=doc_frequency)
+
+
+# ---------------------------------------------------------------------------
+# spatial: rectangle layers
+# ---------------------------------------------------------------------------
+
+def make_rect_layer(db_or_type, count: int, seed: int = 1,
+                    min_size: float = 10.0, max_size: float = 120.0,
+                    start_gid: int = 1) -> List[Tuple[int, Any]]:
+    """(gid, rectangle geometry) pairs scattered over the world."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        width = rng.uniform(min_size, max_size)
+        height = rng.uniform(min_size, max_size)
+        x = rng.uniform(0, WORLD_SIZE - width)
+        y = rng.uniform(0, WORLD_SIZE - height)
+        out.append((start_gid + i,
+                    make_rect(db_or_type, x, y, x + width, y + height)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# VIR: clustered signatures
+# ---------------------------------------------------------------------------
+
+def make_signature_table(count: int, cluster_every: int = 10,
+                         noise: float = 0.04, seed: int = 1
+                         ) -> Tuple[List[Tuple[int, Tuple[float, ...]]],
+                                    Tuple[float, ...]]:
+    """(id, signature) rows plus the cluster-centre query signature.
+
+    Every ``cluster_every``-th signature is a perturbation of the centre
+    (the known "similar" population); the rest are uniform noise.
+    """
+    rng = random.Random(seed)
+    centre = structured_signature(rng)
+    rows = []
+    for i in range(count):
+        if i % cluster_every == 0:
+            rows.append((i, perturb_signature(rng, centre, noise)))
+        else:
+            rows.append((i, structured_signature(rng)))
+    return rows, centre
+
+
+# ---------------------------------------------------------------------------
+# chemistry: molecule collections
+# ---------------------------------------------------------------------------
+
+def make_molecule_table(count: int, min_size: int = 5, max_size: int = 16,
+                        seed: int = 1) -> List[Tuple[int, str]]:
+    """(id, notation) rows of random synthetic molecules."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        molecule = random_molecule(rng, size=rng.randint(min_size, max_size))
+        out.append((i, to_smiles(molecule)))
+    return out

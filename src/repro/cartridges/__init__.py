@@ -1,0 +1,18 @@
+"""Data cartridges: the paper's four case studies (§3.2).
+
+Each subpackage is a server-managed component in the paper's sense —
+"user-defined types, functions, operators, & indextypes" — built purely
+on the public extensibility API:
+
+* :mod:`repro.cartridges.text` — interMedia Text (inverted index,
+  ``Contains``/``Score``),
+* :mod:`repro.cartridges.spatial` — Spatial (tile index, ``Sdo_Relate``),
+* :mod:`repro.cartridges.vir` — Visual Information Retrieval
+  (signature index, ``VIRSimilar``),
+* :mod:`repro.cartridges.chemistry` — Daylight-style chemistry
+  (fingerprint index in LOBs or files, ``Chem_*`` operators).
+
+Every cartridge exposes ``install(db)`` which registers its functions,
+operators, implementation types, and indextype via the same SQL DDL an
+end user would issue.
+"""

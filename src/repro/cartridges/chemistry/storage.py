@@ -1,0 +1,177 @@
+"""The fingerprint index *file format* — one code path, two stores.
+
+This is the heart of the §3.2.4 migration story: the index management
+software is written against a file-like handle (``read``/``write``/
+``seek``/``truncate``/``length``), so the *same* class operates on an
+external :class:`~repro.storage.filestore.ExternalFile` (the pre-8i
+deployment) or a database :class:`~repro.storage.lob.LobLocator` (the
+cartridge deployment) — "minimal changes were required to the index
+management software".
+
+Format (big-endian)::
+
+    header:  magic 'CFP1' | record_count u32
+    record:  seg u32 | page u32 | slot u32 | flags u8 |
+             cert_hash u64 | taut_hash u64 | fingerprint FP_BITS/8 bytes
+
+Deletes append a tombstone record (flags=1) — the file is append-only
+between compactions, which is what makes the *write* pattern comparable
+across stores while the I/O accounting differs (file writes are eager,
+LOB writes are buffered).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.cartridges.chemistry.fingerprint import FP_BITS
+from repro.errors import StorageError
+from repro.storage.heap import RowId
+
+_MAGIC = b"CFP1"
+_HEADER = struct.Struct(">4sI")
+_RECORD_FIXED = struct.Struct(">IIIBQQ")
+_FP_BYTES = FP_BITS // 8
+_RECORD_SIZE = _RECORD_FIXED.size + _FP_BYTES
+
+FLAG_TOMBSTONE = 1
+
+
+@dataclass(frozen=True)
+class Record:
+    """One index entry: rowid + hashes + fingerprint."""
+
+    rowid: RowId
+    cert_hash: int
+    taut_hash: int
+    fingerprint: int
+    tombstone: bool = False
+
+    def pack(self) -> bytes:
+        fixed = _RECORD_FIXED.pack(
+            self.rowid.segment_id, self.rowid.page_no, self.rowid.slot,
+            FLAG_TOMBSTONE if self.tombstone else 0,
+            self.cert_hash, self.taut_hash)
+        return fixed + self.fingerprint.to_bytes(_FP_BYTES, "big")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Record":
+        seg, page, slot, flags, cert_hash, taut_hash = _RECORD_FIXED.unpack(
+            data[:_RECORD_FIXED.size])
+        fp = int.from_bytes(data[_RECORD_FIXED.size:_RECORD_SIZE], "big")
+        return cls(rowid=RowId(seg, page, slot), cert_hash=cert_hash,
+                   taut_hash=taut_hash, fingerprint=fp,
+                   tombstone=bool(flags & FLAG_TOMBSTONE))
+
+
+class FingerprintIndexFile:
+    """Reader/writer for the fingerprint index format over any handle.
+
+    ``handle_factory`` returns a fresh positioned handle on each call —
+    a LOB locator or an external file object.  All methods reopen via
+    the factory, mirroring file-based index code that opens per
+    operation.
+    """
+
+    def __init__(self, handle_factory):
+        self._open = handle_factory
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Write an empty index (header only)."""
+        handle = self._open()
+        handle.seek(0)
+        handle.write(_HEADER.pack(_MAGIC, 0))
+        handle.truncate(_HEADER.size)
+
+    def record_count(self) -> int:
+        """Number of physical records (including tombstones)."""
+        handle = self._open()
+        handle.seek(0)
+        raw = handle.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise StorageError("fingerprint index is not initialized")
+        magic, count = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise StorageError(f"bad fingerprint index magic {magic!r}")
+        return count
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, record: Record) -> None:
+        """Append one record and bump the header count."""
+        count = self.record_count()
+        handle = self._open()
+        handle.seek(_HEADER.size + count * _RECORD_SIZE)
+        handle.write(record.pack())
+        handle.seek(0)
+        handle.write(_HEADER.pack(_MAGIC, count + 1))
+
+    def append_many(self, records: List[Record]) -> None:
+        """Batch append (one header update for the whole batch)."""
+        if not records:
+            return
+        count = self.record_count()
+        handle = self._open()
+        handle.seek(_HEADER.size + count * _RECORD_SIZE)
+        handle.write(b"".join(r.pack() for r in records))
+        handle.seek(0)
+        handle.write(_HEADER.pack(_MAGIC, count + len(records)))
+
+    def tombstone(self, rowid: RowId) -> None:
+        """Append a deletion marker for ``rowid``."""
+        self.append(Record(rowid=rowid, cert_hash=0, taut_hash=0,
+                           fingerprint=0, tombstone=True))
+
+    def compact(self) -> int:
+        """Rewrite the file without dead records; returns the live count."""
+        live = list(self.records())
+        handle = self._open()
+        handle.seek(0)
+        handle.write(_HEADER.pack(_MAGIC, len(live)))
+        handle.write(b"".join(r.pack() for r in live))
+        handle.truncate(_HEADER.size + len(live) * _RECORD_SIZE)
+        return len(live)
+
+    # -- reading ----------------------------------------------------------------
+
+    def raw_records(self) -> Iterator[Record]:
+        """Every physical record in file order (tombstones included)."""
+        count = self.record_count()
+        handle = self._open()
+        handle.seek(_HEADER.size)
+        for __ in range(count):
+            data = handle.read(_RECORD_SIZE)
+            if len(data) < _RECORD_SIZE:
+                raise StorageError("truncated fingerprint index record")
+            yield Record.unpack(data)
+
+    def records(self) -> Iterator[Record]:
+        """Live records: tombstoned rowids removed, later wins."""
+        dead: Dict[RowId, int] = {}
+        entries: List[Record] = []
+        for record in self.raw_records():
+            if record.tombstone:
+                dead[record.rowid] = dead.get(record.rowid, 0) + 1
+            else:
+                entries.append(record)
+        if not dead:
+            yield from entries
+            return
+        for record in entries:
+            remaining = dead.get(record.rowid, 0)
+            if remaining:
+                dead[record.rowid] = remaining - 1
+                continue
+            yield record
+
+    def find_by_cert(self, cert_hash: int) -> List[Record]:
+        """Live records whose full-structure hash matches."""
+        return [r for r in self.records() if r.cert_hash == cert_hash]
+
+    def find_by_tautomer(self, taut_hash: int) -> List[Record]:
+        """Live records whose tautomer hash matches."""
+        return [r for r in self.records() if r.taut_hash == taut_hash]

@@ -1,0 +1,49 @@
+"""Spatial cartridge (§3.2.2): tile-indexed geometries and Sdo_Relate.
+
+"The spatial index consists of a collection of tiles (unit of space)
+corresponding to every spatial object, and is stored in an Oracle
+table."  ``Sdo_Relate`` evaluates in two phases: a primary filter over
+tile ranges, then an exact geometric filter over the candidates.
+
+``install(db)`` registers the SDO_GEOMETRY object type, constructor
+functions, the Sdo_Relate operator, and SpatialIndexType;
+``install_rtree(db)`` registers RtreeIndexType over the *same* operator
+(the E7 ablation: "changing the underlying spatial indexing algorithms
+without requiring the end users to change their queries").
+"""
+
+from repro.cartridges.spatial.geometry import (
+    Relation, bounding_box, geometry_coords, make_point, make_polygon,
+    make_rect, relate)
+from repro.cartridges.spatial.tiling import (
+    GROUP_LEVEL, MAX_LEVEL, WORLD_SIZE, TileRange, tessellate)
+from repro.cartridges.spatial.rtree import RTree, Rect
+from repro.cartridges.spatial.indextype import (
+    SpatialIndexMethods, SpatialStatsMethods, RtreeIndexMethods,
+    install, install_rtree, sdo_relate_functional)
+from repro.cartridges.spatial.legacy import LegacySpatialLayer, install_legacy
+
+__all__ = [
+    "Relation",
+    "relate",
+    "make_point",
+    "make_rect",
+    "make_polygon",
+    "bounding_box",
+    "geometry_coords",
+    "tessellate",
+    "TileRange",
+    "WORLD_SIZE",
+    "MAX_LEVEL",
+    "GROUP_LEVEL",
+    "RTree",
+    "Rect",
+    "SpatialIndexMethods",
+    "SpatialStatsMethods",
+    "RtreeIndexMethods",
+    "install",
+    "install_rtree",
+    "sdo_relate_functional",
+    "LegacySpatialLayer",
+    "install_legacy",
+]

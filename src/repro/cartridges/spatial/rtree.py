@@ -1,0 +1,258 @@
+"""An R-tree (Guttman 1984) — the paper's canonical example of a
+specialized spatial structure ("efficient processing of the Overlaps
+operator requires a specialized indexing structure such as R-trees").
+
+Used by the E7 ablation: RtreeIndexType serves the same ``Sdo_Relate``
+operator as the tile index, demonstrating that the indexing algorithm
+can change behind an indextype without any change to end-user queries.
+
+Quadratic-split insertion; deletion reinserts orphaned entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle (the R-tree's bounding-box key)."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def area(self) -> float:
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(min(self.xmin, other.xmin), min(self.ymin, other.ymin),
+                    max(self.xmax, other.xmax), max(self.ymax, other.ymax))
+
+    def enlargement(self, other: "Rect") -> float:
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (self.xmax < other.xmin or other.xmax < self.xmin
+                    or self.ymax < other.ymin or other.ymax < self.ymin)
+
+    @classmethod
+    def from_box(cls, box: Tuple[float, float, float, float]) -> "Rect":
+        return cls(*box)
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "parent")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        # leaf entries: (Rect, payload); interior entries: (Rect, _Node)
+        self.entries: List[Tuple[Rect, Any]] = []
+        self.parent: Optional["_Node"] = None
+
+    def mbr(self) -> Rect:
+        rect = self.entries[0][0]
+        for r, __ in self.entries[1:]:
+            rect = rect.union(r)
+        return rect
+
+
+class RTree:
+    """R-tree over (Rect, payload) entries."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self.max_entries = max_entries
+        self.min_entries = max(2, max_entries // 3)
+        self._root = _Node(leaf=True)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- queries -----------------------------------------------------------
+
+    def search(self, rect: Rect) -> Iterator[Any]:
+        """Yield payloads whose rectangles intersect ``rect``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry_rect, child in node.entries:
+                if not entry_rect.intersects(rect):
+                    continue
+                if node.leaf:
+                    yield child
+                else:
+                    stack.append(child)
+
+    def items(self) -> Iterator[Tuple[Rect, Any]]:
+        """Yield every (rect, payload) entry."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry_rect, child in node.entries:
+                if node.leaf:
+                    yield entry_rect, child
+                else:
+                    stack.append(child)
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves."""
+        height = 1
+        node = self._root
+        while not node.leaf:
+            node = node.entries[0][1]
+            height += 1
+        return height
+
+    # -- insertion --------------------------------------------------------------
+
+    def insert(self, rect: Rect, payload: Any) -> None:
+        """Insert an entry, splitting nodes quadratically on overflow."""
+        leaf = self._choose_leaf(self._root, rect)
+        leaf.entries.append((rect, payload))
+        self._count += 1
+        self._handle_overflow(leaf)
+        self._refresh_mbrs(leaf)
+
+    def _choose_leaf(self, node: _Node, rect: Rect) -> _Node:
+        while not node.leaf:
+            best = min(node.entries,
+                       key=lambda e: (e[0].enlargement(rect), e[0].area()))
+            node = best[1]
+        return node
+
+    def _handle_overflow(self, node: _Node) -> None:
+        while len(node.entries) > self.max_entries:
+            sibling = self._split(node)
+            parent = node.parent
+            if parent is None:
+                new_root = _Node(leaf=False)
+                new_root.entries = [(node.mbr(), node),
+                                    (sibling.mbr(), sibling)]
+                node.parent = sibling.parent = new_root
+                self._root = new_root
+                return
+            parent.entries = [(r, c) for r, c in parent.entries
+                              if c is not node]
+            parent.entries.append((node.mbr(), node))
+            parent.entries.append((sibling.mbr(), sibling))
+            sibling.parent = parent
+            self._refresh_mbrs(parent)
+            node = parent
+
+    def _split(self, node: _Node) -> _Node:
+        # Guttman quadratic split: pick the two seeds wasting the most
+        # area together, then assign entries by least enlargement.
+        entries = node.entries
+        worst, seeds = -1.0, (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (entries[i][0].union(entries[j][0]).area()
+                         - entries[i][0].area() - entries[j][0].area())
+                if waste > worst:
+                    worst, seeds = waste, (i, j)
+        i, j = seeds
+        group_a = [entries[i]]
+        group_b = [entries[j]]
+        rest = [e for k, e in enumerate(entries) if k not in (i, j)]
+        rect_a, rect_b = entries[i][0], entries[j][0]
+        for entry in rest:
+            if len(group_a) + len(rest) <= self.min_entries:
+                group_a.append(entry)
+                continue
+            if len(group_b) + len(rest) <= self.min_entries:
+                group_b.append(entry)
+                continue
+            if rect_a.enlargement(entry[0]) <= rect_b.enlargement(entry[0]):
+                group_a.append(entry)
+                rect_a = rect_a.union(entry[0])
+            else:
+                group_b.append(entry)
+                rect_b = rect_b.union(entry[0])
+        node.entries = group_a
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        if not node.leaf:
+            for __, child in group_b:
+                child.parent = sibling
+        return sibling
+
+    def _refresh_mbrs(self, node: _Node) -> None:
+        # AdjustTree: recompute child MBRs on the path back to the root
+        while node.parent is not None:
+            parent = node.parent
+            parent.entries = [(child.mbr(), child)
+                              for __, child in parent.entries
+                              if child.entries]
+            node = parent
+
+    # -- deletion ------------------------------------------------------------------
+
+    def delete(self, rect: Rect, payload: Any) -> bool:
+        """Remove one entry matching (rect, payload); True if found."""
+        leaf = self._find_leaf(self._root, rect, payload)
+        if leaf is None:
+            return False
+        leaf.entries = [(r, p) for r, p in leaf.entries
+                        if not (r == rect and p == payload)]
+        self._count -= 1
+        self._condense(leaf)
+        self._recompute_interior(self._root)
+        if not self._root.leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0][1]
+            self._root.parent = None
+        return True
+
+    def _recompute_interior(self, node: _Node) -> None:
+        if node.leaf:
+            return
+        rebuilt = []
+        for __, child in node.entries:
+            self._recompute_interior(child)
+            if child.entries:
+                rebuilt.append((child.mbr(), child))
+        node.entries = rebuilt
+
+    def _find_leaf(self, node: _Node, rect: Rect,
+                   payload: Any) -> Optional[_Node]:
+        if node.leaf:
+            for r, p in node.entries:
+                if r == rect and p == payload:
+                    return node
+            return None
+        for r, child in node.entries:
+            if r.intersects(rect):
+                found = self._find_leaf(child, rect, payload)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        orphans: List[Tuple[Rect, Any]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                parent.entries = [(r, c) for r, c in parent.entries
+                                  if c is not node]
+                if node.leaf:
+                    orphans.extend(node.entries)
+                else:
+                    stack = [node]
+                    while stack:
+                        inner = stack.pop()
+                        if inner.leaf:
+                            orphans.extend(inner.entries)
+                        else:
+                            stack.extend(c for __, c in inner.entries)
+            else:
+                parent.entries = [(c.mbr() if c is node else r, c)
+                                  for r, c in parent.entries]
+            node = parent
+        for rect, payload in orphans:
+            self._count -= 1
+            self.insert(rect, payload)

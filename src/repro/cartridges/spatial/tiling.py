@@ -1,0 +1,129 @@
+"""Linear-quadtree tessellation with z-order (Morton) tile codes.
+
+"The spatial index consists of a collection of tiles (unit of space)
+corresponding to every spatial object" (§3.2.2).  Space is the square
+``[0, WORLD_SIZE)²``; a geometry is covered by quadtree tiles down to
+``MAX_LEVEL``.  Each covering tile maps to the Morton-code *range* of
+the finest-level cells it spans — the ``(sdo_code, sdo_maxcode)`` pair
+of the paper's legacy schema — and carries the ``grpcode`` of its
+``GROUP_LEVEL`` ancestor, so two tiles can only interact when their
+group codes are equal (the legacy query's ``r.grpcode = p.grpcode``
+equi-join).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cartridges.spatial.geometry import (
+    Relation, bounding_box, boxes_interact, relate)
+from repro.errors import ExecutionError
+from repro.types.objects import ObjectValue
+
+#: Side length of the (square) indexed world.
+WORLD_SIZE = 1024.0
+#: Finest tessellation level (2^MAX_LEVEL cells per side).
+MAX_LEVEL = 5
+#: Level whose tiles define the group code.
+GROUP_LEVEL = 2
+
+
+@dataclass(frozen=True)
+class TileRange:
+    """One covering tile as a Morton range at MAX_LEVEL granularity."""
+
+    grpcode: int
+    code: int      # first MAX_LEVEL Morton code covered
+    maxcode: int   # last MAX_LEVEL Morton code covered
+
+    def intersects(self, other: "TileRange") -> bool:
+        """Range intersection — the paper's BETWEEN-OR-BETWEEN test."""
+        return (self.grpcode == other.grpcode
+                and self.code <= other.maxcode
+                and other.code <= self.maxcode)
+
+
+def morton(x: int, y: int, level: int) -> int:
+    """Interleave the low ``level`` bits of x (even) and y (odd)."""
+    code = 0
+    for bit in range(level):
+        code |= ((x >> bit) & 1) << (2 * bit)
+        code |= ((y >> bit) & 1) << (2 * bit + 1)
+    return code
+
+
+def _tile_box(level: int, tx: int, ty: int) -> Tuple[float, float, float, float]:
+    size = WORLD_SIZE / (1 << level)
+    return tx * size, ty * size, (tx + 1) * size, (ty + 1) * size
+
+
+def _tile_polygon_coords(box: Tuple[float, float, float, float]):
+    xmin, ymin, xmax, ymax = box
+    return [(xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)]
+
+
+def _range_for_tile(level: int, tx: int, ty: int) -> Tuple[int, int]:
+    shift = MAX_LEVEL - level
+    base = morton(tx, ty, level) << (2 * shift)
+    return base, base + (1 << (2 * shift)) - 1
+
+
+def _grpcode_for(code: int) -> int:
+    return code >> (2 * (MAX_LEVEL - GROUP_LEVEL))
+
+
+def tessellate(geometry: ObjectValue,
+               max_level: int = MAX_LEVEL) -> List[TileRange]:
+    """Quadtree cover of ``geometry`` as a list of tile ranges.
+
+    Recursion emits a tile when it is entirely interior to the geometry
+    or when ``max_level`` is reached; tiles above GROUP_LEVEL are always
+    subdivided so every emitted range lies within one group.
+    """
+    if not 0 < max_level <= MAX_LEVEL:
+        raise ExecutionError(f"max_level must be in (0, {MAX_LEVEL}]")
+    box = bounding_box(geometry)
+    if box[0] < 0 or box[1] < 0 or box[2] > WORLD_SIZE or box[3] > WORLD_SIZE:
+        raise ExecutionError(
+            f"geometry bbox {box} lies outside the indexed world "
+            f"[0, {WORLD_SIZE})^2")
+    out: List[TileRange] = []
+    _cover(geometry, 0, 0, 0, max_level, out)
+    return out
+
+
+def _cover(geometry: ObjectValue, level: int, tx: int, ty: int,
+           max_level: int, out: List[TileRange]) -> None:
+    tile_box = _tile_box(level, tx, ty)
+    if not boxes_interact(tile_box, bounding_box(geometry)):
+        return
+    from repro.cartridges.spatial.geometry import (
+        GTYPE_POLYGON, make_polygon)
+    tile_geom = geometry.object_type.new(
+        GTYPE_POLYGON,
+        tuple(c for p in _tile_polygon_coords(tile_box) for c in p))
+    relation = relate(tile_geom, geometry)
+    if relation is Relation.DISJOINT:
+        return
+    fully_inside = relation in (Relation.INSIDE, Relation.EQUAL)
+    if (fully_inside and level >= GROUP_LEVEL) or level == max_level:
+        lo, hi = _range_for_tile(level, tx, ty)
+        out.append(TileRange(grpcode=_grpcode_for(lo), code=lo, maxcode=hi))
+        return
+    for dx in (0, 1):
+        for dy in (0, 1):
+            _cover(geometry, level + 1, 2 * tx + dx, 2 * ty + dy,
+                   max_level, out)
+
+
+def ranges_interact(a: List[TileRange], b: List[TileRange]) -> bool:
+    """Primary filter: do any tile ranges of the two covers intersect?"""
+    by_group = {}
+    for r in a:
+        by_group.setdefault(r.grpcode, []).append(r)
+    for r in b:
+        for other in by_group.get(r.grpcode, ()):
+            if r.intersects(other):
+                return True
+    return False

@@ -1,0 +1,29 @@
+"""interMedia Text cartridge (§3.2.1): full-text indexing.
+
+The text index is an inverted index — "storing the occurrence list for
+each token in each of the text documents ... stored in an
+index-organized table" — maintained implicitly on DML and scanned to
+evaluate the ``Contains`` operator, with ``Score`` as its ancillary.
+
+``install(db)`` registers everything; ``legacy`` holds the pre-Oracle8i
+two-step evaluation baseline that E1 benchmarks against.
+"""
+
+from repro.cartridges.text.lexer import TextLexer, TextParameters, tokenize
+from repro.cartridges.text.query import TextQuery, parse_query
+from repro.cartridges.text.indextype import (
+    TextIndexMethods, TextStatsMethods, install, text_contains)
+from repro.cartridges.text.legacy import LegacyTextIndex
+
+__all__ = [
+    "TextLexer",
+    "TextParameters",
+    "tokenize",
+    "TextQuery",
+    "parse_query",
+    "TextIndexMethods",
+    "TextStatsMethods",
+    "install",
+    "text_contains",
+    "LegacyTextIndex",
+]

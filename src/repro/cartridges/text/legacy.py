@@ -1,0 +1,133 @@
+"""Pre-Oracle8i text search: the two-step temp-table baseline.
+
+Section 3.2.1 describes how text queries ran before extensible indexing:
+
+1. "The text predicate was evaluated first.  The text index was scanned
+   and all the rows satisfying the predicate were identified.  The row
+   identifiers of all the relevant rows were written out into a
+   temporary result table, say results."
+2. "The original query was rewritten as a join of the original query
+   (minus the text operator) and the temporary result table ...
+   ``SELECT d.* FROM docs d, results r WHERE d.rowid = r.rid``."
+
+This class reproduces that execution model over the same inverted-index
+structure the integrated cartridge uses, so E1 isolates the execution
+model (temp table + join vs pipelined domain scan), not the index.  It
+also reproduces the pre-8i *maintenance* model: the application must
+call :meth:`sync` explicitly after base-table DML.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.cartridges.text.lexer import TextLexer, TextParameters
+from repro.cartridges.text.query import parse_query
+from repro.types.values import is_null
+
+
+class LegacyTextIndex:
+    """An application-managed inverted index with two-step query evaluation."""
+
+    def __init__(self, db, table: str, column: str, name: str = ""):
+        self.db = db
+        self.table = table
+        self.column = column
+        self.name = (name or f"legacy_{table}_{column}").lower()
+        self.terms_table = f"{self.name}_terms"
+        self.params = TextParameters.parse(":Language English")
+        self._lexer = TextLexer(self.params)
+        self._created = False
+        self._temp_counter = 0
+
+    # -- explicit index management (the pre-8i experience) -----------------
+
+    def create(self) -> None:
+        """Build the inverted index table and populate it."""
+        self.db.execute(
+            f"CREATE TABLE {self.terms_table} ("
+            "token VARCHAR2(64), rid ROWID, freq INTEGER,"
+            " PRIMARY KEY (token, rid)) ORGANIZATION INDEX")
+        self._created = True
+        self.sync()
+
+    def drop(self) -> None:
+        """Drop the index table."""
+        self.db.execute(f"DROP TABLE {self.terms_table}")
+        self._created = False
+
+    def sync(self) -> None:
+        """Rebuild index content from the base table.
+
+        Pre-8i, "the user had to explicitly invoke ... routines to
+        maintain the index following a DML operation" — there is no
+        implicit maintenance here.
+        """
+        self.db.execute(f"DELETE FROM {self.terms_table}")
+        rows = self.db.query(
+            f"SELECT rowid, {self.column} FROM {self.table}")
+        postings: List[List[Any]] = []
+        for rid, text in rows:
+            if is_null(text):
+                continue
+            for token, freq in self._lexer.term_frequencies(
+                    str(text)).items():
+                postings.append([token, rid, freq])
+        if postings:
+            self.db.insert_rows(self.terms_table, postings)
+
+    # -- step 1: evaluate the text predicate into a temp table ----------------
+
+    def _postings(self, term: str) -> Dict[Any, int]:
+        rows = self.db.query(
+            f"SELECT rid, freq FROM {self.terms_table} WHERE token = :1",
+            [term])
+        return {rid: freq for rid, freq in rows}
+
+    def search_rowids(self, query_text: str) -> List[Any]:
+        """Rowids of documents matching the boolean query."""
+        tree = parse_query(query_text)
+        return sorted(tree.evaluate(self._postings))
+
+    def materialize_results(self, query_text: str) -> Tuple[str, int]:
+        """Write matching rowids into a fresh temporary result table.
+
+        Returns (temp table name, row count).  The temp-table writes are
+        the extra I/O the paper's integrated model eliminates.
+        """
+        self._temp_counter += 1
+        temp = f"{self.name}_results_{self._temp_counter}"
+        self.db.execute(f"CREATE TABLE {temp} (rid ROWID)")
+        rowids = self.search_rowids(query_text)
+        if rowids:
+            self.db.insert_rows(temp, [[rid] for rid in rowids])
+        return temp, len(rowids)
+
+    # -- step 2: re-join with the base table -----------------------------------
+
+    def query(self, query_text: str,
+              select_list: str = "*") -> List[Tuple[Any, ...]]:
+        """Full two-step evaluation; returns the base-table rows."""
+        return list(self.iter_query(query_text, select_list))
+
+    def iter_query(self, query_text: str,
+                   select_list: str = "*") -> Iterator[Tuple[Any, ...]]:
+        """Two-step evaluation as an iterator.
+
+        Note the shape: *nothing* can be yielded before the entire
+        temp table is built — the first-row latency E1 measures.
+        """
+        temp, count = self.materialize_results(query_text)
+        try:
+            if count == 0:
+                return
+            prefixed = select_list
+            if select_list == "*":
+                prefixed = "d.*"
+            rows = self.db.execute(
+                f"SELECT {prefixed} FROM {self.table} d, {temp} r "
+                f"WHERE d.rowid = r.rid")
+            for row in rows:
+                yield row
+        finally:
+            self.db.execute(f"DROP TABLE {temp}")

@@ -1,0 +1,190 @@
+"""The Contains query language: terms combined with AND / OR / NOT.
+
+The paper's running example is ``Contains(resume, 'Oracle AND UNIX')``.
+The grammar::
+
+    query  := or
+    or     := and ( OR and )*
+    and    := unary ( AND unary )*      -- adjacency is implicit AND
+    unary  := NOT unary | '(' query ')' | term
+
+NOT is set difference against its sibling conjuncts, so it must appear
+inside an AND (``a AND NOT b``); a top-level bare NOT has no universe to
+subtract from and is rejected.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Tuple
+
+from repro.errors import ExecutionError
+
+_TOKEN = re.compile(r"\(|\)|[A-Za-z0-9_]+")
+
+
+class TextQuery:
+    """Base class of parsed query nodes."""
+
+    def terms(self) -> List[str]:
+        """Every positive term mentioned in the query."""
+        raise NotImplementedError
+
+    def evaluate(self, postings: Callable[[str], Dict]) -> Dict:
+        """Evaluate to {rowid: score}; ``postings(term)`` → {rowid: tf}."""
+        raise NotImplementedError
+
+    def matches(self, tokens: Set[str]) -> bool:
+        """Evaluate against one document's token set (functional path)."""
+        raise NotImplementedError
+
+
+@dataclass
+class Term(TextQuery):
+    word: str
+
+    def terms(self) -> List[str]:
+        return [self.word]
+
+    def evaluate(self, postings):
+        return dict(postings(self.word))
+
+    def matches(self, tokens: Set[str]) -> bool:
+        return self.word in tokens
+
+    def __repr__(self) -> str:
+        return self.word
+
+
+@dataclass
+class And(TextQuery):
+    left: TextQuery
+    right: TextQuery
+
+    def terms(self) -> List[str]:
+        return self.left.terms() + self.right.terms()
+
+    def evaluate(self, postings):
+        if isinstance(self.right, Not):
+            keep = self.left.evaluate(postings)
+            drop = self.right.operand.evaluate(postings)
+            return {rid: s for rid, s in keep.items() if rid not in drop}
+        if isinstance(self.left, Not):
+            keep = self.right.evaluate(postings)
+            drop = self.left.operand.evaluate(postings)
+            return {rid: s for rid, s in keep.items() if rid not in drop}
+        left = self.left.evaluate(postings)
+        right = self.right.evaluate(postings)
+        if len(right) < len(left):
+            left, right = right, left
+        return {rid: s + right[rid] for rid, s in left.items()
+                if rid in right}
+
+    def matches(self, tokens: Set[str]) -> bool:
+        return self.left.matches(tokens) and self.right.matches(tokens)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} AND {self.right!r})"
+
+
+@dataclass
+class Or(TextQuery):
+    left: TextQuery
+    right: TextQuery
+
+    def terms(self) -> List[str]:
+        return self.left.terms() + self.right.terms()
+
+    def evaluate(self, postings):
+        result = self.left.evaluate(postings)
+        for rid, score in self.right.evaluate(postings).items():
+            result[rid] = result.get(rid, 0) + score
+        return result
+
+    def matches(self, tokens: Set[str]) -> bool:
+        return self.left.matches(tokens) or self.right.matches(tokens)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} OR {self.right!r})"
+
+
+@dataclass
+class Not(TextQuery):
+    operand: TextQuery
+
+    def terms(self) -> List[str]:
+        return []  # negative terms don't contribute candidates
+
+    def evaluate(self, postings):
+        raise ExecutionError(
+            "NOT must be combined with AND in a Contains query "
+            "(a bare NOT has no candidate universe)")
+
+    def matches(self, tokens: Set[str]) -> bool:
+        return not self.operand.matches(tokens)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+def parse_query(text: str) -> TextQuery:
+    """Parse a Contains query string into a :class:`TextQuery` tree."""
+    tokens = _TOKEN.findall(text or "")
+    if not tokens:
+        raise ExecutionError("empty Contains query")
+    pos = 0
+
+    def peek() -> str:
+        return tokens[pos] if pos < len(tokens) else ""
+
+    def advance() -> str:
+        nonlocal pos
+        token = tokens[pos]
+        pos += 1
+        return token
+
+    def parse_or() -> TextQuery:
+        node = parse_and()
+        while peek().upper() == "OR":
+            advance()
+            node = Or(node, parse_and())
+        return node
+
+    def parse_and() -> TextQuery:
+        node = parse_unary()
+        while True:
+            upper = peek().upper()
+            if upper == "AND":
+                advance()
+                node = And(node, parse_unary())
+            elif upper not in ("", ")", "OR"):
+                node = And(node, parse_unary())  # implicit AND
+            else:
+                return node
+
+    def parse_unary() -> TextQuery:
+        token = peek()
+        if token.upper() == "NOT":
+            advance()
+            return Not(parse_unary())
+        if token == "(":
+            advance()
+            node = parse_or()
+            if peek() != ")":
+                raise ExecutionError("unbalanced parentheses in Contains query")
+            advance()
+            return node
+        if token in ("", ")"):
+            raise ExecutionError(f"unexpected end of Contains query near "
+                                 f"{text!r}")
+        return Term(advance().lower())
+
+    tree = parse_or()
+    if pos != len(tokens):
+        raise ExecutionError(
+            f"trailing tokens in Contains query: {tokens[pos:]}")
+    if isinstance(tree, Not):
+        raise ExecutionError(
+            "NOT must be combined with AND in a Contains query")
+    return tree

@@ -1,0 +1,38 @@
+"""Visual Information Retrieval cartridge (§3.2.3): image similarity.
+
+"Each image is represented by a signature which is an abstraction of the
+contents of the image in terms of its visual attributes.  A set of
+numbers that are a coarse representation of the signature are then
+stored in a table representing the index data."
+
+``VIRSimilar`` evaluates in three phases: (1) a range filter on the
+coarse index values, (2) a distance computation on the coarse vector,
+(3) the full signature comparison — "the complex problem of
+high-dimensional indexing is broken down into several simpler
+components".  Both coarse filters are admissible (they never drop a true
+match), which the property tests verify.
+"""
+
+from repro.cartridges.vir.signature import (
+    COARSE_DIMS, SIGNATURE_COMPONENTS, Weights, coarse_vector,
+    coarse_distance, make_signature, parse_weights, random_signature,
+    signature_distance, perturb_signature)
+from repro.cartridges.vir.indextype import (
+    VirIndexMethods, VirStatsMethods, install, vir_similar_functional)
+
+__all__ = [
+    "SIGNATURE_COMPONENTS",
+    "COARSE_DIMS",
+    "Weights",
+    "make_signature",
+    "random_signature",
+    "perturb_signature",
+    "signature_distance",
+    "coarse_vector",
+    "coarse_distance",
+    "parse_weights",
+    "VirIndexMethods",
+    "VirStatsMethods",
+    "install",
+    "vir_similar_functional",
+]

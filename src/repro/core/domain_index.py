@@ -1,0 +1,56 @@
+"""Domain index instances.
+
+"Using the Indextype schema object, an application-specific index can be
+created.  Such an index is called a domain index ... created, managed,
+and accessed by routines supplied by an indextype." (§1)
+
+A :class:`DomainIndex` is the catalog's record of one such index: which
+table/columns it covers, which indextype implements it, and the current
+PARAMETERS string.  The server-side orchestration (invoking the ODCI
+routines at create/DML/scan time) lives in the session layer; the methods
+instance is cached here so cartridge state tied to the index (e.g. open
+file handles) survives across calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.core.odci import IndexMethods, ODCIIndexInfo
+
+
+@dataclass
+class DomainIndex:
+    """Catalog record of a domain index."""
+
+    name: str
+    table_name: str
+    column_names: Tuple[str, ...]
+    column_types: Tuple[Any, ...]
+    indextype_name: str
+    parameters: str = ""
+    #: The per-index instance of the indextype's IndexMethods subclass.
+    methods: Optional[IndexMethods] = None
+    #: False after a failed create/alter, mirroring Oracle's UNUSABLE state.
+    valid: bool = True
+    #: The user who created the index; its ODCI routines execute with
+    #: this user's privileges (§2.5 definer rights).
+    owner: str = "main"
+    #: Ad-hoc state a cartridge wants to pin to the index across calls.
+    scratch: dict = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+    def index_info(self) -> ODCIIndexInfo:
+        """Build the ODCIIndexInfo descriptor passed to every ODCI routine."""
+        return ODCIIndexInfo(
+            index_name=self.name,
+            index_schema="main",
+            table_name=self.table_name,
+            column_names=self.column_names,
+            column_types=self.column_types,
+            parameters=self.parameters,
+        )

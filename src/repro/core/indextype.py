@@ -1,0 +1,68 @@
+"""The indextype schema object.
+
+Section 2.2.4: "Once the type that implements the ODCIIndex routines has
+been defined, a new indextype can be created by specifying the list of
+operators supported by the indextype, and referring to the type that
+implements the ODCIIndex routines."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import IndextypeError
+from repro.types.datatypes import DataType
+
+
+@dataclass
+class SupportedOperator:
+    """One operator signature an indextype can evaluate via index scan."""
+
+    operator_name: str
+    arg_types: Tuple[DataType, ...]
+
+    def matches(self, operator_name: str,
+                arg_types: Optional[Sequence[DataType]] = None) -> bool:
+        """True when this entry covers the named operator invocation."""
+        if self.operator_name.lower() != operator_name.lower():
+            return False
+        if arg_types is None:
+            return True
+        if len(arg_types) < len(self.arg_types):
+            return False
+        return all(actual.is_compatible_with(declared)
+                   for actual, declared in zip(arg_types, self.arg_types))
+
+
+@dataclass
+class Indextype:
+    """A registered indexing scheme: supported operators + implementation."""
+
+    name: str
+    operators: List[SupportedOperator] = field(default_factory=list)
+    #: Registered name of the IndexMethods subclass implementing ODCIIndex.
+    implementation_name: str = ""
+    #: Registered name of the StatsMethods subclass (via ASSOCIATE
+    #: STATISTICS), or None to use the optimizer's defaults.
+    stats_name: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+    def supports(self, operator_name: str,
+                 arg_types: Optional[Sequence[DataType]] = None) -> bool:
+        """True when a domain index of this indextype can evaluate the operator."""
+        return any(op.matches(operator_name, arg_types) for op in self.operators)
+
+    def supported_operator_names(self) -> List[str]:
+        """Lower-cased names of every supported operator."""
+        return sorted({op.operator_name.lower() for op in self.operators})
+
+    def require_support(self, operator_name: str) -> None:
+        """Raise when the operator is not supported by this indextype."""
+        if not self.supports(operator_name):
+            raise IndextypeError(
+                f"indextype {self.name} does not support operator "
+                f"{operator_name}; supported: {self.supported_operator_names()}")

@@ -1,0 +1,137 @@
+"""Scan contexts and the workspace manager.
+
+Section 2.2.3 describes two mechanisms for carrying scan state between
+``ODCIIndexStart``/``Fetch``/``Close``:
+
+* **Return State** — small state is returned to the server directly (in
+  this engine: any Python object returned by ``index_start``);
+* **Return Handle** — large state (e.g. a precomputed result set) is
+  parked in a temporary *workspace* "primarily memory resident, but can
+  be paged to disk", and only an integer handle crosses the interface.
+
+:class:`Workspace` implements the handle registry with a memory budget
+and simulated spill accounting, so the E6 ablation can show the
+difference.  :class:`PrecomputedScan` and :class:`ScanContext` are the
+two scan-implementation styles the paper names (*Precompute All* vs
+*Incremental Computation*).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ODCIError
+from repro.storage.page import estimate_size
+
+
+class Workspace:
+    """Registry of handle → scan state for the *return handle* mechanism.
+
+    ``memory_budget`` caps the simulated resident bytes; state beyond
+    the budget counts a ``workspace_spills`` statistic (and the bytes as
+    ``workspace_spilled_bytes``), standing in for "can be paged to disk".
+    """
+
+    def __init__(self, stats: Any, memory_budget: int = 1 << 20):
+        self.stats = stats
+        self.memory_budget = memory_budget
+        self._entries: Dict[int, Any] = {}
+        self._sizes: Dict[int, int] = {}
+        self._next_handle = 1
+        self._resident_bytes = 0
+
+    def allocate(self, state: Any) -> int:
+        """Park ``state`` and return an opaque integer handle."""
+        handle = self._next_handle
+        self._next_handle += 1
+        size = estimate_size(state) if not isinstance(state, (list, tuple)) \
+            else sum(estimate_size(v) for v in state)
+        self._entries[handle] = state
+        self._sizes[handle] = size
+        self._resident_bytes += size
+        if self._resident_bytes > self.memory_budget:
+            overflow = self._resident_bytes - self.memory_budget
+            self.stats.bump("workspace_spills")
+            self.stats.bump("workspace_spilled_bytes", overflow)
+        return handle
+
+    def resolve(self, handle: int) -> Any:
+        """Return the state parked under ``handle``."""
+        try:
+            return self._entries[handle]
+        except KeyError:
+            raise ODCIError("Workspace",
+                            f"stale or unknown scan handle {handle}") from None
+
+    def free(self, handle: int) -> None:
+        """Release ``handle`` and its state."""
+        if handle in self._entries:
+            self._resident_bytes -= self._sizes.pop(handle)
+            del self._entries[handle]
+
+    @property
+    def live_handles(self) -> int:
+        """Number of outstanding handles (leak detection in tests)."""
+        return len(self._entries)
+
+
+class ScanContext:
+    """Base class for *incremental* scan state (return-state style).
+
+    Subclasses typically hold an open iterator over index tables; the
+    default :meth:`next_batch` drains ``self.rows`` produced lazily by
+    :meth:`row_source`.
+    """
+
+    def __init__(self):
+        self._source: Optional[Iterator[Any]] = None
+        self.exhausted = False
+
+    def row_source(self) -> Iterator[Any]:
+        """Yield rowids (or (rowid, aux) pairs) one at a time."""
+        raise NotImplementedError
+
+    def next_batch(self, nrows: int) -> List[Any]:
+        """Pull up to ``nrows`` items from the row source."""
+        if self._source is None:
+            self._source = self.row_source()
+        batch: List[Any] = []
+        if self.exhausted:
+            return batch
+        for item in self._source:
+            batch.append(item)
+            if len(batch) >= nrows:
+                break
+        if len(batch) < nrows:
+            self.exhausted = True
+        return batch
+
+    def close(self) -> None:
+        """Release any resources (default: drop the iterator)."""
+        self._source = None
+
+
+class PrecomputedScan(ScanContext):
+    """*Precompute All* scan state: the whole result computed at start.
+
+    "Compute the entire result set in ODCIIndexStart.  Iterate over the
+    results returning a row at a time in ODCIIndexFetch.  This is
+    generally the case for operators involving some sort of ranking over
+    the entire collection." (§2.2.3)
+    """
+
+    def __init__(self, results: List[Any]):
+        super().__init__()
+        self.results = list(results)
+        self._cursor = 0
+
+    def row_source(self) -> Iterator[Any]:
+        while self._cursor < len(self.results):
+            item = self.results[self._cursor]
+            self._cursor += 1
+            yield item
+
+    @property
+    def remaining(self) -> int:
+        """Rows not yet fetched."""
+        return len(self.results) - self._cursor

@@ -1,0 +1,77 @@
+"""Extensible optimizer statistics (the ODCIStats interface).
+
+Section 2.4.2: "The choice between the indexed implementation and the
+functional evaluation of the operator is made by the Oracle cost based
+optimizer using selectivity and cost functions" supplied by the cartridge
+and registered with ``ASSOCIATE STATISTICS``.
+
+A cartridge subclasses :class:`StatsMethods`; returning ``None`` from
+``selectivity``/``index_cost`` tells the optimizer to fall back to its
+documented defaults (exactly Oracle's behaviour when no statistics type
+is associated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.odci import ODCIEnv, ODCIIndexInfo, ODCIPredInfo
+
+
+@dataclass
+class IndexCost:
+    """Cost of a domain index scan, split like Oracle's CostType."""
+
+    io_cost: float
+    cpu_cost: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Scalar cost the planner compares across access paths."""
+        return self.io_cost + self.cpu_cost
+
+
+class StatsMethods:
+    """Base class for an indextype's statistics implementation.
+
+    All methods have permissive defaults so cartridges override only what
+    they can estimate well.
+    """
+
+    def stats_collect(self, ia: ODCIIndexInfo, env: ODCIEnv) -> Optional[dict]:
+        """ODCIStatsCollect: gather index statistics during ANALYZE.
+
+        The returned dict is stored in the catalog and passed back to the
+        other routines via ``env``-independent state; None means "no
+        statistics collected".
+        """
+        return None
+
+    def stats_delete(self, ia: ODCIIndexInfo, env: ODCIEnv) -> None:
+        """ODCIStatsDelete: drop collected statistics (default: no-op)."""
+
+    def selectivity(self, pred_info: ODCIPredInfo, args: Sequence[Any],
+                    env: ODCIEnv) -> Optional[float]:
+        """ODCIStatsSelectivity: fraction of rows satisfying the predicate.
+
+        Returns a value in [0, 1], or None to use the optimizer default.
+        """
+        return None
+
+    def index_cost(self, ia: ODCIIndexInfo, pred_info: ODCIPredInfo,
+                   selectivity: float, args: Sequence[Any],
+                   env: ODCIEnv) -> Optional[IndexCost]:
+        """ODCIStatsIndexCost: cost of evaluating the predicate by index scan.
+
+        Returns an :class:`IndexCost`, or None to use the optimizer default.
+        """
+        return None
+
+    def function_cost(self, operator_name: str, args: Sequence[Any],
+                      env: ODCIEnv) -> Optional[float]:
+        """ODCIStatsFunctionCost: per-row cost of the functional implementation.
+
+        Returns a per-invocation CPU cost, or None for the default.
+        """
+        return None

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the repro engine.
+
+Every error raised by the engine derives from :class:`DatabaseError`, so
+applications can catch one base class.  The subclasses mirror the error
+categories a real server distinguishes: syntax/parse errors, semantic
+(catalog) errors, runtime evaluation errors, transaction errors, and the
+extensible-indexing specific errors the paper's framework defines
+(callback restriction violations, ODCI routine failures).
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class ParseError(DatabaseError):
+    """SQL text could not be lexed or parsed."""
+
+    def __init__(self, message: str, position: int = -1, sql: str = ""):
+        super().__init__(message)
+        self.position = position
+        self.sql = sql
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position >= 0 and self.sql:
+            snippet = self.sql[max(0, self.position - 20):self.position + 20]
+            return f"{base} (near position {self.position}: ...{snippet!r}...)"
+        return base
+
+
+class CatalogError(DatabaseError):
+    """A schema object is missing, duplicated, or used inconsistently."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value or expression has the wrong SQL type for its context."""
+
+
+class ConstraintError(DatabaseError):
+    """A declared constraint (NOT NULL, UNIQUE, PRIMARY KEY) was violated."""
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a statement."""
+
+
+class PrivilegeError(DatabaseError):
+    """The session user lacks the privilege for the attempted operation."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition or conflicting lock request."""
+
+
+class LockTimeoutError(TransactionError):
+    """A lock could not be acquired."""
+
+
+class StorageError(DatabaseError):
+    """Low-level storage failure (bad rowid, LOB out of range, ...)."""
+
+
+class InvalidRowIdError(StorageError):
+    """A rowid does not identify a live row."""
+
+
+# ---------------------------------------------------------------------------
+# Extensible-indexing errors (the framework of the paper)
+# ---------------------------------------------------------------------------
+
+class ExtensibleIndexError(DatabaseError):
+    """Base class for errors raised by the extensible indexing framework."""
+
+
+class ODCIError(ExtensibleIndexError):
+    """A user-supplied ODCIIndex routine raised or returned a failure."""
+
+    def __init__(self, routine: str, message: str):
+        super().__init__(f"{routine}: {message}")
+        self.routine = routine
+
+
+class CallbackViolation(ExtensibleIndexError):
+    """An indextype routine issued a SQL callback its phase forbids.
+
+    Section 2.5 of the paper: maintenance routines cannot execute DDL nor
+    update the base table; scan routines can only execute queries.
+    """
+
+
+class OperatorBindingError(ExtensibleIndexError):
+    """No operator binding matches the call-site argument types."""
+
+
+class IndextypeError(ExtensibleIndexError):
+    """Indextype definition or use is inconsistent (unsupported operator,
+    missing implementation type, ...)."""

@@ -1,0 +1,114 @@
+"""Bitmap index: per-value rowid bitmaps for low-cardinality columns.
+
+Oracle8i's second built-in scheme (§3.1: "B-tree and bitmap indexes").
+Rowids are mapped to dense bit positions; per-key bitmaps are Python
+ints, so AND/OR/NOT of predicates are single big-int operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class BitmapIndex:
+    """Maps each distinct key to a bitmap over rows.
+
+    The index keeps its own rowid <-> bit-position mapping; positions are
+    never reused so bitmaps of concurrent scans stay stable.
+    """
+
+    def __init__(self, touch: Optional[Callable[[int], None]] = None):
+        self._touch = touch
+        self._bitmaps: Dict[Any, int] = {}
+        self._position_of: Dict[Any, int] = {}
+        self._rowid_at: List[Any] = []
+        self._live = 0  # live (key, rowid) entries
+
+    def _visit(self, nodes: int = 1) -> None:
+        if self._touch is not None:
+            self._touch(nodes)
+
+    @property
+    def entry_count(self) -> int:
+        """Number of live (key, rowid) entries."""
+        return self._live
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct keys with at least one live row."""
+        return sum(1 for bm in self._bitmaps.values() if bm)
+
+    def _position(self, rowid: Any) -> int:
+        pos = self._position_of.get(rowid)
+        if pos is None:
+            pos = len(self._rowid_at)
+            self._position_of[rowid] = pos
+            self._rowid_at.append(rowid)
+        return pos
+
+    def insert(self, key: Any, rowid: Any) -> None:
+        """Set the bit for ``rowid`` in the bitmap for ``key``."""
+        self._visit()
+        pos = self._position(rowid)
+        bitmap = self._bitmaps.get(key, 0)
+        bit = 1 << pos
+        if not bitmap & bit:
+            self._live += 1
+        self._bitmaps[key] = bitmap | bit
+
+    def delete(self, key: Any, rowid: Any) -> bool:
+        """Clear the bit for ``rowid`` under ``key``; True if it was set."""
+        self._visit()
+        pos = self._position_of.get(rowid)
+        if pos is None or key not in self._bitmaps:
+            return False
+        bit = 1 << pos
+        if not self._bitmaps[key] & bit:
+            return False
+        self._bitmaps[key] &= ~bit
+        self._live -= 1
+        return True
+
+    def bitmap_for(self, key: Any) -> int:
+        """Return the raw bitmap int for ``key`` (0 when absent)."""
+        self._visit()
+        return self._bitmaps.get(key, 0)
+
+    def search(self, key: Any) -> List[Any]:
+        """Return the rowids whose bit is set under ``key``."""
+        return list(self._iter_bitmap(self.bitmap_for(key)))
+
+    def contains(self, key: Any) -> bool:
+        """True when any row is indexed under ``key``."""
+        return self.bitmap_for(key) != 0
+
+    def search_any_of(self, keys: List[Any]) -> List[Any]:
+        """OR the bitmaps of ``keys`` and return the matching rowids."""
+        combined = 0
+        for key in keys:
+            combined |= self.bitmap_for(key)
+        return list(self._iter_bitmap(combined))
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, rowid) for every live entry."""
+        for key, bitmap in self._bitmaps.items():
+            for rowid in self._iter_bitmap(bitmap):
+                yield key, rowid
+
+    def clear(self) -> None:
+        """Remove every entry and forget rowid positions."""
+        self._bitmaps.clear()
+        self._position_of.clear()
+        self._rowid_at.clear()
+        self._live = 0
+
+    def _iter_bitmap(self, bitmap: int) -> Iterator[Any]:
+        pos = 0
+        while bitmap:
+            if bitmap & 1:
+                yield self._rowid_at[pos]
+            bitmap >>= 1
+            pos += 1

@@ -1,0 +1,252 @@
+"""A B+-tree supporting unique and non-unique keys and range scans.
+
+This is the engine's native ordered access method (the paper's baseline
+"B+-Trees [Com79]") and the storage structure behind index-organized
+tables.  Leaves are chained for range scans; interior nodes hold
+separator keys.  Deletion empties slots without rebalancing (empty nodes
+are unlinked); the tree stays correct, and since this engine simulates
+I/O rather than bytes on disk, occupancy is not the point.
+
+Node visits are charged to an optional ``touch`` callback so index
+traffic shows up in the same :class:`~repro.storage.buffer.IOStats`
+counters as heap traffic.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConstraintError, StorageError
+
+#: Maximum entries per node before a split.
+DEFAULT_ORDER = 64
+
+
+class _Node:
+    __slots__ = ("leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        self.keys: List[Any] = []
+        # leaf: values[i] is the payload list for keys[i]
+        self.values: List[List[Any]] = []
+        # interior: children[i] covers keys < keys[i]; len(children) == len(keys)+1
+        self.children: List["_Node"] = []
+        self.next_leaf: Optional["_Node"] = None
+
+
+class BTree:
+    """B+-tree mapping orderable keys to payload values.
+
+    For ``unique=True`` a duplicate insert raises
+    :class:`~repro.errors.ConstraintError`; otherwise each key holds a
+    list of payloads in insertion order.
+    """
+
+    def __init__(self, order: int = DEFAULT_ORDER, unique: bool = False,
+                 touch: Optional[Callable[[int], None]] = None):
+        if order < 4:
+            raise StorageError("btree order must be >= 4")
+        self.order = order
+        self.unique = unique
+        self._touch = touch
+        self._root = _Node(leaf=True)
+        self._height = 1
+        self._count = 0  # number of (key, value) entries
+
+    # -- instrumentation -------------------------------------------------
+
+    def _visit(self, nodes: int = 1) -> None:
+        if self._touch is not None:
+            self._touch(nodes)
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of (key, value) entries."""
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Tree height in levels (1 = root is a leaf)."""
+        return self._height
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a (key, value) entry; splits nodes as needed."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+        self._count += 1
+
+    def delete(self, key: Any, value: Any = None) -> bool:
+        """Delete one entry for ``key``.
+
+        With ``value`` given, removes that specific payload (needed for
+        non-unique indexes, where one key maps to many rowids); otherwise
+        removes the whole key.  Returns True when something was removed.
+        """
+        node = self._leaf_for(key)
+        while node is not None:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx >= len(node.keys):
+                node = node.next_leaf
+                self._visit()
+                continue
+            if node.keys[idx] != key:
+                return False
+            payloads = node.values[idx]
+            if value is None:
+                removed = len(payloads)
+                del node.keys[idx]
+                del node.values[idx]
+                self._count -= removed
+                return removed > 0
+            try:
+                payloads.remove(value)
+            except ValueError:
+                return False
+            if not payloads:
+                del node.keys[idx]
+                del node.values[idx]
+            self._count -= 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._root = _Node(leaf=True)
+        self._height = 1
+        self._count = 0
+
+    # -- lookup -------------------------------------------------------------
+
+    def search(self, key: Any) -> List[Any]:
+        """Return the list of payloads stored under ``key`` (possibly empty)."""
+        node = self._leaf_for(key)
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return list(node.values[idx])
+        return []
+
+    def contains(self, key: Any) -> bool:
+        """True when at least one entry exists for ``key``."""
+        return bool(self.search(key))
+
+    def range_scan(self, low: Any = None, high: Any = None,
+                   low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) pairs with ``low <= key <= high`` in key order.
+
+        Either bound may be None for an open end; inclusivity is
+        controlled per bound (needed for ``>`` vs ``>=`` predicates).
+        """
+        node = self._root
+        self._visit()
+        while not node.leaf:
+            if low is None:
+                node = node.children[0]
+            else:
+                idx = bisect.bisect_right(node.keys, low)
+                node = node.children[idx]
+            self._visit()
+        while node is not None:
+            for idx, key in enumerate(node.keys):
+                if low is not None:
+                    if key < low or (not low_inclusive and key == low):
+                        continue
+                if high is not None:
+                    if key > high or (not high_inclusive and key == high):
+                        return
+                for payload in node.values[idx]:
+                    yield key, payload
+            node = node.next_leaf
+            if node is not None:
+                self._visit()
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield every (key, value) entry in key order."""
+        return self.range_scan()
+
+    def min_key(self) -> Optional[Any]:
+        """Smallest key in the tree, or None when empty."""
+        for key, _ in self.range_scan():
+            return key
+        return None
+
+    def max_key(self) -> Optional[Any]:
+        """Largest key in the tree, or None when empty (walks right spine)."""
+        node = self._root
+        self._visit()
+        while not node.leaf:
+            node = node.children[-1]
+            self._visit()
+        # rightmost leaf may have been emptied by deletes; fall back to scan
+        if node.keys:
+            return node.keys[-1]
+        best = None
+        for key, _ in self.range_scan():
+            best = key
+        return best
+
+    # -- internals ----------------------------------------------------------
+
+    def _leaf_for(self, key: Any) -> _Node:
+        node = self._root
+        self._visit()
+        while not node.leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+            self._visit()
+        return node
+
+    def _insert(self, node: _Node, key: Any,
+                value: Any) -> Optional[Tuple[Any, _Node]]:
+        self._visit()
+        if node.leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if self.unique:
+                    raise ConstraintError(f"duplicate key {key!r} in unique index")
+                node.values[idx].append(value)
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, [value])
+        else:
+            idx = bisect.bisect_right(node.keys, key)
+            split = self._insert(node.children[idx], key, value)
+            if split is None:
+                return None
+            sep, right = split
+            node.keys.insert(idx, sep)
+            node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> Tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(leaf=node.leaf)
+        if node.leaf:
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+            return right.keys[0], right
+        sep = node.keys[mid]
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right

@@ -1,0 +1,110 @@
+"""Hash index: equality-only access method.
+
+The paper's example of a built-in scheme ("the equality operator can be
+evaluated using a hash index", §1).  Buckets rehash when the load factor
+is exceeded; bucket visits are charged through the same optional
+``touch`` hook as the B-tree so the optimizer's cost numbers stay
+comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConstraintError
+
+
+class HashIndex:
+    """Equality index mapping hashable keys to payload lists."""
+
+    def __init__(self, initial_buckets: int = 16, unique: bool = False,
+                 touch: Optional[Callable[[int], None]] = None):
+        self.unique = unique
+        self._touch = touch
+        self._bucket_count = max(4, initial_buckets)
+        self._buckets: List[List[Tuple[Any, List[Any]]]] = [
+            [] for _ in range(self._bucket_count)]
+        self._count = 0
+
+    def _visit(self, nodes: int = 1) -> None:
+        if self._touch is not None:
+            self._touch(nodes)
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of (key, value) entries."""
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _bucket(self, key: Any) -> List[Tuple[Any, List[Any]]]:
+        self._visit()
+        return self._buckets[hash(key) % self._bucket_count]
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a (key, value) entry, rehashing at load factor 4."""
+        bucket = self._bucket(key)
+        for existing_key, payloads in bucket:
+            if existing_key == key:
+                if self.unique:
+                    raise ConstraintError(
+                        f"duplicate key {key!r} in unique hash index")
+                payloads.append(value)
+                self._count += 1
+                return
+        bucket.append((key, [value]))
+        self._count += 1
+        if self._count > 4 * self._bucket_count:
+            self._rehash()
+
+    def delete(self, key: Any, value: Any = None) -> bool:
+        """Delete one payload (or the whole key when ``value`` is None)."""
+        bucket = self._bucket(key)
+        for i, (existing_key, payloads) in enumerate(bucket):
+            if existing_key != key:
+                continue
+            if value is None:
+                self._count -= len(payloads)
+                del bucket[i]
+                return True
+            try:
+                payloads.remove(value)
+            except ValueError:
+                return False
+            if not payloads:
+                del bucket[i]
+            self._count -= 1
+            return True
+        return False
+
+    def search(self, key: Any) -> List[Any]:
+        """Return the payloads stored under ``key`` (possibly empty)."""
+        for existing_key, payloads in self._bucket(key):
+            if existing_key == key:
+                return list(payloads)
+        return []
+
+    def contains(self, key: Any) -> bool:
+        """True when at least one entry exists for ``key``."""
+        return bool(self.search(key))
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Yield every (key, value) entry in arbitrary order."""
+        for bucket in self._buckets:
+            for key, payloads in bucket:
+                for payload in payloads:
+                    yield key, payload
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._buckets = [[] for _ in range(self._bucket_count)]
+        self._count = 0
+
+    def _rehash(self) -> None:
+        entries = list(self.items())
+        self._bucket_count *= 2
+        self._buckets = [[] for _ in range(self._bucket_count)]
+        self._count = 0
+        for key, payload in entries:
+            self.insert(key, payload)

@@ -1,0 +1,5 @@
+"""SQL engine: lexer, parser, catalog, planner, executor, session facade."""
+
+from repro.sql.session import Database, Cursor
+
+__all__ = ["Database", "Cursor"]

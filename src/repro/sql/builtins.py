@@ -1,0 +1,100 @@
+"""Built-in SQL functions registered in every database's catalog."""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.errors import ExecutionError
+from repro.sql.catalog import Catalog, SQLFunction
+from repro.types.values import NULL, is_null
+
+
+def _null_safe(fn):
+    """Wrap a function so any NULL argument yields NULL."""
+    def wrapper(*args: Any) -> Any:
+        if any(is_null(a) for a in args):
+            return NULL
+        return fn(*args)
+    return wrapper
+
+
+def _substr(value: str, start: int, length: Any = None) -> str:
+    # Oracle semantics: 1-based; negative start counts from the end.
+    if start > 0:
+        begin = start - 1
+    elif start < 0:
+        begin = len(value) + start
+    else:
+        begin = 0
+    if begin < 0:
+        begin = 0
+    if length is None:
+        return value[begin:]
+    if length <= 0:
+        return ""
+    return value[begin:begin + int(length)]
+
+
+def _instr(haystack: str, needle: str, start: int = 1) -> int:
+    pos = haystack.find(needle, max(0, int(start) - 1))
+    return pos + 1
+
+
+def _nvl(value: Any, default: Any) -> Any:
+    return default if is_null(value) else value
+
+
+def _coalesce(*args: Any) -> Any:
+    for arg in args:
+        if not is_null(arg):
+            return arg
+    return NULL
+
+
+def _round(value: float, digits: int = 0) -> float:
+    result = round(value + 0.0, int(digits))
+    return int(result) if digits <= 0 else result
+
+
+def _to_number(value: Any) -> Any:
+    try:
+        if isinstance(value, str) and any(c in value for c in ".eE"):
+            return float(value)
+        return int(value)
+    except (TypeError, ValueError):
+        raise ExecutionError(f"cannot convert {value!r} to a number") from None
+
+
+def register_builtins(catalog: Catalog) -> None:
+    """Install the built-in scalar functions into ``catalog``."""
+    cheap = 0.0001
+    functions = {
+        "upper": _null_safe(lambda s: str(s).upper()),
+        "lower": _null_safe(lambda s: str(s).lower()),
+        "length": _null_safe(lambda s: len(s)),
+        "substr": _null_safe(_substr),
+        "instr": _null_safe(_instr),
+        "trim": _null_safe(lambda s: str(s).strip()),
+        "ltrim": _null_safe(lambda s: str(s).lstrip()),
+        "rtrim": _null_safe(lambda s: str(s).rstrip()),
+        "replace": _null_safe(lambda s, a, b="": str(s).replace(a, b)),
+        "concat": _null_safe(lambda a, b: f"{a}{b}"),
+        "abs": _null_safe(abs),
+        "mod": _null_safe(lambda a, b: a % b),
+        "power": _null_safe(lambda a, b: a ** b),
+        "sqrt": _null_safe(math.sqrt),
+        "floor": _null_safe(lambda v: int(math.floor(v))),
+        "ceil": _null_safe(lambda v: int(math.ceil(v))),
+        "round": _null_safe(_round),
+        "sign": _null_safe(lambda v: (v > 0) - (v < 0)),
+        "least": _null_safe(min),
+        "greatest": _null_safe(max),
+        "to_number": _null_safe(_to_number),
+        "to_char": _null_safe(lambda v: str(v)),
+    }
+    for name, fn in functions.items():
+        catalog.add_function(SQLFunction(name=name, fn=fn, cost=cheap))
+    # NVL/COALESCE must see NULLs, so they are registered unwrapped.
+    catalog.add_function(SQLFunction(name="nvl", fn=_nvl, cost=cheap))
+    catalog.add_function(SQLFunction(name="coalesce", fn=_coalesce, cost=cheap))

@@ -1,0 +1,358 @@
+"""The catalog (data dictionary).
+
+Holds every schema object: tables (with their storage), indexes (native
+and domain), user-defined operators, indextypes, registered functions and
+implementation types, object types, and optimizer statistics.  All names
+are case-insensitive (stored lower-cased).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
+
+from repro.core.domain_index import DomainIndex
+from repro.core.indextype import Indextype
+from repro.core.odci import IndexMethods
+from repro.core.operators import Operator
+from repro.core.stats import StatsMethods
+from repro.errors import CatalogError
+from repro.index import BitmapIndex, BTree, HashIndex
+from repro.storage.heap import HeapTable
+from repro.storage.iot import IndexOrganizedTable
+from repro.types.datatypes import DataType
+from repro.types.objects import ObjectType
+
+
+@dataclass
+class ColumnInfo:
+    """One column of a table: name, SQL type, NOT NULL flag."""
+
+    name: str
+    datatype: DataType
+    not_null: bool = False
+
+
+@dataclass
+class ColumnStats:
+    """ANALYZE-collected statistics for one column."""
+
+    ndv: int = 0
+    null_count: int = 0
+    min_value: Any = None
+    max_value: Any = None
+
+
+@dataclass
+class TableStats:
+    """ANALYZE-collected statistics for one table."""
+
+    row_count: int = 0
+    page_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+    analyzed: bool = False
+
+
+Storage = Union[HeapTable, IndexOrganizedTable]
+
+
+@dataclass
+class TableDef:
+    """Catalog record of a table."""
+
+    name: str
+    columns: List[ColumnInfo]
+    storage: Storage
+    primary_key: List[str] = field(default_factory=list)
+    is_iot: bool = False
+    index_names: List[str] = field(default_factory=list)
+    stats: TableStats = field(default_factory=TableStats)
+    #: the user who created the table ("main" is the superuser)
+    owner: str = "main"
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+    def column_position(self, column: str) -> int:
+        """0-based position of ``column`` (case-insensitive)."""
+        target = column.lower()
+        for i, col in enumerate(self.columns):
+            if col.name.lower() == target:
+                return i
+        raise CatalogError(f"table {self.name} has no column {column!r}")
+
+    def column_info(self, column: str) -> ColumnInfo:
+        """The :class:`ColumnInfo` for ``column``."""
+        return self.columns[self.column_position(column)]
+
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    @property
+    def live_row_count(self) -> int:
+        """Current row count straight from storage (not ANALYZE)."""
+        return self.storage.row_count
+
+
+NativeStructure = Union[BTree, HashIndex, BitmapIndex]
+
+
+@dataclass
+class IndexDef:
+    """Catalog record of an index — native (btree/hash/bitmap) or domain."""
+
+    name: str
+    table_name: str
+    column_names: Tuple[str, ...]
+    kind: str  # "btree" | "hash" | "bitmap" | "domain"
+    unique: bool = False
+    structure: Optional[NativeStructure] = None
+    domain: Optional[DomainIndex] = None
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+    @property
+    def is_domain(self) -> bool:
+        return self.kind == "domain"
+
+
+@dataclass
+class SQLFunction:
+    """A registered SQL-visible function backed by a Python callable.
+
+    ``cost`` is the optimizer's per-invocation CPU estimate, used when
+    deciding functional vs index evaluation of operators (§2.4.2).
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    cost: float = 1.0
+    aggregate: bool = False
+
+    @property
+    def key(self) -> str:
+        return self.name.lower()
+
+
+class Catalog:
+    """All schema objects of one database."""
+
+    def __init__(self):
+        self.tables: Dict[str, TableDef] = {}
+        self.indexes: Dict[str, IndexDef] = {}
+        self.operators: Dict[str, Operator] = {}
+        self.indextypes: Dict[str, Indextype] = {}
+        self.functions: Dict[str, SQLFunction] = {}
+        self.object_types: Dict[str, ObjectType] = {}
+        #: registered IndexMethods implementation classes, by name
+        self.method_types: Dict[str, Type[IndexMethods]] = {}
+        #: registered StatsMethods classes, by name
+        self.stats_types: Dict[str, Type[StatsMethods]] = {}
+        #: domain-index statistics collected via ODCIStatsCollect
+        self.domain_index_stats: Dict[str, dict] = {}
+        #: function name -> stats type name (ASSOCIATE ... WITH FUNCTIONS)
+        self.function_stats: Dict[str, str] = {}
+        #: (user, table_key) -> set of granted privileges (§2.5)
+        self.grants: Dict[Tuple[str, str], set] = {}
+        #: optional name -> TableDef hook for synthesized dictionary views
+        self.view_provider = None
+
+    # -- privileges ------------------------------------------------------
+
+    def grant(self, user: str, table_key: str, privileges) -> None:
+        """Add table privileges for ``user``."""
+        key = (user.lower(), table_key.lower())
+        self.grants.setdefault(key, set()).update(privileges)
+
+    def revoke(self, user: str, table_key: str, privileges) -> None:
+        """Remove table privileges for ``user``."""
+        key = (user.lower(), table_key.lower())
+        held = self.grants.get(key)
+        if held is not None:
+            held.difference_update(privileges)
+            if not held:
+                del self.grants[key]
+
+    def has_grant(self, user: str, table_key: str, privilege: str) -> bool:
+        """True when ``user`` holds ``privilege`` on the table."""
+        return privilege in self.grants.get(
+            (user.lower(), table_key.lower()), ())
+
+    # -- tables ---------------------------------------------------------
+
+    def add_table(self, table: TableDef) -> None:
+        if table.key in self.tables:
+            raise CatalogError(f"table {table.name} already exists")
+        self.tables[table.key] = table
+
+    def get_table(self, name: str) -> TableDef:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            if self.view_provider is not None:
+                view = self.view_provider(name)
+                if view is not None:
+                    return view
+            raise CatalogError(f"no such table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def drop_table(self, name: str) -> TableDef:
+        table = self.get_table(name)
+        del self.tables[table.key]
+        return table
+
+    def indexes_on(self, table_name: str) -> List[IndexDef]:
+        """Every index defined on ``table_name``."""
+        key = table_name.lower()
+        return [idx for idx in self.indexes.values()
+                if idx.table_name.lower() == key]
+
+    # -- indexes ----------------------------------------------------------
+
+    def add_index(self, index: IndexDef) -> None:
+        if index.key in self.indexes:
+            raise CatalogError(f"index {index.name} already exists")
+        self.indexes[index.key] = index
+        table = self.get_table(index.table_name)
+        table.index_names.append(index.name)
+
+    def get_index(self, name: str) -> IndexDef:
+        try:
+            return self.indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such index {name!r}") from None
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self.indexes
+
+    def drop_index(self, name: str) -> IndexDef:
+        index = self.get_index(name)
+        del self.indexes[index.key]
+        table = self.tables.get(index.table_name.lower())
+        if table and index.name in table.index_names:
+            table.index_names.remove(index.name)
+        self.domain_index_stats.pop(index.key, None)
+        return index
+
+    # -- operators -----------------------------------------------------------
+
+    def add_operator(self, operator: Operator) -> None:
+        if operator.key in self.operators:
+            raise CatalogError(f"operator {operator.name} already exists")
+        self.operators[operator.key] = operator
+
+    def get_operator(self, name: str) -> Operator:
+        try:
+            return self.operators[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such operator {name!r}") from None
+
+    def has_operator(self, name: str) -> bool:
+        return name.lower() in self.operators
+
+    def drop_operator(self, name: str) -> Operator:
+        operator = self.get_operator(name)
+        del self.operators[operator.key]
+        return operator
+
+    # -- indextypes -------------------------------------------------------------
+
+    def add_indextype(self, indextype: Indextype) -> None:
+        if indextype.key in self.indextypes:
+            raise CatalogError(f"indextype {indextype.name} already exists")
+        self.indextypes[indextype.key] = indextype
+
+    def get_indextype(self, name: str) -> Indextype:
+        try:
+            return self.indextypes[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such indextype {name!r}") from None
+
+    def has_indextype(self, name: str) -> bool:
+        return name.lower() in self.indextypes
+
+    def drop_indextype(self, name: str) -> Indextype:
+        indextype = self.get_indextype(name)
+        used_by = [idx.name for idx in self.indexes.values()
+                   if idx.is_domain and idx.domain
+                   and idx.domain.indextype_name.lower() == indextype.key]
+        if used_by:
+            raise CatalogError(
+                f"indextype {indextype.name} is used by domain index(es) "
+                f"{used_by}; drop them first (or use FORCE)")
+        del self.indextypes[indextype.key]
+        return indextype
+
+    def indextypes_supporting(self, operator_name: str) -> List[Indextype]:
+        """Every indextype that lists ``operator_name`` as supported."""
+        return [it for it in self.indextypes.values()
+                if it.supports(operator_name)]
+
+    # -- functions -------------------------------------------------------------
+
+    def add_function(self, function: SQLFunction) -> None:
+        self.functions[function.key] = function
+
+    def get_function(self, name: str) -> SQLFunction:
+        try:
+            return self.functions[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such function {name!r}") from None
+
+    def has_function(self, name: str) -> bool:
+        return name.lower() in self.functions
+
+    # -- object types ----------------------------------------------------------
+
+    def add_object_type(self, object_type: ObjectType) -> None:
+        key = object_type.type_name.lower()
+        if key in self.object_types:
+            raise CatalogError(f"type {object_type.type_name} already exists")
+        self.object_types[key] = object_type
+
+    def get_object_type(self, name: str) -> ObjectType:
+        try:
+            return self.object_types[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no such object type {name!r}") from None
+
+    def has_object_type(self, name: str) -> bool:
+        return name.lower() in self.object_types
+
+    # -- implementation registries -----------------------------------------------
+
+    def register_method_type(self, name: str,
+                             cls: Type[IndexMethods]) -> None:
+        """Register an ODCIIndex implementation class under ``name``."""
+        if not (isinstance(cls, type) and issubclass(cls, IndexMethods)):
+            raise CatalogError(
+                f"{name}: implementation must subclass IndexMethods")
+        self.method_types[name.lower()] = cls
+
+    def get_method_type(self, name: str) -> Type[IndexMethods]:
+        try:
+            return self.method_types[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no registered implementation type {name!r}; call "
+                f"db.register_methods({name!r}, cls) first") from None
+
+    def register_stats_type(self, name: str, cls: Type[StatsMethods]) -> None:
+        """Register an ODCIStats implementation class under ``name``."""
+        if not (isinstance(cls, type) and issubclass(cls, StatsMethods)):
+            raise CatalogError(
+                f"{name}: statistics type must subclass StatsMethods")
+        self.stats_types[name.lower()] = cls
+
+    def get_stats_type(self, name: str) -> Type[StatsMethods]:
+        try:
+            return self.stats_types[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no registered statistics type {name!r}") from None

@@ -1,0 +1,134 @@
+"""Data-dictionary views: USER_TABLES, USER_INDEXES, USER_OPERATORS,
+USER_INDEXTYPES.
+
+§2.4.1: "When a domain index is created, the Oracle8i server creates the
+data dictionary entries pertaining to the domain index".  These views
+expose those entries (and the rest of the catalog) to ordinary SELECTs.
+Each view is synthesized on access as a read-only snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.sql.catalog import Catalog, ColumnInfo, TableDef
+from repro.storage.heap import RowId
+from repro.types.datatypes import BOOLEAN, INTEGER, VARCHAR2
+
+#: Names served by :func:`dictionary_view`.
+VIEW_NAMES = ("user_tables", "user_indexes", "user_operators",
+              "user_indextypes")
+
+
+class _SnapshotStorage:
+    """Read-only row storage backing one dictionary view snapshot."""
+
+    _next_segment = 1_000_000  # far away from real segments
+
+    def __init__(self, rows: List[List[Any]]):
+        self._rows = rows
+        self.segment_id = _SnapshotStorage._next_segment
+        _SnapshotStorage._next_segment += 1
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    @property
+    def page_count(self) -> int:
+        return max(1, len(self._rows) // 50)
+
+    def scan(self) -> Iterator[Tuple[RowId, List[Any]]]:
+        for slot, row in enumerate(self._rows):
+            yield RowId(self.segment_id, 0, slot), row
+
+    def fetch_or_none(self, rowid: RowId) -> Optional[List[Any]]:
+        if rowid.segment_id != self.segment_id:
+            return None
+        if 0 <= rowid.slot < len(self._rows):
+            return self._rows[rowid.slot]
+        return None
+
+    def _read_only(self, *args: Any, **kwargs: Any):
+        raise StorageError("data dictionary views are read-only")
+
+    insert = update = delete = truncate = undelete = _read_only
+
+
+def dictionary_view(catalog: Catalog, name: str) -> Optional[TableDef]:
+    """Build the named dictionary view, or None for unknown names."""
+    key = name.lower()
+    if key == "user_tables":
+        return _user_tables(catalog)
+    if key == "user_indexes":
+        return _user_indexes(catalog)
+    if key == "user_operators":
+        return _user_operators(catalog)
+    if key == "user_indextypes":
+        return _user_indextypes(catalog)
+    return None
+
+
+def _view(name: str, columns: List[Tuple[str, Any]],
+          rows: List[List[Any]]) -> TableDef:
+    return TableDef(
+        name=name,
+        columns=[ColumnInfo(cname, dtype) for cname, dtype in columns],
+        storage=_SnapshotStorage(rows))
+
+
+def _user_tables(catalog: Catalog) -> TableDef:
+    rows = [[t.name, t.owner, t.storage.row_count, t.is_iot,
+             len(t.columns)]
+            for t in sorted(catalog.tables.values(), key=lambda t: t.key)]
+    return _view("user_tables",
+                 [("table_name", VARCHAR2), ("owner", VARCHAR2),
+                  ("num_rows", INTEGER), ("iot", BOOLEAN),
+                  ("column_count", INTEGER)],
+                 rows)
+
+
+def _user_indexes(catalog: Catalog) -> TableDef:
+    rows = []
+    for index in sorted(catalog.indexes.values(), key=lambda i: i.key):
+        indextype = parameters = None
+        if index.is_domain and index.domain is not None:
+            indextype = index.domain.indextype_name
+            parameters = index.domain.parameters
+        rows.append([index.name, index.table_name,
+                     ",".join(index.column_names), index.kind.upper(),
+                     index.unique, indextype, parameters])
+    return _view("user_indexes",
+                 [("index_name", VARCHAR2), ("table_name", VARCHAR2),
+                  ("columns", VARCHAR2), ("index_type", VARCHAR2),
+                  ("uniqueness", BOOLEAN), ("domain_indextype", VARCHAR2),
+                  ("parameters", VARCHAR2)],
+                 rows)
+
+
+def _user_operators(catalog: Catalog) -> TableDef:
+    rows = []
+    for operator in sorted(catalog.operators.values(),
+                           key=lambda o: o.key):
+        bindings = "; ".join(b.signature() for b in operator.bindings)
+        rows.append([operator.name, len(operator.bindings), bindings,
+                     operator.ancillary_to])
+    return _view("user_operators",
+                 [("operator_name", VARCHAR2), ("binding_count", INTEGER),
+                  ("bindings", VARCHAR2), ("ancillary_to", VARCHAR2)],
+                 rows)
+
+
+def _user_indextypes(catalog: Catalog) -> TableDef:
+    rows = []
+    for indextype in sorted(catalog.indextypes.values(),
+                            key=lambda i: i.key):
+        rows.append([indextype.name,
+                     ",".join(indextype.supported_operator_names()),
+                     indextype.implementation_name,
+                     indextype.stats_name])
+    return _view("user_indextypes",
+                 [("indextype_name", VARCHAR2), ("operators", VARCHAR2),
+                  ("implementation", VARCHAR2), ("statistics", VARCHAR2)],
+                 rows)

@@ -1,0 +1,445 @@
+"""The iterator executor.
+
+Interprets :class:`~repro.sql.planner.QueryPlan` trees as Python
+generators over :class:`~repro.sql.expressions.RowContext`.  Everything
+streams: a LIMIT or a consumer that stops early never pulls the rest of
+the pipeline — which is precisely the §3.2.1 "pipelined fashion ... all
+rows that satisfy the text predicate do not have to be identified before
+the first result row can be returned" behaviour the E1 benchmark
+measures via time-to-first-row.
+
+The :meth:`Executor._iter_domain_scan` method is the server side of the
+ODCI scan protocol: it builds the ODCIPredInfo/ODCIQueryInfo descriptors,
+invokes ``index_start``, re-enters ``index_fetch`` batch by batch until
+the cartridge reports the null-terminator, fetches the streamed rowids
+from the base table, and finally calls ``index_close``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.callbacks import CallbackPhase
+from repro.core.odci import ODCIPredInfo, ODCIQueryInfo
+from repro.errors import ExecutionError, ODCIError
+from repro.sql import ast_nodes as ast
+from repro.sql import planner as pl
+from repro.sql.catalog import TableDef
+from repro.sql.expressions import (
+    AggregateCall, Evaluator, RowContext, aggregate_key)
+from repro.types.values import NULL, is_null, sql_compare
+
+
+class Executor:
+    """Runs query plans against the database's storage and framework."""
+
+    def __init__(self, db: Any):
+        self.db = db
+        self.catalog = db.catalog
+        self.evaluator = Evaluator(db.catalog)
+
+    # -- public entry points -----------------------------------------------
+
+    def run(self, plan: pl.QueryPlan) -> Iterator[Tuple[Any, ...]]:
+        """Yield output tuples for the plan (streaming)."""
+        root = plan.root
+        if isinstance(root, pl.LimitNode):
+            yield from self._apply_limit(root)
+            return
+        yield from self._project_rows(root)
+
+    def _apply_limit(self, node: pl.LimitNode) -> Iterator[Tuple[Any, ...]]:
+        produced = 0
+        skipped = 0
+        for row in self._project_rows(node.child):
+            if node.offset and skipped < node.offset:
+                skipped += 1
+                continue
+            if node.limit is not None and produced >= node.limit:
+                return
+            produced += 1
+            yield row
+
+    def _project_rows(self, node: pl.PlanNode) -> Iterator[Tuple[Any, ...]]:
+        if isinstance(node, pl.DistinctNode):
+            seen = set()
+            for row in self._project_rows(node.child):
+                key = tuple(repr(v) for v in row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield row
+            return
+        if not isinstance(node, pl.ProjectNode):
+            raise ExecutionError(f"expected projection at plan top, got "
+                                 f"{node.label()}")
+        for ctx in self.iter_node(node.child):
+            yield tuple(self.evaluator.evaluate(expr, ctx)
+                        for expr, _ in node.items)
+
+    # -- node dispatch ----------------------------------------------------------
+
+    def iter_node(self, node: pl.PlanNode) -> Iterator[RowContext]:
+        """Yield row contexts for any relational plan node."""
+        if isinstance(node, pl.FullScan):
+            return self._iter_full_scan(node)
+        if isinstance(node, pl.BTreeScan):
+            return self._iter_btree_scan(node)
+        if isinstance(node, pl.HashScan):
+            return self._iter_hash_scan(node)
+        if isinstance(node, pl.BitmapScan):
+            return self._iter_bitmap_scan(node)
+        if isinstance(node, pl.IOTPrefixScan):
+            return self._iter_iot_prefix_scan(node)
+        if isinstance(node, pl.DomainScan):
+            return self._iter_domain_scan(node)
+        if isinstance(node, pl.FilterNode):
+            return self._iter_filter(node)
+        if isinstance(node, pl.NestedLoopJoin):
+            return self._iter_nl_join(node)
+        if isinstance(node, pl.IndexedNLJoin):
+            return self._iter_indexed_nl_join(node)
+        if isinstance(node, pl.DomainNLJoin):
+            return self._iter_domain_nl_join(node)
+        if isinstance(node, pl.HashJoin):
+            return self._iter_hash_join(node)
+        if isinstance(node, pl.SortNode):
+            return self._iter_sort(node)
+        if isinstance(node, pl.GroupByNode):
+            return self._iter_group_by(node)
+        raise ExecutionError(f"cannot execute plan node {node.label()}")
+
+    # -- scans ---------------------------------------------------------------
+
+    def _make_ctx(self, table: TableDef, binding: str, rowid: Any,
+                  row: List[Any]) -> RowContext:
+        values: Dict[Tuple[str, str], Any] = {}
+        for col, value in zip(table.columns, row):
+            values[(binding, col.name.lower())] = value
+        ctx = RowContext(values=values)
+        ctx.rowids[binding] = rowid
+        ctx.values[(binding, "rowid")] = rowid
+        return ctx
+
+    def _passes(self, predicate: Optional[ast.Expr], ctx: RowContext) -> bool:
+        if predicate is None:
+            return True
+        return self.evaluator.truth(predicate, ctx) is True
+
+    def _iter_full_scan(self, node: pl.FullScan) -> Iterator[RowContext]:
+        for rowid, row in node.table.storage.scan():
+            ctx = self._make_ctx(node.table, node.binding_name, rowid, row)
+            if self._passes(node.filter, ctx):
+                yield ctx
+
+    def _const(self, expr: Optional[ast.Expr]) -> Any:
+        if expr is None:
+            return None
+        return self.evaluator.evaluate(expr, RowContext())
+
+    def _fetch_ctx(self, node, rowid: Any) -> Optional[RowContext]:
+        row = node.table.storage.fetch_or_none(rowid)
+        if row is None:
+            return None
+        return self._make_ctx(node.table, node.binding_name, rowid, row)
+
+    def _iter_iot_prefix_scan(self, node: pl.IOTPrefixScan
+                              ) -> Iterator[RowContext]:
+        key = self._const(node.key)
+        if is_null(key):
+            return
+        for rowid, row in node.table.storage.key_prefix_scan([key]):
+            ctx = self._make_ctx(node.table, node.binding_name, rowid, row)
+            if self._passes(node.filter, ctx):
+                yield ctx
+
+    def _iter_btree_scan(self, node: pl.BTreeScan) -> Iterator[RowContext]:
+        low = self._const(node.low)
+        high = self._const(node.high)
+        structure = node.index.structure
+        for __, rowid in structure.range_scan(low, high,
+                                              node.low_inclusive,
+                                              node.high_inclusive):
+            ctx = self._fetch_ctx(node, rowid)
+            if ctx is not None and self._passes(node.filter, ctx):
+                yield ctx
+
+    def _iter_hash_scan(self, node: pl.HashScan) -> Iterator[RowContext]:
+        key = self._const(node.key)
+        for rowid in node.index.structure.search(key):
+            ctx = self._fetch_ctx(node, rowid)
+            if ctx is not None and self._passes(node.filter, ctx):
+                yield ctx
+
+    def _iter_bitmap_scan(self, node: pl.BitmapScan) -> Iterator[RowContext]:
+        keys = [self._const(k) for k in node.keys]
+        for rowid in node.index.structure.search_any_of(keys):
+            ctx = self._fetch_ctx(node, rowid)
+            if ctx is not None and self._passes(node.filter, ctx):
+                yield ctx
+
+    # -- the domain index scan (ODCI orchestration) ----------------------------
+
+    def _iter_domain_scan(self, node: pl.DomainScan) -> Iterator[RowContext]:
+        domain = node.index.domain
+        if domain is None or domain.methods is None:
+            raise ODCIError("DomainScan", f"index {node.index.name} has no "
+                            "methods instance")
+        call = node.operator_call
+        # evaluate the operator's constant value arguments (everything
+        # after the indexed column, minus a trailing ancillary label)
+        value_args = call.args[1:]
+        if call.label is not None:
+            value_args = value_args[:-1]
+        const_ctx = RowContext()
+        evaluated_args = tuple(self.evaluator.evaluate(a, const_ctx)
+                               for a in value_args)
+        pred_info = node.pred_info
+        pred_info.operator_args = evaluated_args
+        query_info = ODCIQueryInfo(first_rows=node.first_rows,
+                                   ancillary_label=call.label)
+        env = self.db.make_env(CallbackPhase.SCAN, domain)
+        ia = domain.index_info()
+        methods = domain.methods
+        env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
+                  f"{node.index.name})")
+        context = methods.index_start(ia, pred_info, query_info, env)
+        batch_size = self.db.fetch_batch_size
+        try:
+            while True:
+                env.trace(f"exec:ODCIIndexFetch(n={batch_size})")
+                result = methods.index_fetch(context, batch_size, env)
+                aux = result.aux or []
+                for i, rowid in enumerate(result.rowids):
+                    ctx = self._fetch_ctx(node, rowid)
+                    if ctx is None:
+                        continue
+                    if call.label is not None and i < len(aux):
+                        ctx.aux[call.label] = aux[i]
+                    if self._passes(node.filter, ctx):
+                        yield ctx
+                if result.done or not result.rowids:
+                    break
+        finally:
+            env.trace("exec:ODCIIndexClose()")
+            methods.index_close(context, env)
+
+    # -- composite nodes ------------------------------------------------------
+
+    def _iter_filter(self, node: pl.FilterNode) -> Iterator[RowContext]:
+        for ctx in self.iter_node(node.child):
+            if self._passes(node.predicate, ctx):
+                yield ctx
+
+    def _iter_nl_join(self, node: pl.NestedLoopJoin) -> Iterator[RowContext]:
+        inner_rows = list(self.iter_node(node.inner))
+        for outer_ctx in self.iter_node(node.outer):
+            for inner_ctx in inner_rows:
+                merged = outer_ctx.merged_with(inner_ctx)
+                if self._passes(node.condition, merged):
+                    yield merged
+
+    def _iter_indexed_nl_join(self, node: pl.IndexedNLJoin
+                              ) -> Iterator[RowContext]:
+        structure = node.index.structure
+        for outer_ctx in self.iter_node(node.outer):
+            key = self.evaluator.evaluate(node.outer_key, outer_ctx)
+            if is_null(key):
+                continue
+            for rowid in structure.search(key):
+                row = node.inner_table.storage.fetch_or_none(rowid)
+                if row is None:
+                    continue
+                inner_ctx = self._make_ctx(node.inner_table,
+                                           node.inner_binding, rowid, row)
+                if not self._passes(node.inner_filter, inner_ctx):
+                    continue
+                merged = outer_ctx.merged_with(inner_ctx)
+                if self._passes(node.condition, merged):
+                    yield merged
+
+    def _iter_domain_nl_join(self, node: pl.DomainNLJoin
+                             ) -> Iterator[RowContext]:
+        """Per outer row, re-run the domain index scan with bound args.
+
+        "Multiple sets of invocations of operators can be interleaved.
+        At any given time, a number of operators can be evaluated using
+        the same indextype routines." (§2.2.3)
+        """
+        domain = node.index.domain
+        if domain is None or domain.methods is None:
+            raise ODCIError("DomainNLJoin",
+                            f"index {node.index.name} has no methods instance")
+        call = node.operator_call
+        value_args = call.args[1:]
+        if call.label is not None:
+            value_args = value_args[:-1]
+        env = self.db.make_env(CallbackPhase.SCAN, domain)
+        ia = domain.index_info()
+        methods = domain.methods
+        batch_size = self.db.fetch_batch_size
+        for outer_ctx in self.iter_node(node.outer):
+            evaluated = tuple(self.evaluator.evaluate(a, outer_ctx)
+                              for a in value_args)
+            pred_info = ODCIPredInfo(
+                operator_name=call.operator.name,
+                operator_args=evaluated,
+                lower_bound=node.lower, upper_bound=node.upper,
+                include_lower=node.include_lower,
+                include_upper=node.include_upper)
+            query_info = ODCIQueryInfo(ancillary_label=call.label)
+            env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
+                      f"{node.index.name}) [join probe]")
+            context = methods.index_start(ia, pred_info, query_info, env)
+            try:
+                while True:
+                    result = methods.index_fetch(context, batch_size, env)
+                    aux = result.aux or []
+                    for i, rowid in enumerate(result.rowids):
+                        row = node.inner_table.storage.fetch_or_none(rowid)
+                        if row is None:
+                            continue
+                        inner_ctx = self._make_ctx(
+                            node.inner_table, node.inner_binding, rowid, row)
+                        if call.label is not None and i < len(aux):
+                            inner_ctx.aux[call.label] = aux[i]
+                        if not self._passes(node.inner_filter, inner_ctx):
+                            continue
+                        merged = outer_ctx.merged_with(inner_ctx)
+                        if self._passes(node.condition, merged):
+                            yield merged
+                    if result.done or not result.rowids:
+                        break
+            finally:
+                methods.index_close(context, env)
+
+    def _iter_hash_join(self, node: pl.HashJoin) -> Iterator[RowContext]:
+        build: Dict[Tuple[Any, ...], List[RowContext]] = {}
+        for right_ctx in self.iter_node(node.right):
+            key = tuple(self.evaluator.evaluate(k, right_ctx)
+                        for k in node.right_keys)
+            if any(is_null(v) for v in key):
+                continue
+            build.setdefault(key, []).append(right_ctx)
+        for left_ctx in self.iter_node(node.left):
+            key = tuple(self.evaluator.evaluate(k, left_ctx)
+                        for k in node.left_keys)
+            if any(is_null(v) for v in key):
+                continue
+            for right_ctx in build.get(key, ()):
+                merged = left_ctx.merged_with(right_ctx)
+                if self._passes(node.condition, merged):
+                    yield merged
+
+    def _iter_sort(self, node: pl.SortNode) -> Iterator[RowContext]:
+        rows = list(self.iter_node(node.child))
+        items = node.order_items
+
+        def compare(a: RowContext, b: RowContext) -> int:
+            for item in items:
+                va = self.evaluator.evaluate(item.expr, a)
+                vb = self.evaluator.evaluate(item.expr, b)
+                if is_null(va) and is_null(vb):
+                    continue
+                if is_null(va):
+                    return 1  # NULLS LAST
+                if is_null(vb):
+                    return -1
+                cmp = sql_compare(va, vb)
+                if is_null(cmp) or cmp == 0:
+                    continue
+                return -cmp if item.descending else cmp
+            return 0
+
+        rows.sort(key=functools.cmp_to_key(compare))
+        return iter(rows)
+
+    def _iter_group_by(self, node: pl.GroupByNode) -> Iterator[RowContext]:
+        groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        order: List[Tuple[Any, ...]] = []
+        aggregates = node.aggregates
+
+        for ctx in self.iter_node(node.child):
+            key = tuple(
+                ("\x00NULL" if is_null(v) else v)
+                for v in (self.evaluator.evaluate(e, ctx)
+                          for e in node.group_exprs))
+            try:
+                hash(key)
+            except TypeError:
+                key = tuple(repr(k) for k in key)
+            state = groups.get(key)
+            if state is None:
+                state = {"ctx": ctx, "accs": [_Accumulator(a) for a in aggregates]}
+                groups[key] = state
+                order.append(key)
+            for acc in state["accs"]:
+                acc.add(self.evaluator, ctx)
+
+        if not groups and not node.group_exprs:
+            # global aggregate over an empty input still yields one row
+            empty = RowContext()
+            for agg in aggregates:
+                empty.agg[aggregate_key(agg)] = _Accumulator(agg).result()
+            if node.having is None or self._passes(node.having, empty):
+                yield empty
+            return
+
+        for key in order:
+            state = groups[key]
+            out: RowContext = state["ctx"]
+            for agg, acc in zip(aggregates, state["accs"]):
+                out.agg[aggregate_key(agg)] = acc.result()
+            if node.having is None or self._passes(node.having, out):
+                yield out
+
+
+class _Accumulator:
+    """Streaming state for one aggregate call."""
+
+    def __init__(self, call: AggregateCall):
+        self.call = call
+        self.count = 0
+        self.total: Any = 0
+        self.min_value: Any = None
+        self.max_value: Any = None
+        self.distinct_seen = set() if call.distinct else None
+
+    def add(self, evaluator: Evaluator, ctx: RowContext) -> None:
+        call = self.call
+        if call.arg is None:  # COUNT(*)
+            self.count += 1
+            return
+        value = evaluator.evaluate(call.arg, ctx)
+        if is_null(value):
+            return
+        if self.distinct_seen is not None:
+            marker = value if isinstance(value, (int, float, str, bool)) \
+                else repr(value)
+            if marker in self.distinct_seen:
+                return
+            self.distinct_seen.add(marker)
+        self.count += 1
+        if call.func in ("sum", "avg"):
+            self.total += value
+        if call.func == "min":
+            if self.min_value is None or value < self.min_value:
+                self.min_value = value
+        if call.func == "max":
+            if self.max_value is None or value > self.max_value:
+                self.max_value = value
+
+    def result(self) -> Any:
+        func = self.call.func
+        if func == "count":
+            return self.count
+        if self.count == 0:
+            return NULL
+        if func == "sum":
+            return self.total
+        if func == "avg":
+            return self.total / self.count
+        if func == "min":
+            return self.min_value
+        return self.max_value

@@ -1,0 +1,186 @@
+"""Buffer cache and I/O statistics.
+
+All heap and LOB page access goes through one :class:`BufferCache` per
+database, so every execution path — native index scans, domain-index
+callbacks, legacy temp-table plans — is charged the same way.  The cache
+is an LRU over (segment, page_no) keys backed by a simulated disk; the
+counters it maintains are what the E1/E4 benchmarks report.
+
+The paper notes (§2.5) that when index data is stored inside the
+database, "data buffering [is] also applicable to the user index data" —
+this module is precisely that shared buffering.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.page import Page
+
+
+@dataclass
+class IOStats:
+    """Counters for simulated I/O and callback activity.
+
+    ``logical_reads``/``logical_writes`` count buffer accesses;
+    ``physical_reads``/``physical_writes`` count simulated disk transfers
+    (cache misses and dirty-page writebacks).  ``file_reads``/
+    ``file_writes`` count external file-store operations, kept separate
+    because the chemistry experiment (E4) contrasts the two.
+    """
+
+    logical_reads: int = 0
+    logical_writes: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+    file_reads: int = 0
+    file_writes: int = 0
+    file_bytes_read: int = 0
+    file_bytes_written: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a named ad-hoc counter (used by cartridges/benchmarks)."""
+        self.extra[counter] = self.extra.get(counter, 0) + amount
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return all counters as a flat dict (copy)."""
+        out = {
+            "logical_reads": self.logical_reads,
+            "logical_writes": self.logical_writes,
+            "physical_reads": self.physical_reads,
+            "physical_writes": self.physical_writes,
+            "file_reads": self.file_reads,
+            "file_writes": self.file_writes,
+            "file_bytes_read": self.file_bytes_read,
+            "file_bytes_written": self.file_bytes_written,
+        }
+        out.update(self.extra)
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.logical_reads = 0
+        self.logical_writes = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+        self.file_reads = 0
+        self.file_writes = 0
+        self.file_bytes_read = 0
+        self.file_bytes_written = 0
+        self.extra.clear()
+
+    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Return current counters minus a prior :meth:`snapshot`."""
+        now = self.snapshot()
+        return {k: now.get(k, 0) - before.get(k, 0)
+                for k in set(now) | set(before)}
+
+
+PageKey = Tuple[int, int]  # (segment_id, page_no)
+
+
+class BufferCache:
+    """LRU page cache over a simulated disk.
+
+    Segments (heap tables, IOT overflow, LOB segments) allocate pages
+    through the cache; reads that miss fetch from the simulated disk and
+    count a physical read, dirty evictions count a physical write.
+    """
+
+    def __init__(self, stats: IOStats, capacity: int = 256):
+        if capacity < 1:
+            raise StorageError("buffer cache capacity must be positive")
+        self.stats = stats
+        self.capacity = capacity
+        self._cache: "OrderedDict[PageKey, Page]" = OrderedDict()
+        self._disk: Dict[PageKey, Page] = {}
+        self._next_segment_id = 1
+
+    # -- segment management -------------------------------------------------
+
+    def allocate_segment(self) -> int:
+        """Return a fresh segment id for a new table/LOB."""
+        seg = self._next_segment_id
+        self._next_segment_id += 1
+        return seg
+
+    def drop_segment(self, segment_id: int) -> None:
+        """Discard every page of a segment (DROP/TRUNCATE)."""
+        for key in [k for k in self._cache if k[0] == segment_id]:
+            del self._cache[key]
+        for key in [k for k in self._disk if k[0] == segment_id]:
+            del self._disk[key]
+
+    def segment_page_count(self, segment_id: int) -> int:
+        """Number of allocated pages in a segment (cached or on disk)."""
+        keys = {k for k in self._disk if k[0] == segment_id}
+        keys |= {k for k in self._cache if k[0] == segment_id}
+        return len(keys)
+
+    # -- page access --------------------------------------------------------
+
+    def new_page(self, segment_id: int, page_no: int) -> Page:
+        """Allocate a fresh page in the cache (counts a logical write)."""
+        key = (segment_id, page_no)
+        if key in self._disk or key in self._cache:
+            raise StorageError(f"page {key} already exists")
+        page = Page(page_no)
+        page.dirty = True
+        self._put(key, page)
+        self.stats.logical_writes += 1
+        return page
+
+    def get_page(self, segment_id: int, page_no: int,
+                 for_write: bool = False) -> Page:
+        """Fetch a page, counting logical (and physical, on miss) I/O."""
+        key = (segment_id, page_no)
+        self.stats.logical_reads += 1
+        if for_write:
+            self.stats.logical_writes += 1
+        page = self._cache.get(key)
+        if page is not None:
+            self._cache.move_to_end(key)
+            if for_write:
+                page.dirty = True
+            return page
+        page = self._disk.get(key)
+        if page is None:
+            raise StorageError(f"no such page {key}")
+        self.stats.physical_reads += 1
+        self._put(key, page)
+        if for_write:
+            page.dirty = True
+        return page
+
+    def flush(self) -> None:
+        """Write back every dirty cached page (checkpoint)."""
+        for key, page in self._cache.items():
+            if page.dirty:
+                self._disk[key] = page
+                page.dirty = False
+                self.stats.physical_writes += 1
+
+    def clear(self) -> None:
+        """Flush and empty the cache — simulates a cold restart for E4."""
+        self.flush()
+        self._cache.clear()
+
+    def resident(self, segment_id: int, page_no: int) -> bool:
+        """True when the page is currently cached (no I/O counted)."""
+        return (segment_id, page_no) in self._cache
+
+    # -- internals ----------------------------------------------------------
+
+    def _put(self, key: PageKey, page: Page) -> None:
+        self._cache[key] = page
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.capacity:
+            old_key, old_page = self._cache.popitem(last=False)
+            if old_page.dirty:
+                self.stats.physical_writes += 1
+                old_page.dirty = False
+            self._disk[old_key] = old_page

@@ -1,0 +1,154 @@
+"""Simulated external file store.
+
+Several parts of the paper hinge on index data stored *outside* the
+database: §1 ("the index structure itself can either be stored in Oracle
+database as tables, or externally in files"), §3.2.4's Daylight
+file-based index baseline, and §5's transactional gap ("changes to the
+index data are not [rolled back]").  This module is that external world:
+an in-memory file system whose every operation *immediately* counts as a
+file read/write — unlike LOB pages, there is no buffer cache between the
+caller and the "disk", which is exactly why the paper observes the
+file-based scheme doing more intermediate writes.
+
+Writes to this store are **not** covered by the engine's transaction
+rollback; the chemistry cartridge demonstrates repairing that with
+database events (:mod:`repro.txn.events`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.buffer import IOStats
+
+
+class FileStore:
+    """A flat namespace of named byte files with eager I/O accounting."""
+
+    def __init__(self, stats: IOStats):
+        self.stats = stats
+        self._files: Dict[str, bytearray] = {}
+
+    def create(self, name: str, data: bytes = b"") -> "ExternalFile":
+        """Create a file (error if it exists) and return an open handle."""
+        if name in self._files:
+            raise StorageError(f"file {name!r} already exists")
+        self._files[name] = bytearray(data)
+        if data:
+            self.stats.file_writes += 1
+            self.stats.file_bytes_written += len(data)
+        return ExternalFile(self, name)
+
+    def open(self, name: str, create: bool = False) -> "ExternalFile":
+        """Open an existing file (or create it when ``create=True``)."""
+        if name not in self._files:
+            if not create:
+                raise StorageError(f"no such file {name!r}")
+            self._files[name] = bytearray()
+        return ExternalFile(self, name)
+
+    def delete(self, name: str) -> None:
+        """Remove a file."""
+        if name not in self._files:
+            raise StorageError(f"no such file {name!r}")
+        del self._files[name]
+
+    def exists(self, name: str) -> bool:
+        """True when ``name`` is a file in the store."""
+        return name in self._files
+
+    def listdir(self) -> List[str]:
+        """All file names, sorted."""
+        return sorted(self._files)
+
+    def size(self, name: str) -> int:
+        """Byte length of a file."""
+        try:
+            return len(self._files[name])
+        except KeyError:
+            raise StorageError(f"no such file {name!r}") from None
+
+    # -- raw access used by ExternalFile ---------------------------------
+
+    def _read(self, name: str, offset: int, count: int) -> bytes:
+        data = self._files.get(name)
+        if data is None:
+            raise StorageError(f"no such file {name!r}")
+        self.stats.file_reads += 1
+        out = bytes(data[offset:offset + count]) if count >= 0 else bytes(data[offset:])
+        self.stats.file_bytes_read += len(out)
+        return out
+
+    def _write(self, name: str, offset: int, payload: bytes) -> int:
+        data = self._files.get(name)
+        if data is None:
+            raise StorageError(f"no such file {name!r}")
+        if not payload:
+            return 0  # zero-byte writes never extend the file
+        if offset > len(data):
+            data.extend(b"\x00" * (offset - len(data)))
+        data[offset:offset + len(payload)] = payload
+        self.stats.file_writes += 1
+        self.stats.file_bytes_written += len(payload)
+        return len(payload)
+
+    def _truncate(self, name: str, size: int) -> None:
+        data = self._files.get(name)
+        if data is None:
+            raise StorageError(f"no such file {name!r}")
+        del data[size:]
+        self.stats.file_writes += 1
+
+
+class ExternalFile:
+    """A positioned handle on a store file; same API as LobLocator."""
+
+    def __init__(self, store: FileStore, name: str):
+        self._store = store
+        self.name = name
+        self._pos = 0
+
+    def read(self, count: int = -1) -> bytes:
+        """Read up to ``count`` bytes from the current position (-1 = rest)."""
+        data = self._store._read(self.name, self._pos, count)
+        self._pos += len(data)
+        return data
+
+    def write(self, data: bytes) -> int:
+        """Write ``data`` at the current position, advancing it."""
+        written = self._store._write(self.name, self._pos, data)
+        self._pos += written
+        return written
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        """Reposition like ``io`` seek: 0=absolute, 1=relative, 2=from end."""
+        if whence == 0:
+            self._pos = offset
+        elif whence == 1:
+            self._pos += offset
+        elif whence == 2:
+            self._pos = self._store.size(self.name) + offset
+        else:
+            raise StorageError(f"bad whence {whence}")
+        if self._pos < 0:
+            raise StorageError("negative file position")
+        return self._pos
+
+    def tell(self) -> int:
+        """Current position."""
+        return self._pos
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        """Shrink the file to ``size`` (default: current position)."""
+        if size is None:
+            size = self._pos
+        self._store._truncate(self.name, size)
+        return size
+
+    def length(self) -> int:
+        """Total file length in bytes."""
+        return self._store.size(self.name)
+
+    def __repr__(self) -> str:
+        return f"ExternalFile({self.name!r}, len={self.length()})"

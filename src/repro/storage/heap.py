@@ -1,0 +1,153 @@
+"""Heap tables and rowids.
+
+A heap table is a segment of slotted pages; rows are addressed by a
+:class:`RowId` (segment, page, slot) that stays valid across updates —
+which is what lets domain indexes store rowids as index entries and
+stream them back from ``ODCIIndexFetch`` (§2.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidRowIdError, StorageError
+from repro.storage.buffer import BufferCache
+from repro.storage.page import Page, PAGE_SIZE, estimate_row_size
+
+
+@dataclass(frozen=True, order=True)
+class RowId:
+    """Physical row address: (segment, page, slot).  Ordered and hashable."""
+
+    segment_id: int
+    page_no: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"RID({self.segment_id}.{self.page_no}.{self.slot})"
+
+
+class HeapTable:
+    """An unordered table of rows stored on slotted pages.
+
+    The table does not know its schema; the catalog layer owns column
+    names/types and validates values before they reach here.
+    """
+
+    def __init__(self, buffer_cache: BufferCache, name: str = "?"):
+        self.buffer = buffer_cache
+        self.name = name
+        self.segment_id = buffer_cache.allocate_segment()
+        self._page_count = 0
+        self._row_count = 0
+        # Pages that most recently had room, checked before allocating.
+        self._last_insert_page: Optional[int] = None
+
+    # -- DML ------------------------------------------------------------
+
+    def insert(self, row: List[Any]) -> RowId:
+        """Store ``row`` and return its new rowid."""
+        size = min(estimate_row_size(row), PAGE_SIZE)
+        page = self._page_for_insert(size)
+        slot = page.insert(list(row), size)
+        self._row_count += 1
+        return RowId(self.segment_id, page.page_no, slot)
+
+    def fetch(self, rowid: RowId) -> List[Any]:
+        """Return the row at ``rowid``; raises for dead or foreign rowids."""
+        page = self._page_at(rowid)
+        row = page.read_slot(rowid.slot)
+        if row is None:
+            raise InvalidRowIdError(f"{rowid} does not identify a live row")
+        return row
+
+    def fetch_or_none(self, rowid: RowId) -> Optional[List[Any]]:
+        """Like :meth:`fetch` but returns None for a deleted slot."""
+        try:
+            page = self._page_at(rowid)
+        except InvalidRowIdError:
+            return None
+        return page.read_slot(rowid.slot)
+
+    def update(self, rowid: RowId, row: List[Any]) -> List[Any]:
+        """Replace the row at ``rowid`` in place; returns the old row."""
+        page = self._page_at(rowid, for_write=True)
+        old = page.read_slot(rowid.slot)
+        if old is None:
+            raise InvalidRowIdError(f"{rowid} does not identify a live row")
+        old_size = min(estimate_row_size(old), PAGE_SIZE)
+        new_size = min(estimate_row_size(row), PAGE_SIZE)
+        page.update(rowid.slot, list(row), old_size, new_size)
+        return old
+
+    def delete(self, rowid: RowId) -> List[Any]:
+        """Delete the row at ``rowid``; returns the old row."""
+        page = self._page_at(rowid, for_write=True)
+        old = page.read_slot(rowid.slot)
+        if old is None:
+            raise InvalidRowIdError(f"{rowid} does not identify a live row")
+        page.delete(rowid.slot, min(estimate_row_size(old), PAGE_SIZE))
+        self._row_count -= 1
+        return old
+
+    def undelete(self, rowid: RowId, row: List[Any]) -> None:
+        """Restore a deleted slot (used by transaction rollback)."""
+        page = self._page_at(rowid, for_write=True)
+        if page.read_slot(rowid.slot) is not None:
+            raise StorageError(f"{rowid} is live; cannot undelete")
+        size = min(estimate_row_size(row), PAGE_SIZE)
+        page.update(rowid.slot, list(row), 0, size)
+        self._row_count += 1
+
+    def truncate(self) -> None:
+        """Discard every row and page (DDL: fast, not undoable)."""
+        self.buffer.drop_segment(self.segment_id)
+        self._page_count = 0
+        self._row_count = 0
+        self._last_insert_page = None
+
+    # -- scans ----------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RowId, List[Any]]]:
+        """Full table scan: yield (rowid, row) for every live row."""
+        for page_no in range(self._page_count):
+            page = self.buffer.get_page(self.segment_id, page_no)
+            for slot, row in enumerate(page.slots):
+                if row is not None:
+                    yield RowId(self.segment_id, page_no, slot), row
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Live row count (maintained incrementally)."""
+        return self._row_count
+
+    @property
+    def page_count(self) -> int:
+        """Allocated page count; proportional to full-scan cost."""
+        return self._page_count
+
+    # -- internals --------------------------------------------------------
+
+    def _page_for_insert(self, size: int) -> Page:
+        if self._last_insert_page is not None:
+            page = self.buffer.get_page(
+                self.segment_id, self._last_insert_page, for_write=True)
+            if page.has_room(size):
+                return page
+        page = self.buffer.new_page(self.segment_id, self._page_count)
+        self._page_count += 1
+        self._last_insert_page = page.page_no
+        return page
+
+    def _page_at(self, rowid: RowId, for_write: bool = False) -> Page:
+        if rowid.segment_id != self.segment_id:
+            raise InvalidRowIdError(
+                f"{rowid} belongs to another table (segment "
+                f"{rowid.segment_id} != {self.segment_id})")
+        if not 0 <= rowid.page_no < self._page_count:
+            raise InvalidRowIdError(f"{rowid}: page out of range")
+        return self.buffer.get_page(self.segment_id, rowid.page_no,
+                                    for_write=for_write)

@@ -1,0 +1,187 @@
+"""Index-organized tables (IOTs).
+
+Section 1 of the paper lists IOTs as a framework component: "an index is
+modeled as a table, where each row is an index entry", and §2.5 reports
+that "index-organized tables are commonly used as index data stores" —
+the text cartridge stores its inverted index in one.
+
+An IOT here is a B+-tree whose key is a prefix of the row and whose
+payload is the rest of the row.  Rows are addressed by logical rowids
+(their key), but we also hand out :class:`~repro.storage.heap.RowId`-like
+surrogate ids so the executor can treat heap tables and IOTs uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import ConstraintError, InvalidRowIdError
+from repro.storage.buffer import BufferCache
+from repro.storage.heap import RowId
+from repro.index.btree import BTree
+
+
+class IndexOrganizedTable:
+    """A table stored as a B+-tree on its first ``key_width`` columns.
+
+    Unlike a heap table, rows live in key order: a range scan over the
+    key prefix is the native access path.  Node visits are charged to the
+    shared buffer-cache statistics as logical reads.
+    """
+
+    def __init__(self, buffer_cache: BufferCache, key_width: int,
+                 name: str = "?", unique: bool = True):
+        if key_width < 1:
+            raise ConstraintError("IOT key width must be >= 1")
+        self.buffer = buffer_cache
+        self.name = name
+        self.key_width = key_width
+        self.unique = unique
+        self.segment_id = buffer_cache.allocate_segment()
+        self._tree = BTree(unique=unique, touch=self._touch)
+        # surrogate rowid -> key mapping for executor uniformity
+        self._key_of_surrogate: dict = {}
+        self._surrogate_of_key: dict = {}
+        self._next_surrogate = 0
+
+    def _touch(self, nodes: int) -> None:
+        self.buffer.stats.logical_reads += nodes
+
+    # -- DML ------------------------------------------------------------
+
+    def _split_row(self, row: List[Any]) -> Tuple[Tuple[Any, ...], List[Any]]:
+        key = tuple(row[:self.key_width])
+        return key, list(row[self.key_width:])
+
+    def insert(self, row: List[Any]) -> RowId:
+        """Insert ``row``; its first ``key_width`` values form the key."""
+        key, payload = self._split_row(row)
+        self._tree.insert(key, payload)
+        self.buffer.stats.logical_writes += 1
+        return self._surrogate(key)
+
+    def fetch(self, rowid: RowId) -> List[Any]:
+        """Fetch by surrogate rowid (first match under the key)."""
+        key = self._key_of_surrogate.get(rowid)
+        if key is None:
+            raise InvalidRowIdError(f"{rowid} is not a rowid of IOT {self.name}")
+        payloads = self._tree.search(key)
+        if not payloads:
+            raise InvalidRowIdError(f"{rowid}: key {key!r} no longer present")
+        return list(key) + list(payloads[0])
+
+    def fetch_or_none(self, rowid: RowId) -> Optional[List[Any]]:
+        """Like :meth:`fetch` but returns None for a dead surrogate."""
+        try:
+            return self.fetch(rowid)
+        except InvalidRowIdError:
+            return None
+
+    def update(self, rowid: RowId, row: List[Any]) -> List[Any]:
+        """Replace the row at ``rowid``; key changes re-insert the entry."""
+        old = self.fetch(rowid)
+        old_key, old_payload = self._split_row(old)
+        new_key, new_payload = self._split_row(row)
+        self._tree.delete(old_key, old_payload)
+        self._tree.insert(new_key, new_payload)
+        self.buffer.stats.logical_writes += 1
+        if new_key != old_key:
+            self._rebind_surrogate(rowid, old_key, new_key)
+        return old
+
+    def delete(self, rowid: RowId) -> List[Any]:
+        """Delete the row at ``rowid``; returns the old row."""
+        old = self.fetch(rowid)
+        key, payload = self._split_row(old)
+        self._tree.delete(key, payload)
+        self.buffer.stats.logical_writes += 1
+        return old
+
+    def undelete(self, rowid: RowId, row: List[Any]) -> None:
+        """Restore a deleted row under its original surrogate (rollback)."""
+        key, payload = self._split_row(row)
+        self._tree.insert(key, payload)
+        self._key_of_surrogate[rowid] = key
+        self._surrogate_of_key.setdefault(key, rowid)
+
+    def delete_by_key(self, key_values: List[Any]) -> int:
+        """Delete every row matching a full key; returns the count."""
+        key = tuple(key_values)
+        removed = len(self._tree.search(key))
+        if removed:
+            self._tree.delete(key)
+            self.buffer.stats.logical_writes += 1
+        return removed
+
+    def truncate(self) -> None:
+        """Discard every row."""
+        self._tree.clear()
+        self._key_of_surrogate.clear()
+        self._surrogate_of_key.clear()
+
+    # -- scans ------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RowId, List[Any]]]:
+        """Scan in key order, yielding (surrogate rowid, full row)."""
+        for key, payload in self._tree.items():
+            yield self._surrogate(key), list(key) + list(payload)
+
+    def key_range_scan(self, low: Optional[Tuple[Any, ...]] = None,
+                       high: Optional[Tuple[Any, ...]] = None,
+                       low_inclusive: bool = True,
+                       high_inclusive: bool = True,
+                       ) -> Iterator[Tuple[RowId, List[Any]]]:
+        """Scan rows whose key lies in [low, high] (tuple bounds)."""
+        for key, payload in self._tree.range_scan(
+                low, high, low_inclusive, high_inclusive):
+            yield self._surrogate(key), list(key) + list(payload)
+
+    def key_prefix_scan(self, prefix: List[Any]
+                        ) -> Iterator[Tuple[RowId, List[Any]]]:
+        """Scan rows whose key starts with ``prefix`` (in key order).
+
+        This is the IOT's native access path for queries like
+        ``WHERE token = :1`` on a ``(token, rid)``-keyed table — a
+        B-tree descent plus a bounded leaf walk, not a full scan.
+        """
+        prefix_tuple = tuple(prefix)
+        width = len(prefix_tuple)
+        for key, payload in self._tree.range_scan(low=prefix_tuple):
+            if tuple(key[:width]) != prefix_tuple:
+                break
+            yield self._surrogate(key), list(key) + list(payload)
+
+    def lookup(self, key_values: List[Any]) -> List[List[Any]]:
+        """Return the full rows stored under an exact key."""
+        key = tuple(key_values)
+        return [list(key) + list(p) for p in self._tree.search(key)]
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows (== B-tree entries)."""
+        return self._tree.entry_count
+
+    @property
+    def page_count(self) -> int:
+        """Approximate node count, used by the optimizer's cost model."""
+        return max(1, self._tree.entry_count // 32)
+
+    # -- internals ----------------------------------------------------------
+
+    def _surrogate(self, key: Tuple[Any, ...]) -> RowId:
+        rid = self._surrogate_of_key.get(key)
+        if rid is None:
+            rid = RowId(self.segment_id, 0, self._next_surrogate)
+            self._next_surrogate += 1
+            self._surrogate_of_key[key] = rid
+            self._key_of_surrogate[rid] = key
+        return rid
+
+    def _rebind_surrogate(self, rowid: RowId, old_key: Tuple[Any, ...],
+                          new_key: Tuple[Any, ...]) -> None:
+        self._key_of_surrogate[rowid] = new_key
+        if self._surrogate_of_key.get(old_key) is rowid:
+            del self._surrogate_of_key[old_key]
+        self._surrogate_of_key[new_key] = rowid

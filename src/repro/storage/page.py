@@ -1,0 +1,98 @@
+"""Slotted pages: the unit of storage and of I/O accounting.
+
+The engine simulates disk pages so the benchmarks can report the I/O
+story the paper tells (e.g. §3.2.1's "reduced I/O because of no temporary
+result table").  A page holds row slots up to a simulated byte budget;
+deleted slots stay in place so rowids remain stable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+#: Simulated page size in bytes.
+PAGE_SIZE = 4096
+
+#: Per-slot bookkeeping overhead charged against the page budget.
+SLOT_OVERHEAD = 16
+
+
+def estimate_size(value: Any) -> int:
+    """Rough byte-size estimate of a SQL value for page-budget accounting."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return SLOT_OVERHEAD + sum(estimate_size(v) for v in value)
+    if hasattr(value, "as_dict"):  # ObjectValue
+        return SLOT_OVERHEAD + sum(
+            estimate_size(v) for v in value.as_dict().values())
+    return 32
+
+
+def estimate_row_size(row: List[Any]) -> int:
+    """Byte-size estimate of a whole row including slot overhead."""
+    return SLOT_OVERHEAD + sum(estimate_size(v) for v in row)
+
+
+class Page:
+    """A slotted page of rows.
+
+    ``slots[i]`` is either a row (a list of values) or ``None`` for a
+    deleted slot.  ``used`` tracks the simulated byte occupancy; a page
+    accepts a new row while ``used + size <= PAGE_SIZE``.
+    """
+
+    __slots__ = ("page_no", "slots", "used", "dirty")
+
+    def __init__(self, page_no: int):
+        self.page_no = page_no
+        self.slots: List[Optional[List[Any]]] = []
+        self.used = 0
+        self.dirty = False
+
+    def has_room(self, size: int) -> bool:
+        """True when a row of ``size`` simulated bytes fits on this page."""
+        return self.used + size <= PAGE_SIZE
+
+    def insert(self, row: List[Any], size: int) -> int:
+        """Append ``row`` and return its slot number."""
+        self.slots.append(row)
+        self.used += size
+        self.dirty = True
+        return len(self.slots) - 1
+
+    def read_slot(self, slot: int) -> Optional[List[Any]]:
+        """Return the row at ``slot`` or None when the slot is deleted/bad."""
+        if 0 <= slot < len(self.slots):
+            return self.slots[slot]
+        return None
+
+    def update(self, slot: int, row: List[Any], old_size: int, new_size: int) -> None:
+        """Replace the row at ``slot`` in place (rowids never change)."""
+        self.slots[slot] = row
+        self.used += new_size - old_size
+        self.dirty = True
+
+    def delete(self, slot: int, size: int) -> None:
+        """Mark ``slot`` deleted; the slot stays so later rowids are stable."""
+        self.slots[slot] = None
+        self.used -= size
+        self.dirty = True
+
+    def live_count(self) -> int:
+        """Number of non-deleted rows on the page."""
+        return sum(1 for s in self.slots if s is not None)
+
+    def __repr__(self) -> str:
+        return (f"Page(no={self.page_no}, slots={len(self.slots)}, "
+                f"live={self.live_count()}, used={self.used})")

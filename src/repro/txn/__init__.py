@@ -1,0 +1,14 @@
+"""Transactions: undo logging, lock manager, and database events."""
+
+from repro.txn.transaction import Transaction, TransactionManager
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.events import EventManager, DatabaseEvent
+
+__all__ = [
+    "Transaction",
+    "TransactionManager",
+    "LockManager",
+    "LockMode",
+    "EventManager",
+    "DatabaseEvent",
+]

@@ -1,0 +1,59 @@
+"""Database events: commit/rollback hooks for external index stores.
+
+Section 5 of the paper proposes database events as the mechanism to keep
+index data stored *outside* the database transactionally consistent:
+"The indextype designer can register functions for events such as commit
+and rollback, which contain code to take appropriate actions on index
+data stored externally."
+
+The chemistry cartridge's file-based index registers such handlers; the
+E4 benchmark shows rollback leaving the external index stale without
+them and consistent with them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Tuple
+
+
+class DatabaseEvent(enum.Enum):
+    """Events a handler may subscribe to."""
+
+    COMMIT = "commit"
+    ROLLBACK = "rollback"
+
+
+EventHandler = Callable[[], None]
+
+
+class EventManager:
+    """Registry of event handlers, fired by the session layer."""
+
+    def __init__(self):
+        self._handlers: Dict[DatabaseEvent, List[Tuple[str, EventHandler]]] = {
+            event: [] for event in DatabaseEvent}
+
+    def register(self, event: DatabaseEvent, name: str,
+                 handler: EventHandler) -> None:
+        """Subscribe ``handler`` under ``name`` (idempotent per name)."""
+        self.unregister(event, name)
+        self._handlers[event].append((name, handler))
+
+    def unregister(self, event: DatabaseEvent, name: str) -> None:
+        """Drop the handler registered under ``name`` (no-op if absent)."""
+        self._handlers[event] = [
+            (n, h) for n, h in self._handlers[event] if n != name]
+
+    def registered(self, event: DatabaseEvent) -> List[str]:
+        """Handler names subscribed to ``event``, in registration order."""
+        return [name for name, _ in self._handlers[event]]
+
+    def fire(self, event: DatabaseEvent) -> None:
+        """Invoke every handler for ``event`` in registration order.
+
+        A handler failure propagates: an external store that cannot be
+        reconciled is a real error, not something to swallow.
+        """
+        for _, handler in list(self._handlers[event]):
+            handler()

@@ -1,0 +1,83 @@
+"""Lock manager: shared/exclusive locks on named resources.
+
+Section 2.5: when index data is stored in database objects, "the server
+functionality, in terms of concurrency control ... [is] also applicable
+to the user index data.  Hence, it is not necessary for the index
+designer to implement low level interfaces for locking."  Cartridge
+callbacks acquire locks through the same manager as ordinary SQL, so a
+maintenance callback on an index table conflicts with a concurrent
+writer exactly like a base-table write would.
+
+The engine is single-threaded; "concurrency" means multiple logical
+sessions/transactions interleaving, and a conflicting request fails fast
+with :class:`~repro.errors.LockTimeoutError` rather than blocking.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Set, Tuple
+
+
+from repro.errors import LockTimeoutError, TransactionError
+
+
+class LockMode(enum.Enum):
+    """Lock strength; SHARED is compatible with SHARED only."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """Tracks resource → holders; upgrades S→X when sole holder."""
+
+    def __init__(self):
+        # resource -> (mode, set of txn ids)
+        self._locks: Dict[str, Tuple[LockMode, Set[int]]] = {}
+
+    def acquire(self, txn_id: int, resource: str, mode: LockMode) -> None:
+        """Take ``resource`` in ``mode`` for ``txn_id`` or raise LockTimeoutError."""
+        key = resource.lower()
+        held = self._locks.get(key)
+        if held is None:
+            self._locks[key] = (mode, {txn_id})
+            return
+        held_mode, holders = held
+        if txn_id in holders:
+            if mode is LockMode.EXCLUSIVE and held_mode is LockMode.SHARED:
+                if holders == {txn_id}:
+                    self._locks[key] = (LockMode.EXCLUSIVE, holders)
+                    return
+                raise LockTimeoutError(
+                    f"cannot upgrade {resource!r} to X: shared with others")
+            return
+        if mode is LockMode.SHARED and held_mode is LockMode.SHARED:
+            holders.add(txn_id)
+            return
+        raise LockTimeoutError(
+            f"{resource!r} is locked {held_mode.value} by txn(s) "
+            f"{sorted(holders)}; txn {txn_id} wants {mode.value}")
+
+    def release_all(self, txn_id: int) -> None:
+        """Drop every lock held by ``txn_id`` (commit/rollback)."""
+        for key in list(self._locks):
+            mode, holders = self._locks[key]
+            holders.discard(txn_id)
+            if not holders:
+                del self._locks[key]
+
+    def holders(self, resource: str) -> Set[int]:
+        """The txn ids currently holding ``resource``."""
+        held = self._locks.get(resource.lower())
+        return set(held[1]) if held else set()
+
+    def mode(self, resource: str) -> "LockMode | None":
+        """The mode ``resource`` is held in, or None when free."""
+        held = self._locks.get(resource.lower())
+        return held[0] if held else None
+
+    def assert_unlocked(self, resource: str) -> None:
+        """Raise unless ``resource`` is free (used by DDL)."""
+        if self.holders(resource):
+            raise TransactionError(f"{resource!r} is locked")

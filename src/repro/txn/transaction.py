@@ -1,0 +1,113 @@
+"""Transactions with undo logging.
+
+Section 2.5 of the paper: "transactional semantics are also
+automatically ensured for the user index data, if the index data resides
+within the database.  Updates to the index data are within the same
+transactional boundaries as updates to the base table."  That property
+falls out here because every table mutation — base table *or* a
+cartridge's index table, mutated through server callbacks — records an
+undo action in the *same* transaction, and rollback replays them in
+reverse.
+
+Index data stored outside the database (the file store) records no undo,
+reproducing §5's gap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import TransactionError
+
+UndoAction = Callable[[], None]
+
+
+class Transaction:
+    """One transaction: an id, an undo log, and a savepoint stack."""
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+        self.active = True
+        self._undo: List[UndoAction] = []
+        self._savepoints: dict = {}
+
+    def record_undo(self, action: UndoAction) -> None:
+        """Register a compensating action to run on rollback."""
+        if not self.active:
+            raise TransactionError("transaction is not active")
+        self._undo.append(action)
+
+    @property
+    def undo_depth(self) -> int:
+        """Number of pending undo actions (diagnostics/tests)."""
+        return len(self._undo)
+
+    def savepoint(self, name: str) -> None:
+        """Mark the current undo position under ``name``."""
+        self._savepoints[name.lower()] = len(self._undo)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        """Undo everything recorded after savepoint ``name``."""
+        mark = self._savepoints.get(name.lower())
+        if mark is None:
+            raise TransactionError(f"no savepoint {name!r}")
+        self._unwind(mark)
+        # later savepoints are now invalid
+        for key in [k for k, v in self._savepoints.items() if v > mark]:
+            del self._savepoints[key]
+
+    def commit(self) -> None:
+        """Discard the undo log; changes become permanent."""
+        self._require_active()
+        self._undo.clear()
+        self._savepoints.clear()
+        self.active = False
+
+    def rollback(self) -> None:
+        """Run the undo log in reverse, restoring the pre-transaction state."""
+        self._require_active()
+        self._unwind(0)
+        self._savepoints.clear()
+        self.active = False
+
+    def _unwind(self, mark: int) -> None:
+        while len(self._undo) > mark:
+            action = self._undo.pop()
+            action()
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise TransactionError("transaction is not active")
+
+
+class TransactionManager:
+    """Hands out transactions and tracks the current one.
+
+    The engine is single-session: at most one transaction is current.
+    DML with no explicit transaction runs in autocommit (a transaction is
+    opened and committed around the statement by the session layer).
+    """
+
+    def __init__(self):
+        self._next_id = 1
+        self.current: Optional[Transaction] = None
+
+    def begin(self) -> Transaction:
+        """Start a transaction; error if one is already open."""
+        if self.current is not None and self.current.active:
+            raise TransactionError("a transaction is already active")
+        txn = Transaction(self._next_id)
+        self._next_id += 1
+        self.current = txn
+        return txn
+
+    def ensure(self) -> Transaction:
+        """Return the active transaction, starting one when none is open."""
+        if self.current is None or not self.current.active:
+            return self.begin()
+        return self.current
+
+    @property
+    def in_transaction(self) -> bool:
+        """True when a transaction is open."""
+        return self.current is not None and self.current.active

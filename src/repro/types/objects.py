@@ -1,0 +1,178 @@
+"""Object and collection types.
+
+The paper motivates extensible indexing with non-scalar columns: object
+type columns (spatial geometries, image objects), collection columns
+(VARRAY / nested table), and LOBs.  Built-in indexing schemes cannot index
+these; domain indexes can.  This module provides the object/collection
+value model the cartridges index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TypeMismatchError
+from repro.types.datatypes import DataType
+from repro.types.values import NULL, is_null
+
+
+class ObjectType(DataType):
+    """A user-defined object type: a named tuple of typed attributes.
+
+    ``ObjectType("SDO_GEOMETRY", [("gtype", INTEGER), ("points", ANY)])``
+    models ``CREATE TYPE SDO_GEOMETRY AS OBJECT (...)``.
+    """
+
+    def __init__(self, type_name: str, attributes: Sequence[Tuple[str, DataType]]):
+        self.type_name = type_name.upper()
+        self.attributes: List[Tuple[str, DataType]] = [
+            (name.lower(), dtype) for name, dtype in attributes]
+        self._attr_index: Dict[str, int] = {
+            name: i for i, (name, _) in enumerate(self.attributes)}
+        self.name = self.type_name
+
+    def attribute_type(self, attr: str) -> DataType:
+        """Return the declared type of attribute ``attr``."""
+        try:
+            return self.attributes[self._attr_index[attr.lower()]][1]
+        except KeyError:
+            raise TypeMismatchError(
+                f"type {self.type_name} has no attribute {attr!r}") from None
+
+    def validate(self, value: Any) -> Any:
+        if is_null(value):
+            return NULL
+        if isinstance(value, ObjectValue):
+            if value.object_type.type_name != self.type_name:
+                raise TypeMismatchError(
+                    f"expected {self.type_name}, got {value.object_type.type_name}")
+            return value
+        if isinstance(value, dict):
+            return self.new(**value)
+        raise TypeMismatchError(
+            f"expected {self.type_name} object, got {type(value).__name__}")
+
+    def new(self, *args: Any, **kwargs: Any) -> "ObjectValue":
+        """Construct an :class:`ObjectValue` of this type (the type's constructor)."""
+        values: List[Any] = [NULL] * len(self.attributes)
+        if args:
+            if len(args) > len(self.attributes):
+                raise TypeMismatchError(
+                    f"{self.type_name} constructor takes at most "
+                    f"{len(self.attributes)} arguments")
+            for i, arg in enumerate(args):
+                values[i] = self.attributes[i][1].validate(arg)
+        for key, arg in kwargs.items():
+            idx = self._attr_index.get(key.lower())
+            if idx is None:
+                raise TypeMismatchError(
+                    f"type {self.type_name} has no attribute {key!r}")
+            values[idx] = self.attributes[idx][1].validate(arg)
+        return ObjectValue(self, values)
+
+    def __repr__(self) -> str:
+        return self.type_name
+
+
+class ObjectValue:
+    """An instance of an :class:`ObjectType`; attributes readable as ``obj.attr``."""
+
+    __slots__ = ("object_type", "_values")
+
+    def __init__(self, object_type: ObjectType, values: Sequence[Any]):
+        object.__setattr__(self, "object_type", object_type)
+        object.__setattr__(self, "_values", list(values))
+
+    def get(self, attr: str) -> Any:
+        """Return the value of attribute ``attr`` (case-insensitive)."""
+        idx = self.object_type._attr_index.get(attr.lower())
+        if idx is None:
+            raise TypeMismatchError(
+                f"type {self.object_type.type_name} has no attribute {attr!r}")
+        return self._values[idx]
+
+    def __getattr__(self, attr: str) -> Any:
+        try:
+            return self.get(attr)
+        except TypeMismatchError:
+            raise AttributeError(attr) from None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return the attribute name → value mapping."""
+        return {name: v for (name, _), v in
+                zip(self.object_type.attributes, self._values)}
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ObjectValue)
+                and other.object_type.type_name == self.object_type.type_name
+                and other._values == self._values)
+
+    def __hash__(self) -> int:
+        return hash((self.object_type.type_name,
+                     tuple(repr(v) for v in self._values)))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"{self.object_type.type_name}({attrs})"
+
+
+class Varray(DataType):
+    """Bounded ordered collection type (``VARRAY(n) OF elem``).
+
+    Values are plain tuples; the paper's example operator
+    ``Contains(hobbies, 'Skiing')`` tests element membership.
+    """
+
+    def __init__(self, element_type: DataType, limit: Optional[int] = None):
+        self.element_type = element_type
+        self.limit = limit
+        self.name = repr(self)
+
+    def validate(self, value: Any) -> Any:
+        if is_null(value):
+            return NULL
+        if not isinstance(value, (list, tuple)):
+            raise TypeMismatchError(
+                f"expected VARRAY, got {type(value).__name__}")
+        if self.limit is not None and len(value) > self.limit:
+            raise TypeMismatchError(
+                f"VARRAY limit {self.limit} exceeded ({len(value)} elements)")
+        return tuple(self.element_type.validate(v) for v in value)
+
+    def __repr__(self) -> str:
+        limit = "" if self.limit is None else f"({self.limit})"
+        return f"VARRAY{limit} OF {self.element_type!r}"
+
+
+class NestedTable(DataType):
+    """Unbounded multiset collection type (``TABLE OF elem``)."""
+
+    def __init__(self, element_type: DataType):
+        self.element_type = element_type
+        self.name = repr(self)
+
+    def validate(self, value: Any) -> Any:
+        if is_null(value):
+            return NULL
+        if not isinstance(value, (list, tuple, set, frozenset)):
+            raise TypeMismatchError(
+                f"expected nested table, got {type(value).__name__}")
+        return tuple(self.element_type.validate(v) for v in value)
+
+    def __repr__(self) -> str:
+        return f"TABLE OF {self.element_type!r}"
+
+
+def collection_contains(collection: Iterable[Any], element: Any) -> bool:
+    """Membership test shared by the VARRAY/nested-table Contains operator."""
+    if is_null(collection):
+        return False
+    return any(not is_null(item) and item == element for item in collection)
+
+
+def iter_collection(collection: Any) -> Iterator[Any]:
+    """Iterate a collection value, yielding nothing for NULL."""
+    if is_null(collection):
+        return
+    for item in collection:
+        yield item

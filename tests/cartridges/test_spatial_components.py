@@ -1,0 +1,250 @@
+"""Spatial components: geometry relations, tiling, R-tree."""
+
+import random
+
+import pytest
+
+from repro.cartridges.spatial.geometry import (
+    GEOMETRY_TYPE_NAME, Relation, bounding_box, geometry_coords,
+    mask_matches, parse_mask_param, point_in_polygon, relate,
+    segments_cross)
+from repro.cartridges.spatial.rtree import RTree, Rect
+from repro.cartridges.spatial.tiling import (
+    GROUP_LEVEL, MAX_LEVEL, TileRange, WORLD_SIZE, morton,
+    ranges_interact, tessellate)
+from repro.errors import ExecutionError
+from repro.types.datatypes import ANY, INTEGER
+from repro.types.objects import ObjectType
+
+
+@pytest.fixture
+def geometry_type():
+    return ObjectType(GEOMETRY_TYPE_NAME, [("gtype", INTEGER),
+                                           ("coords", ANY)])
+
+
+def rect(gt, x0, y0, x1, y1):
+    from repro.cartridges.spatial.geometry import make_rect
+    return make_rect(gt, x0, y0, x1, y1)
+
+
+def point(gt, x, y):
+    from repro.cartridges.spatial.geometry import make_point
+    return make_point(gt, x, y)
+
+
+class TestLowLevelPredicates:
+    def test_segments_cross_proper(self):
+        assert segments_cross((0, 0), (2, 2), (0, 2), (2, 0))
+        assert not segments_cross((0, 0), (1, 1), (2, 2), (3, 3))
+
+    def test_segments_touching_not_proper_cross(self):
+        assert not segments_cross((0, 0), (2, 0), (2, 0), (2, 2))
+
+    def test_point_in_polygon(self):
+        square = [(0, 0), (4, 0), (4, 4), (0, 4)]
+        assert point_in_polygon((2, 2), square) == 1
+        assert point_in_polygon((0, 2), square) == 0  # boundary
+        assert point_in_polygon((5, 2), square) == -1
+
+    def test_point_in_concave_polygon(self):
+        arrow = [(0, 0), (4, 0), (4, 4), (2, 2), (0, 4)]
+        assert point_in_polygon((1, 1), arrow) == 1
+        assert point_in_polygon((2, 3), arrow) == -1
+
+
+class TestRelate:
+    def test_disjoint(self, geometry_type):
+        a = rect(geometry_type, 0, 0, 10, 10)
+        b = rect(geometry_type, 20, 20, 30, 30)
+        assert relate(a, b) is Relation.DISJOINT
+
+    def test_overlaps(self, geometry_type):
+        a = rect(geometry_type, 0, 0, 10, 10)
+        b = rect(geometry_type, 5, 5, 15, 15)
+        assert relate(a, b) is Relation.OVERLAPS
+        assert relate(b, a) is Relation.OVERLAPS
+
+    def test_inside_contains(self, geometry_type):
+        outer = rect(geometry_type, 0, 0, 10, 10)
+        inner = rect(geometry_type, 2, 2, 4, 4)
+        assert relate(inner, outer) is Relation.INSIDE
+        assert relate(outer, inner) is Relation.CONTAINS
+
+    def test_equal(self, geometry_type):
+        a = rect(geometry_type, 1, 1, 5, 5)
+        b = rect(geometry_type, 1, 1, 5, 5)
+        assert relate(a, b) is Relation.EQUAL
+
+    def test_touch_edge(self, geometry_type):
+        a = rect(geometry_type, 0, 0, 10, 10)
+        b = rect(geometry_type, 10, 0, 20, 10)
+        assert relate(a, b) is Relation.TOUCH
+
+    def test_touch_corner(self, geometry_type):
+        a = rect(geometry_type, 0, 0, 10, 10)
+        b = rect(geometry_type, 10, 10, 20, 20)
+        assert relate(a, b) is Relation.TOUCH
+
+    def test_point_relations(self, geometry_type):
+        box = rect(geometry_type, 0, 0, 10, 10)
+        assert relate(point(geometry_type, 5, 5), box) is Relation.INSIDE
+        assert relate(box, point(geometry_type, 5, 5)) is Relation.CONTAINS
+        assert relate(point(geometry_type, 10, 5), box) is Relation.TOUCH
+        assert relate(point(geometry_type, 50, 5), box) is Relation.DISJOINT
+
+    def test_point_point(self, geometry_type):
+        assert relate(point(geometry_type, 1, 1),
+                      point(geometry_type, 1, 1)) is Relation.EQUAL
+        assert relate(point(geometry_type, 1, 1),
+                      point(geometry_type, 2, 1)) is Relation.DISJOINT
+
+    def test_bounding_box(self, geometry_type):
+        box = bounding_box(rect(geometry_type, 1, 2, 3, 4))
+        assert box == (1, 2, 3, 4)
+
+    def test_geometry_coords(self, geometry_type):
+        coords = geometry_coords(rect(geometry_type, 0, 0, 1, 1))
+        assert len(coords) == 4
+
+
+class TestMasks:
+    def test_single_mask(self):
+        assert mask_matches(Relation.OVERLAPS, "OVERLAPS")
+        assert not mask_matches(Relation.TOUCH, "OVERLAPS")
+
+    def test_combined_masks(self):
+        assert mask_matches(Relation.TOUCH, "OVERLAPS+TOUCH")
+
+    def test_anyinteract(self):
+        for relation in Relation:
+            expected = relation is not Relation.DISJOINT
+            assert mask_matches(relation, "ANYINTERACT") is expected
+
+    def test_unknown_mask(self):
+        with pytest.raises(ExecutionError):
+            mask_matches(Relation.TOUCH, "FROBNICATE")
+
+    def test_parse_mask_param(self):
+        assert parse_mask_param("mask=OVERLAPS") == "OVERLAPS"
+        assert parse_mask_param("  mask=INSIDE ") == "INSIDE"
+        assert parse_mask_param("TOUCH") == "TOUCH"
+
+
+class TestTiling:
+    def test_morton_interleaves(self):
+        assert morton(0, 0, 3) == 0
+        assert morton(1, 0, 3) == 1
+        assert morton(0, 1, 3) == 2
+        assert morton(1, 1, 3) == 3
+        assert morton(2, 0, 3) == 4
+
+    def test_tessellate_small_rect_single_group(self, geometry_type):
+        tiles = tessellate(rect(geometry_type, 10, 10, 40, 40))
+        assert tiles
+        assert len({t.grpcode for t in tiles}) == 1
+
+    def test_ranges_consistent(self, geometry_type):
+        for tile in tessellate(rect(geometry_type, 100, 100, 300, 260)):
+            assert tile.code <= tile.maxcode
+            assert tile.grpcode == tile.code >> (2 * (MAX_LEVEL - GROUP_LEVEL))
+
+    def test_outside_world_rejected(self, geometry_type):
+        with pytest.raises(ExecutionError):
+            tessellate(rect(geometry_type, -5, 0, 10, 10))
+        with pytest.raises(ExecutionError):
+            tessellate(rect(geometry_type, 0, 0, WORLD_SIZE + 1, 10))
+
+    def test_overlapping_geometries_have_interacting_ranges(
+            self, geometry_type):
+        a = tessellate(rect(geometry_type, 100, 100, 300, 300))
+        b = tessellate(rect(geometry_type, 250, 250, 400, 400))
+        assert ranges_interact(a, b)
+
+    def test_distant_geometries_do_not_interact(self, geometry_type):
+        a = tessellate(rect(geometry_type, 0, 0, 50, 50))
+        b = tessellate(rect(geometry_type, 800, 800, 900, 900))
+        assert not ranges_interact(a, b)
+
+    def test_interaction_is_symmetric(self, geometry_type):
+        a = tessellate(rect(geometry_type, 10, 10, 200, 200))
+        b = tessellate(rect(geometry_type, 150, 150, 260, 260))
+        assert ranges_interact(a, b) == ranges_interact(b, a)
+
+    def test_tile_range_intersects(self):
+        a = TileRange(grpcode=1, code=0, maxcode=10)
+        b = TileRange(grpcode=1, code=10, maxcode=20)
+        c = TileRange(grpcode=1, code=11, maxcode=20)
+        d = TileRange(grpcode=2, code=0, maxcode=100)
+        assert a.intersects(b)
+        assert not a.intersects(c)
+        assert not a.intersects(d)  # different groups never interact
+
+
+class TestRTree:
+    def test_insert_and_search(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 10, 10), "a")
+        tree.insert(Rect(20, 20, 30, 30), "b")
+        assert set(tree.search(Rect(5, 5, 25, 25))) == {"a", "b"}
+        assert set(tree.search(Rect(50, 50, 60, 60))) == set()
+        assert len(tree) == 2
+
+    def test_split_grows_tree(self):
+        tree = RTree(max_entries=4)
+        rng = random.Random(5)
+        for i in range(100):
+            x, y = rng.uniform(0, 900), rng.uniform(0, 900)
+            tree.insert(Rect(x, y, x + 10, y + 10), i)
+        assert tree.height > 1
+        assert len(tree) == 100
+
+    def test_search_matches_brute_force(self):
+        rng = random.Random(9)
+        tree = RTree(max_entries=5)
+        rects = []
+        for i in range(200):
+            x, y = rng.uniform(0, 500), rng.uniform(0, 500)
+            r = Rect(x, y, x + rng.uniform(1, 40), y + rng.uniform(1, 40))
+            rects.append((r, i))
+            tree.insert(r, i)
+        query = Rect(100, 100, 250, 250)
+        expected = {i for r, i in rects if r.intersects(query)}
+        assert set(tree.search(query)) == expected
+
+    def test_delete(self):
+        tree = RTree(max_entries=4)
+        entries = []
+        rng = random.Random(3)
+        for i in range(60):
+            x, y = rng.uniform(0, 300), rng.uniform(0, 300)
+            r = Rect(x, y, x + 5, y + 5)
+            entries.append((r, i))
+            tree.insert(r, i)
+        for r, i in entries[:30]:
+            assert tree.delete(r, i)
+        assert len(tree) == 30
+        everything = Rect(0, 0, 400, 400)
+        assert set(tree.search(everything)) == {i for __, i in entries[30:]}
+
+    def test_delete_missing_returns_false(self):
+        tree = RTree()
+        assert not tree.delete(Rect(0, 0, 1, 1), "nope")
+
+    def test_items(self):
+        tree = RTree()
+        tree.insert(Rect(0, 0, 1, 1), "x")
+        assert list(tree.items()) == [(Rect(0, 0, 1, 1), "x")]
+
+    def test_rect_helpers(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(1, 1, 3, 3)
+        assert a.area() == 4
+        assert a.union(b) == Rect(0, 0, 3, 3)
+        assert a.enlargement(b) == 5
+        assert a.intersects(b)
+        assert not a.intersects(Rect(5, 5, 6, 6))
+
+    def test_min_entries_validated(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=2)

@@ -1,0 +1,140 @@
+"""Text cartridge components: lexer, parameters, query language."""
+
+import pytest
+
+from repro.cartridges.text.lexer import (
+    DEFAULT_STOPWORDS, TextLexer, TextParameters, tokenize)
+from repro.cartridges.text.query import (
+    And, Not, Or, Term, parse_query)
+from repro.errors import ExecutionError, ODCIError
+
+
+class TestParameters:
+    def test_paper_example(self):
+        params = TextParameters.parse(":Language English :Ignore the a an")
+        assert params.language == "english"
+        assert {"the", "a", "an"} <= params.stopwords
+
+    def test_defaults(self):
+        params = TextParameters.parse("")
+        assert params.language == "english"
+        assert params.stopwords == DEFAULT_STOPWORDS["english"]
+
+    def test_alter_extends_ignore_list(self):
+        base = TextParameters.parse(":Language English :Ignore the")
+        merged = TextParameters.parse(":Ignore COBOL", base=base)
+        assert "cobol" in merged.stopwords
+        assert "the" in merged.stopwords
+        assert merged.language == "english"
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ODCIError):
+            TextParameters.parse(":Bogus x")
+
+    def test_unknown_language(self):
+        with pytest.raises(ODCIError):
+            TextParameters.parse(":Language klingon")
+
+    def test_language_without_value(self):
+        with pytest.raises(ODCIError):
+            TextParameters.parse(":Language")
+
+    def test_non_keyword_token_rejected(self):
+        with pytest.raises(ODCIError):
+            TextParameters.parse("English")
+
+    def test_render_roundtrip(self):
+        params = TextParameters.parse(":Language german :Ignore foo")
+        again = TextParameters.parse(params.render())
+        assert again.language == "german"
+        assert "foo" in again.stopwords
+
+
+class TestLexer:
+    def test_tokenizes_lowercase(self):
+        params = TextParameters.parse("")
+        lexer = TextLexer(params)
+        assert lexer.tokens("Oracle AND UNIX") == ["oracle", "unix"]
+
+    def test_stopwords_removed(self):
+        params = TextParameters.parse(":Ignore oracle")
+        assert "oracle" not in TextLexer(params).tokens("Oracle expert")
+
+    def test_punctuation_split(self):
+        tokens = tokenize("C++, C#; SQL*Plus!")
+        assert "sql" in tokens
+
+    def test_frequencies(self):
+        params = TextParameters.parse("")
+        freqs = TextLexer(params).term_frequencies("ox ox cat")
+        assert freqs == {"ox": 2, "cat": 1}
+
+    def test_empty_text(self):
+        params = TextParameters.parse("")
+        assert TextLexer(params).tokens("") == []
+
+
+class TestQueryLanguage:
+    def test_single_term(self):
+        tree = parse_query("Oracle")
+        assert isinstance(tree, Term)
+        assert tree.word == "oracle"
+
+    def test_and(self):
+        tree = parse_query("Oracle AND UNIX")
+        assert isinstance(tree, And)
+
+    def test_implicit_and(self):
+        tree = parse_query("Oracle UNIX")
+        assert isinstance(tree, And)
+
+    def test_or_precedence(self):
+        tree = parse_query("a AND b OR c")
+        assert isinstance(tree, Or)
+        assert isinstance(tree.left, And)
+
+    def test_parentheses(self):
+        tree = parse_query("a AND (b OR c)")
+        assert isinstance(tree, And)
+        assert isinstance(tree.right, Or)
+
+    def test_not_inside_and(self):
+        tree = parse_query("a AND NOT b")
+        assert isinstance(tree.right, Not)
+
+    def test_bare_not_rejected(self):
+        with pytest.raises(ExecutionError):
+            parse_query("NOT a")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExecutionError):
+            parse_query("")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ExecutionError):
+            parse_query("(a AND b")
+
+    def test_matches_token_sets(self):
+        tree = parse_query("oracle AND (unix OR linux) AND NOT java")
+        assert tree.matches({"oracle", "unix"})
+        assert tree.matches({"oracle", "linux"})
+        assert not tree.matches({"oracle", "unix", "java"})
+        assert not tree.matches({"oracle"})
+
+    def test_evaluate_with_postings(self):
+        postings = {
+            "a": {1: 1, 2: 2, 3: 1},
+            "b": {2: 1, 3: 3},
+            "c": {3: 1, 4: 1},
+        }
+        lookup = lambda term: postings.get(term, {})  # noqa: E731
+        assert set(parse_query("a AND b").evaluate(lookup)) == {2, 3}
+        assert set(parse_query("a OR c").evaluate(lookup)) == {1, 2, 3, 4}
+        assert set(parse_query("a AND NOT b").evaluate(lookup)) == {1}
+        # scores accumulate across matched terms
+        assert parse_query("a AND b").evaluate(lookup)[3] == 4
+
+    def test_evaluate_not_on_left(self):
+        postings = {"a": {1: 1, 2: 1}, "b": {2: 1}}
+        lookup = lambda term: postings.get(term, {})  # noqa: E731
+        assert set(parse_query("(NOT b) AND a").evaluate(lookup)) == {1}

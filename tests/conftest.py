@@ -1,0 +1,71 @@
+"""Shared fixtures: fresh databases, optionally with cartridges installed."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    """A fresh empty database."""
+    return Database()
+
+
+@pytest.fixture
+def text_db():
+    """A database with the text cartridge installed."""
+    from repro.cartridges.text import install
+    database = Database()
+    install(database)
+    return database
+
+
+@pytest.fixture
+def spatial_db():
+    """A database with the spatial (tile) cartridge installed."""
+    from repro.cartridges.spatial import install
+    database = Database()
+    install(database)
+    return database
+
+
+@pytest.fixture
+def vir_db():
+    """A database with the VIR cartridge installed."""
+    from repro.cartridges.vir import install
+    database = Database()
+    install(database)
+    return database
+
+
+@pytest.fixture
+def chem_db():
+    """A database with the chemistry cartridge installed."""
+    from repro.cartridges.chemistry import install
+    database = Database()
+    install(database)
+    return database
+
+
+@pytest.fixture
+def employees_db(text_db):
+    """The paper's running example: Employees with a text index."""
+    text_db.execute(
+        "CREATE TABLE employees (name VARCHAR2(128), id INTEGER,"
+        " resume VARCHAR2(1024))")
+    rows = [
+        ("Amy", 1, "Oracle and UNIX expert with ten years of Oracle"),
+        ("Bob", 2, "Java developer who loves Linux kernels"),
+        ("Cid", 3, "Oracle DBA with some UNIX scripting skills"),
+        ("Dee", 4, "Technical writer covering COBOL and Fortran"),
+        ("Eve", 5, "UNIX systems administrator"),
+    ]
+    for name, ident, resume in rows:
+        text_db.execute(
+            "INSERT INTO employees VALUES (:1, :2, :3)",
+            [name, ident, resume])
+    text_db.execute(
+        "CREATE INDEX resume_text_index ON employees(resume)"
+        " INDEXTYPE IS TextIndexType"
+        " PARAMETERS (':Language English :Ignore the a an')")
+    return text_db

@@ -1,0 +1,204 @@
+"""Failure injection: cartridge routines that raise, and what the server
+guarantees afterwards.
+
+The framework's promise is that a domain index behaves like a built-in
+one — including error atomicity: if ODCIIndexInsert fails, the whole
+statement rolls back (base table AND index tables); if ODCIIndexCreate
+fails, no index object is left behind.
+"""
+
+import pytest
+
+from repro import Database, FetchResult, IndexMethods, PrecomputedScan
+from repro.errors import CatalogError, ODCIError
+
+
+class FlakyIndexMethods(IndexMethods):
+    """A text-like indextype whose routines fail on command."""
+
+    fail_on: str = ""  # class-level switch set by tests
+
+    def _table(self, ia):
+        return f"{ia.index_name.lower()}_data"
+
+    def index_create(self, ia, parameters, env):
+        if FlakyIndexMethods.fail_on == "create":
+            raise ODCIError("ODCIIndexCreate", "injected failure")
+        env.callback.execute(
+            f"CREATE TABLE {self._table(ia)} (v VARCHAR2(100), rid ROWID)")
+        column = ia.column_names[0]
+        for rid, value in env.callback.query(
+                f"SELECT rowid, {column} FROM {ia.table_name}"):
+            env.callback.insert_row(self._table(ia), [value, rid])
+
+    def index_drop(self, ia, env):
+        if FlakyIndexMethods.fail_on == "drop":
+            raise ODCIError("ODCIIndexDrop", "injected failure")
+        env.callback.execute(f"DROP TABLE {self._table(ia)}")
+
+    def index_insert(self, ia, rowid, new_values, env):
+        if FlakyIndexMethods.fail_on == "insert":
+            raise ODCIError("ODCIIndexInsert", "injected failure")
+        env.callback.insert_row(self._table(ia), [new_values[0], rowid])
+
+    def index_delete(self, ia, rowid, old_values, env):
+        if FlakyIndexMethods.fail_on == "delete":
+            raise ODCIError("ODCIIndexDelete", "injected failure")
+        env.callback.execute(
+            f"DELETE FROM {self._table(ia)} WHERE rid = :1", [rowid])
+
+    def index_start(self, ia, op_info, query_info, env):
+        if FlakyIndexMethods.fail_on == "start":
+            raise ODCIError("ODCIIndexStart", "injected failure")
+        rows = env.callback.query(
+            f"SELECT rid FROM {self._table(ia)} WHERE v = :1",
+            [op_info.operator_args[0]])
+        return PrecomputedScan(sorted(r[0] for r in rows))
+
+    def index_fetch(self, context, nrows, env):
+        if FlakyIndexMethods.fail_on == "fetch":
+            raise ODCIError("ODCIIndexFetch", "injected failure")
+        batch = context.next_batch(nrows)
+        return FetchResult(rowids=batch, done=len(batch) < nrows)
+
+    def index_close(self, context, env):
+        context.close()
+
+
+@pytest.fixture
+def flaky_db():
+    FlakyIndexMethods.fail_on = ""
+    db = Database()
+    # a deliberately expensive functional implementation so the
+    # optimizer always prefers the (flaky) domain index scan
+    db.create_function("EqValFunc",
+                       lambda v, probe: 1 if v == probe else 0, cost=5.0)
+    db.register_methods("FlakyIndexMethods", FlakyIndexMethods)
+    db.execute("CREATE OPERATOR Eq_Val BINDING (VARCHAR2, VARCHAR2)"
+               " RETURN NUMBER USING EqValFunc")
+    db.execute("CREATE INDEXTYPE FlakyIndexType"
+               " FOR Eq_Val(VARCHAR2, VARCHAR2) USING FlakyIndexMethods")
+    db.execute("CREATE TABLE t (v VARCHAR2(100))")
+    db.execute("INSERT INTO t VALUES ('alpha'), ('beta')")
+    yield db
+    FlakyIndexMethods.fail_on = ""
+
+
+class TestCreateFailure:
+    def test_failed_create_leaves_no_index(self, flaky_db):
+        FlakyIndexMethods.fail_on = "create"
+        with pytest.raises(ODCIError):
+            flaky_db.execute("CREATE INDEX t_idx ON t(v)"
+                             " INDEXTYPE IS FlakyIndexType")
+        assert not flaky_db.catalog.has_index("t_idx")
+        # and the query still works functionally
+        assert flaky_db.query(
+            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')") == [("alpha",)]
+
+    def test_create_succeeds_after_failure_cleared(self, flaky_db):
+        FlakyIndexMethods.fail_on = "create"
+        with pytest.raises(ODCIError):
+            flaky_db.execute("CREATE INDEX t_idx ON t(v)"
+                             " INDEXTYPE IS FlakyIndexType")
+        FlakyIndexMethods.fail_on = ""
+        flaky_db.execute("CREATE INDEX t_idx ON t(v)"
+                         " INDEXTYPE IS FlakyIndexType")
+        assert flaky_db.catalog.has_index("t_idx")
+
+
+class TestMaintenanceFailure:
+    @pytest.fixture
+    def indexed(self, flaky_db):
+        flaky_db.execute("CREATE INDEX t_idx ON t(v)"
+                         " INDEXTYPE IS FlakyIndexType")
+        return flaky_db
+
+    def test_failed_insert_rolls_back_statement(self, indexed):
+        FlakyIndexMethods.fail_on = "insert"
+        with pytest.raises(ODCIError):
+            indexed.execute("INSERT INTO t VALUES ('gamma')")
+        FlakyIndexMethods.fail_on = ""
+        # neither the base row nor any index entry survived
+        assert indexed.query("SELECT COUNT(*) FROM t") == [(2,)]
+        assert indexed.query(
+            "SELECT COUNT(*) FROM t_idx_data WHERE v = 'gamma'") == [(0,)]
+        assert indexed.query(
+            "SELECT v FROM t WHERE Eq_Val(v, 'gamma')") == []
+
+    def test_failed_delete_rolls_back_statement(self, indexed):
+        FlakyIndexMethods.fail_on = "delete"
+        with pytest.raises(ODCIError):
+            indexed.execute("DELETE FROM t WHERE v = 'alpha'")
+        FlakyIndexMethods.fail_on = ""
+        assert indexed.query("SELECT COUNT(*) FROM t") == [(2,)]
+        assert indexed.query(
+            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')") == [("alpha",)]
+
+    def test_failure_in_explicit_txn_preserves_earlier_work(self, indexed):
+        indexed.begin()
+        indexed.execute("INSERT INTO t VALUES ('early')")
+        FlakyIndexMethods.fail_on = "insert"
+        with pytest.raises(ODCIError):
+            indexed.execute("INSERT INTO t VALUES ('late')")
+        FlakyIndexMethods.fail_on = ""
+        # the failed statement died, but the transaction is still open
+        # with the earlier insert intact; commit keeps it
+        indexed.commit()
+        values = sorted(r[0] for r in indexed.query("SELECT v FROM t"))
+        assert "early" in values and "late" not in values
+
+    def test_consistency_after_mixed_failures(self, indexed):
+        for __ in range(3):
+            FlakyIndexMethods.fail_on = "insert"
+            with pytest.raises(ODCIError):
+                indexed.execute("INSERT INTO t VALUES ('x')")
+            FlakyIndexMethods.fail_on = ""
+            indexed.execute("INSERT INTO t VALUES ('y')")
+        # index answers equal functional answers
+        indexed_rows = indexed.query(
+            "SELECT rowid FROM t WHERE Eq_Val(v, 'y')")
+        assert len(indexed_rows) == 3
+        base = indexed.query("SELECT COUNT(*) FROM t")
+        assert base == [(5,)]
+
+
+class TestScanFailure:
+    @pytest.fixture
+    def indexed(self, flaky_db):
+        flaky_db.execute("CREATE INDEX t_idx ON t(v)"
+                         " INDEXTYPE IS FlakyIndexType")
+        return flaky_db
+
+    def test_start_failure_propagates(self, indexed):
+        FlakyIndexMethods.fail_on = "start"
+        with pytest.raises(ODCIError):
+            indexed.query("SELECT v FROM t WHERE Eq_Val(v, 'alpha')")
+
+    def test_fetch_failure_still_closes_scan(self, indexed):
+        FlakyIndexMethods.fail_on = "fetch"
+        with pytest.raises(ODCIError):
+            indexed.query("SELECT v FROM t WHERE Eq_Val(v, 'alpha')")
+        FlakyIndexMethods.fail_on = ""
+        # the engine can still run scans afterwards (no stuck state)
+        assert indexed.query(
+            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')") == [("alpha",)]
+
+    def test_database_usable_after_scan_failure(self, indexed):
+        FlakyIndexMethods.fail_on = "start"
+        with pytest.raises(ODCIError):
+            indexed.query("SELECT v FROM t WHERE Eq_Val(v, 'alpha')")
+        FlakyIndexMethods.fail_on = ""
+        indexed.execute("INSERT INTO t VALUES ('after')")
+        assert indexed.query("SELECT COUNT(*) FROM t") == [(3,)]
+
+
+class TestDropFailure:
+    def test_drop_force_removes_despite_failure(self, flaky_db):
+        flaky_db.execute("CREATE INDEX t_idx ON t(v)"
+                         " INDEXTYPE IS FlakyIndexType")
+        FlakyIndexMethods.fail_on = "drop"
+        with pytest.raises(ODCIError):
+            flaky_db.execute("DROP INDEX t_idx")
+        assert flaky_db.catalog.has_index("t_idx")
+        flaky_db.execute("DROP INDEX t_idx FORCE")
+        assert not flaky_db.catalog.has_index("t_idx")

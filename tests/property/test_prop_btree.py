@@ -1,0 +1,85 @@
+"""Property tests: the B+-tree behaves like a sorted multimap model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.index.btree import BTree
+
+keys = st.integers(min_value=-1000, max_value=1000)
+values = st.integers(min_value=0, max_value=10)
+
+
+@given(st.lists(st.tuples(keys, values), max_size=300))
+def test_items_sorted_and_complete(entries):
+    tree = BTree(order=4)
+    for key, value in entries:
+        tree.insert(key, value)
+    got = list(tree.items())
+    assert sorted(e[0] for e in entries) == [k for k, __ in got]
+    assert sorted(entries) == sorted(got)
+
+
+@given(st.lists(st.tuples(keys, values), max_size=200),
+       keys, keys)
+def test_range_scan_matches_filter(entries, low, high):
+    if low > high:
+        low, high = high, low
+    tree = BTree(order=4)
+    for key, value in entries:
+        tree.insert(key, value)
+    got = sorted(tree.range_scan(low, high))
+    expected = sorted((k, v) for k, v in entries if low <= k <= high)
+    assert got == expected
+
+
+@given(st.lists(st.tuples(keys, values), max_size=200), st.data())
+def test_delete_removes_exactly_one(entries, data):
+    tree = BTree(order=4)
+    for key, value in entries:
+        tree.insert(key, value)
+    if not entries:
+        return
+    victim = data.draw(st.sampled_from(entries))
+    assert tree.delete(*victim)
+    remaining = sorted(tree.items())
+    model = sorted(entries)
+    model.remove(victim)
+    assert remaining == model
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful comparison against a list-of-pairs model."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BTree(order=4)
+        self.model = []
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model.append((key, value))
+
+    @rule(key=keys)
+    def delete_key(self, key):
+        expected = any(k == key for k, __ in self.model)
+        assert self.tree.delete(key) == expected
+        self.model = [(k, v) for k, v in self.model if k != key]
+
+    @rule(key=keys)
+    def search(self, key):
+        expected = sorted(v for k, v in self.model if k == key)
+        assert sorted(self.tree.search(key)) == expected
+
+    @invariant()
+    def size_and_order_agree(self):
+        assert len(self.tree) == len(self.model)
+        got_keys = [k for k, __ in self.tree.items()]
+        assert got_keys == sorted(got_keys)
+
+
+TestBTreeMachine = BTreeMachine.TestCase
+TestBTreeMachine.settings = settings(max_examples=25,
+                                     stateful_step_count=30,
+                                     deadline=None)

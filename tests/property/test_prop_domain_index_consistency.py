@@ -1,0 +1,126 @@
+"""Property: a domain index always agrees with functional evaluation.
+
+Random sequences of INSERT / UPDATE / DELETE / transactional rollback
+run against a text-indexed table; after each sequence, index-based
+results for random queries must equal the ground truth computed by
+applying the functional operator to the live rows.  This exercises the
+entire maintenance protocol (ODCIIndexInsert/Update/Delete through
+server callbacks with shared undo) under adversarial schedules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.cartridges.text import install, text_contains
+
+WORDS = ["oracle", "unix", "java", "rust", "sql", "linux"]
+
+body_strategy = st.lists(st.sampled_from(WORDS), min_size=0,
+                         max_size=5).map(" ".join)
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), body_strategy),
+    st.tuples(st.just("update"), st.integers(0, 30), body_strategy),
+    st.tuples(st.just("delete"), st.integers(0, 30)),
+    st.tuples(st.just("txn_rollback"),
+              st.lists(st.tuples(st.just("insert"), body_strategy),
+                       min_size=1, max_size=3)),
+)
+
+
+def apply_operations(db, model, operations):
+    """Run operations against the engine and a plain-dict model."""
+    next_id = [max(model, default=-1) + 1]
+
+    def do_insert(body):
+        ident = next_id[0]
+        next_id[0] += 1
+        db.execute("INSERT INTO docs VALUES (:1, :2)", [ident, body])
+        model[ident] = body
+
+    for op in operations:
+        kind = op[0]
+        if kind == "insert":
+            do_insert(op[1])
+        elif kind == "update":
+            __, target, body = op
+            keys = sorted(model)
+            if not keys:
+                continue
+            victim = keys[target % len(keys)]
+            db.execute("UPDATE docs SET body = :1 WHERE id = :2",
+                       [body, victim])
+            model[victim] = body
+        elif kind == "delete":
+            keys = sorted(model)
+            if not keys:
+                continue
+            victim = keys[op[1] % len(keys)]
+            db.execute("DELETE FROM docs WHERE id = :1", [victim])
+            del model[victim]
+        elif kind == "txn_rollback":
+            # run some inserts in a transaction, then undo them all
+            db.begin()
+            for __, body in op[1]:
+                ident = next_id[0]
+                next_id[0] += 1
+                db.execute("INSERT INTO docs VALUES (:1, :2)",
+                           [ident, body])
+            db.rollback()
+            # the model never sees them
+
+
+@given(st.lists(operation, max_size=20),
+       st.sampled_from(WORDS), st.sampled_from(WORDS))
+@settings(max_examples=40, deadline=None)
+def test_index_results_equal_functional_truth(operations, word_a, word_b):
+    db = Database()
+    install(db)
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(200))")
+    db.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    model = {}
+    apply_operations(db, model, operations)
+
+    for query in (word_a, f"{word_a} AND {word_b}",
+                  f"{word_a} OR {word_b}",
+                  f"{word_a} AND NOT {word_b}"):
+        got = sorted(r[0] for r in db.query(
+            "SELECT id FROM docs WHERE Contains(body, :1)", [query]))
+        expected = sorted(ident for ident, body in model.items()
+                          if text_contains(body, query))
+        assert got == expected, (query, got, expected)
+
+    # the base table itself matches the model too
+    live = dict(db.query("SELECT id, body FROM docs"))
+    assert live == model
+
+
+@given(st.lists(operation, max_size=15))
+@settings(max_examples=25, deadline=None)
+def test_terms_table_has_no_orphans(operations):
+    """Every posting references a live row with that token, and every
+    live row's tokens are present — full index/base synchronization."""
+    db = Database()
+    install(db)
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(200))")
+    db.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    model = {}
+    apply_operations(db, model, operations)
+
+    postings = db.query("SELECT token, rid FROM docs_text_terms")
+    live = {rid: body for rid, body in db.query(
+        "SELECT rowid, body FROM docs")}
+    from repro.cartridges.text.lexer import TextLexer, TextParameters
+    lexer = TextLexer(TextParameters.parse(""))
+    # no orphaned postings
+    for token, rid in postings:
+        assert rid in live
+        assert token in lexer.tokens(live[rid])
+    # no missing postings
+    posted = {(token, rid) for token, rid in postings}
+    for rid, body in live.items():
+        for token in set(lexer.tokens(body)):
+            assert (token, rid) in posted

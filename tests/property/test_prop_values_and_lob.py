@@ -1,0 +1,134 @@
+"""Property tests: three-valued-logic laws and LOB/file handle parity."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferCache, IOStats
+from repro.storage.filestore import FileStore
+from repro.storage.lob import LobManager
+from repro.types.values import NULL, is_null, sql_and, sql_not, sql_or
+
+tri = st.sampled_from([True, False, NULL])
+
+
+def same(a, b):
+    return (is_null(a) and is_null(b)) or a == b
+
+
+class TestKleeneLaws:
+    @given(tri, tri)
+    def test_commutativity(self, a, b):
+        assert same(sql_and(a, b), sql_and(b, a))
+        assert same(sql_or(a, b), sql_or(b, a))
+
+    @given(tri, tri, tri)
+    def test_associativity(self, a, b, c):
+        assert same(sql_and(sql_and(a, b), c), sql_and(a, sql_and(b, c)))
+        assert same(sql_or(sql_or(a, b), c), sql_or(a, sql_or(b, c)))
+
+    @given(tri, tri)
+    def test_de_morgan(self, a, b):
+        assert same(sql_not(sql_and(a, b)), sql_or(sql_not(a), sql_not(b)))
+        assert same(sql_not(sql_or(a, b)), sql_and(sql_not(a), sql_not(b)))
+
+    @given(tri)
+    def test_double_negation(self, a):
+        assert same(sql_not(sql_not(a)), a)
+
+    @given(tri)
+    def test_identity_elements(self, a):
+        assert same(sql_and(a, True), a)
+        assert same(sql_or(a, False), a)
+
+    @given(tri)
+    def test_dominators(self, a):
+        assert sql_and(a, False) is False
+        assert sql_or(a, True) is True
+
+
+# one operation of a random file-like session
+op = st.one_of(
+    st.tuples(st.just("write"), st.binary(min_size=0, max_size=300)),
+    st.tuples(st.just("read"), st.integers(min_value=0, max_value=400)),
+    st.tuples(st.just("seek"), st.integers(min_value=0, max_value=500)),
+    st.tuples(st.just("seek_end"), st.integers(min_value=-100, max_value=0)),
+    st.tuples(st.just("truncate"), st.integers(min_value=0, max_value=400)),
+)
+
+
+def run_session(handle, ops):
+    """Apply a scripted op sequence; return observable outputs."""
+    observations = []
+    for name, arg in ops:
+        if name == "write":
+            observations.append(handle.write(arg))
+        elif name == "read":
+            observations.append(handle.read(arg))
+        elif name == "seek":
+            observations.append(handle.seek(arg))
+        elif name == "seek_end":
+            # clamp so the resulting position is never negative (the
+            # engine handles raise on negative positions by design)
+            observations.append(handle.seek(max(arg, -handle.length()), 2))
+        elif name == "truncate":
+            handle.seek(min(arg, handle.length()))
+            observations.append(handle.truncate())
+        observations.append(handle.tell())
+        observations.append(handle.length())
+    handle.seek(0)
+    observations.append(handle.read())
+    return observations
+
+
+class TestLobFileParity:
+    """§3.2.4's migration premise: LOB locators behave exactly like files."""
+
+    @given(st.lists(op, max_size=25))
+    def test_lob_equals_external_file(self, ops):
+        lob = LobManager(BufferCache(IOStats(), capacity=8)).create()
+        external = FileStore(IOStats()).create("f")
+        assert run_session(lob, ops) == run_session(external, ops)
+
+    @given(st.lists(op, max_size=25))
+    def test_lob_equals_bytearray_model(self, ops):
+        """LOB behaviour checked against a straightforward model."""
+
+        class Model:
+            def __init__(self):
+                self.data = bytearray()
+                self.pos = 0
+
+            def write(self, payload):
+                if not payload:
+                    return 0
+                if len(self.data) < self.pos:
+                    self.data.extend(b"\x00" * (self.pos - len(self.data)))
+                self.data[self.pos:self.pos + len(payload)] = payload
+                self.pos += len(payload)
+                return len(payload)
+
+            def read(self, count=-1):
+                out = bytes(self.data[self.pos:]) if count < 0 else \
+                    bytes(self.data[self.pos:self.pos + count])
+                self.pos += len(out)
+                return out
+
+            def seek(self, offset, whence=0):
+                self.pos = offset if whence == 0 else (
+                    self.pos + offset if whence == 1
+                    else len(self.data) + offset)
+                return self.pos
+
+            def tell(self):
+                return self.pos
+
+            def truncate(self, size=None):
+                size = self.pos if size is None else size
+                del self.data[size:]
+                return size
+
+            def length(self):
+                return len(self.data)
+
+        lob = LobManager(BufferCache(IOStats(), capacity=4)).create()
+        assert run_session(lob, ops) == run_session(Model(), ops)

@@ -1,0 +1,166 @@
+"""Catalog (data dictionary) bookkeeping."""
+
+import pytest
+
+from repro.core.indextype import Indextype
+from repro.core.odci import IndexMethods
+from repro.core.operators import Operator
+from repro.core.stats import StatsMethods
+from repro.errors import CatalogError
+from repro.index import BTree
+from repro.sql.catalog import (
+    Catalog, ColumnInfo, IndexDef, SQLFunction, TableDef)
+from repro.storage.buffer import BufferCache, IOStats
+from repro.storage.heap import HeapTable
+from repro.types.datatypes import INTEGER, VARCHAR2
+
+
+@pytest.fixture
+def catalog():
+    return Catalog()
+
+
+def make_table(name="t"):
+    storage = HeapTable(BufferCache(IOStats()), name=name)
+    return TableDef(name=name, storage=storage, columns=[
+        ColumnInfo("id", INTEGER), ColumnInfo("name", VARCHAR2)])
+
+
+class TestTables:
+    def test_add_get_case_insensitive(self, catalog):
+        catalog.add_table(make_table("Emp"))
+        assert catalog.get_table("EMP").name == "Emp"
+        assert catalog.has_table("emp")
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.add_table(make_table())
+        with pytest.raises(CatalogError):
+            catalog.add_table(make_table())
+
+    def test_missing_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get_table("nope")
+
+    def test_drop(self, catalog):
+        catalog.add_table(make_table())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_column_position_and_info(self, catalog):
+        table = make_table()
+        assert table.column_position("NAME") == 1
+        assert table.column_info("id").datatype is INTEGER
+        with pytest.raises(CatalogError):
+            table.column_position("zzz")
+
+    def test_column_names(self):
+        assert make_table().column_names() == ["id", "name"]
+
+
+class TestIndexes:
+    def test_add_links_to_table(self, catalog):
+        table = make_table()
+        catalog.add_table(table)
+        catalog.add_index(IndexDef(name="i", table_name="t",
+                                   column_names=("id",), kind="btree",
+                                   structure=BTree()))
+        assert table.index_names == ["i"]
+        assert [i.name for i in catalog.indexes_on("T")] == ["i"]
+
+    def test_drop_unlinks(self, catalog):
+        table = make_table()
+        catalog.add_table(table)
+        catalog.add_index(IndexDef(name="i", table_name="t",
+                                   column_names=("id",), kind="btree",
+                                   structure=BTree()))
+        catalog.drop_index("I")
+        assert table.index_names == []
+        assert catalog.indexes_on("t") == []
+
+    def test_duplicate_rejected(self, catalog):
+        catalog.add_table(make_table())
+        idx = IndexDef(name="i", table_name="t", column_names=("id",),
+                       kind="btree", structure=BTree())
+        catalog.add_index(idx)
+        with pytest.raises(CatalogError):
+            catalog.add_index(IndexDef(name="I", table_name="t",
+                                       column_names=("id",), kind="btree",
+                                       structure=BTree()))
+
+
+class TestOperatorsAndIndextypes:
+    def test_operator_lifecycle(self, catalog):
+        catalog.add_operator(Operator(name="MyOp"))
+        assert catalog.has_operator("myop")
+        catalog.drop_operator("MYOP")
+        assert not catalog.has_operator("myop")
+
+    def test_indextype_lifecycle(self, catalog):
+        catalog.add_indextype(Indextype(name="It"))
+        assert catalog.get_indextype("IT").name == "It"
+        catalog.drop_indextype("it")
+        assert not catalog.has_indextype("it")
+
+    def test_indextypes_supporting(self, catalog):
+        from repro.core.indextype import SupportedOperator
+        catalog.add_indextype(Indextype(name="A", operators=[
+            SupportedOperator("Foo", ())]))
+        catalog.add_indextype(Indextype(name="B", operators=[
+            SupportedOperator("Bar", ())]))
+        assert [it.name for it in catalog.indextypes_supporting("foo")] \
+            == ["A"]
+
+
+class TestRegistries:
+    def test_method_type_must_subclass(self, catalog):
+        class NotMethods:
+            pass
+
+        with pytest.raises(CatalogError):
+            catalog.register_method_type("X", NotMethods)
+
+    def test_method_type_roundtrip(self, catalog):
+        class Impl(IndexMethods):
+            def index_create(self, ia, parameters, env):
+                pass
+
+            def index_drop(self, ia, env):
+                pass
+
+            def index_insert(self, ia, rowid, new_values, env):
+                pass
+
+            def index_delete(self, ia, rowid, old_values, env):
+                pass
+
+            def index_start(self, ia, op_info, query_info, env):
+                pass
+
+            def index_fetch(self, context, nrows, env):
+                pass
+
+            def index_close(self, context, env):
+                pass
+
+        catalog.register_method_type("Impl", Impl)
+        assert catalog.get_method_type("IMPL") is Impl
+
+    def test_unregistered_method_type(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.get_method_type("nope")
+
+    def test_stats_type_roundtrip(self, catalog):
+        class Stats(StatsMethods):
+            pass
+
+        catalog.register_stats_type("S", Stats)
+        assert catalog.get_stats_type("s") is Stats
+        with pytest.raises(CatalogError):
+            catalog.register_stats_type("bad", object)
+
+    def test_functions(self, catalog):
+        catalog.add_function(SQLFunction(name="f", fn=lambda: 1))
+        assert catalog.get_function("F").fn() == 1
+        assert catalog.has_function("f")
+        with pytest.raises(CatalogError):
+            catalog.get_function("g")

@@ -1,0 +1,160 @@
+"""B+-tree: ordering, duplicates, range scans, deletion."""
+
+import random
+
+import pytest
+
+from repro.errors import ConstraintError, StorageError
+from repro.index.btree import BTree
+
+
+class TestInsertSearch:
+    def test_empty(self):
+        tree = BTree()
+        assert tree.search(1) == []
+        assert len(tree) == 0
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+
+    def test_single(self):
+        tree = BTree()
+        tree.insert(5, "five")
+        assert tree.search(5) == ["five"]
+        assert tree.contains(5)
+        assert not tree.contains(6)
+
+    def test_many_keys_split_correctly(self):
+        tree = BTree(order=4)
+        keys = list(range(500))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert len(tree) == 500
+        assert tree.height > 1
+        for key in (0, 250, 499):
+            assert tree.search(key) == [key * 10]
+
+    def test_duplicates_non_unique(self):
+        tree = BTree(unique=False)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.search("k") == [1, 2]
+        assert len(tree) == 2
+
+    def test_duplicates_unique_raise(self):
+        tree = BTree(unique=True)
+        tree.insert("k", 1)
+        with pytest.raises(ConstraintError):
+            tree.insert("k", 2)
+
+    def test_min_order_enforced(self):
+        with pytest.raises(StorageError):
+            BTree(order=2)
+
+    def test_tuple_keys(self):
+        tree = BTree()
+        tree.insert(("oracle", 2), "a")
+        tree.insert(("oracle", 1), "b")
+        assert [k for k, __ in tree.items()] == [("oracle", 1), ("oracle", 2)]
+
+
+class TestRangeScan:
+    @pytest.fixture
+    def tree(self):
+        tree = BTree(order=4)
+        for key in range(0, 100, 2):  # evens 0..98
+            tree.insert(key, f"v{key}")
+        return tree
+
+    def test_full_scan_ordered(self, tree):
+        keys = [k for k, __ in tree.items()]
+        assert keys == sorted(keys)
+        assert len(keys) == 50
+
+    def test_closed_range(self, tree):
+        keys = [k for k, __ in tree.range_scan(10, 20)]
+        assert keys == [10, 12, 14, 16, 18, 20]
+
+    def test_open_low(self, tree):
+        keys = [k for k, __ in tree.range_scan(None, 6)]
+        assert keys == [0, 2, 4, 6]
+
+    def test_open_high(self, tree):
+        keys = [k for k, __ in tree.range_scan(94, None)]
+        assert keys == [94, 96, 98]
+
+    def test_exclusive_bounds(self, tree):
+        keys = [k for k, __ in tree.range_scan(10, 20, low_inclusive=False,
+                                               high_inclusive=False)]
+        assert keys == [12, 14, 16, 18]
+
+    def test_bounds_between_keys(self, tree):
+        keys = [k for k, __ in tree.range_scan(11, 15)]
+        assert keys == [12, 14]
+
+    def test_empty_range(self, tree):
+        assert list(tree.range_scan(13, 13)) == []
+
+    def test_min_max(self, tree):
+        assert tree.min_key() == 0
+        assert tree.max_key() == 98
+
+
+class TestDelete:
+    def test_delete_specific_value(self):
+        tree = BTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.delete("k", 1)
+        assert tree.search("k") == [2]
+        assert len(tree) == 1
+
+    def test_delete_whole_key(self):
+        tree = BTree()
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.delete("k")
+        assert tree.search("k") == []
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree = BTree()
+        tree.insert("k", 1)
+        assert not tree.delete("k", 99)
+        assert not tree.delete("missing")
+
+    def test_delete_then_range_scan(self):
+        tree = BTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(0, 100, 3):
+            tree.delete(key)
+        expected = [k for k in range(100) if k % 3]
+        assert [k for k, __ in tree.items()] == expected
+
+    def test_clear(self):
+        tree = BTree()
+        for key in range(10):
+            tree.insert(key, key)
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_max_key_after_heavy_right_deletes(self):
+        tree = BTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        for key in range(50, 100):
+            tree.delete(key)
+        assert tree.max_key() == 49
+
+
+class TestInstrumentation:
+    def test_touch_hook_counts_visits(self):
+        visits = []
+        tree = BTree(order=4, touch=visits.append)
+        for key in range(100):
+            tree.insert(key, key)
+        visits.clear()
+        tree.search(50)
+        assert sum(visits) >= tree.height

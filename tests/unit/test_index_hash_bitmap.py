@@ -1,0 +1,146 @@
+"""Hash and bitmap indexes."""
+
+import pytest
+
+from repro.errors import ConstraintError
+from repro.index.bitmap import BitmapIndex
+from repro.index.hashindex import HashIndex
+
+
+class TestHashIndex:
+    def test_insert_search(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        index.insert("a", 2)
+        index.insert("b", 3)
+        assert sorted(index.search("a")) == [1, 2]
+        assert index.search("missing") == []
+        assert len(index) == 3
+
+    def test_unique_mode(self):
+        index = HashIndex(unique=True)
+        index.insert("a", 1)
+        with pytest.raises(ConstraintError):
+            index.insert("a", 2)
+
+    def test_delete_value(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        index.insert("a", 2)
+        assert index.delete("a", 1)
+        assert index.search("a") == [2]
+
+    def test_delete_whole_key(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        index.insert("a", 2)
+        assert index.delete("a")
+        assert not index.contains("a")
+        assert len(index) == 0
+
+    def test_delete_missing(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        assert not index.delete("a", 99)
+        assert not index.delete("zzz")
+
+    def test_rehash_preserves_entries(self):
+        index = HashIndex(initial_buckets=4)
+        for i in range(500):
+            index.insert(i, i * 2)
+        assert len(index) == 500
+        for i in (0, 250, 499):
+            assert index.search(i) == [i * 2]
+
+    def test_items(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert sorted(index.items()) == [("a", 1), ("b", 2)]
+
+    def test_clear(self):
+        index = HashIndex()
+        index.insert("a", 1)
+        index.clear()
+        assert len(index) == 0
+
+    def test_touch_hook(self):
+        visits = []
+        index = HashIndex(touch=visits.append)
+        index.insert("a", 1)
+        visits.clear()
+        index.search("a")
+        assert visits
+
+
+class TestBitmapIndex:
+    def test_insert_search(self):
+        index = BitmapIndex()
+        index.insert("red", "r1")
+        index.insert("red", "r2")
+        index.insert("blue", "r3")
+        assert sorted(index.search("red")) == ["r1", "r2"]
+        assert index.search("green") == []
+        assert len(index) == 3
+
+    def test_duplicate_insert_idempotent(self):
+        index = BitmapIndex()
+        index.insert("red", "r1")
+        index.insert("red", "r1")
+        assert len(index) == 1
+
+    def test_delete(self):
+        index = BitmapIndex()
+        index.insert("red", "r1")
+        assert index.delete("red", "r1")
+        assert not index.delete("red", "r1")
+        assert index.search("red") == []
+
+    def test_delete_unknown_key(self):
+        index = BitmapIndex()
+        assert not index.delete("nope", "r1")
+
+    def test_search_any_of_ors_bitmaps(self):
+        index = BitmapIndex()
+        index.insert("red", "r1")
+        index.insert("blue", "r2")
+        index.insert("blue", "r1")
+        assert sorted(index.search_any_of(["red", "blue"])) == ["r1", "r2"]
+
+    def test_cardinality(self):
+        index = BitmapIndex()
+        index.insert("a", 1)
+        index.insert("b", 2)
+        index.insert("b", 3)
+        assert index.cardinality == 2
+        index.delete("a", 1)
+        assert index.cardinality == 1
+
+    def test_items(self):
+        index = BitmapIndex()
+        index.insert("a", 1)
+        index.insert("b", 2)
+        assert sorted(index.items(), key=str) == [("a", 1), ("b", 2)]
+
+    def test_positions_stable_after_delete(self):
+        index = BitmapIndex()
+        index.insert("a", "r1")
+        index.insert("a", "r2")
+        index.delete("a", "r1")
+        index.insert("b", "r1")
+        assert index.search("a") == ["r2"]
+        assert index.search("b") == ["r1"]
+
+    def test_clear(self):
+        index = BitmapIndex()
+        index.insert("a", 1)
+        index.clear()
+        assert len(index) == 0
+        assert index.cardinality == 0
+
+    def test_rowids_can_be_rowid_objects(self):
+        from repro.storage.heap import RowId
+        index = BitmapIndex()
+        rid = RowId(1, 0, 0)
+        index.insert("k", rid)
+        assert index.search("k") == [rid]

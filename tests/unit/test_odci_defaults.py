@@ -1,0 +1,107 @@
+"""Default behaviours of the ODCI base classes and error formatting."""
+
+import pytest
+
+from repro.core.odci import (
+    FetchResult, IndexMethods, ODCIEnv, ODCIIndexInfo)
+from repro.core.stats import IndexCost, StatsMethods
+from repro.errors import ODCIError, ParseError
+
+
+class MinimalMethods(IndexMethods):
+    """Implements only the abstract routines; inherits the defaults."""
+
+    def __init__(self):
+        self.log = []
+
+    def index_create(self, ia, parameters, env):
+        self.log.append(("create", parameters))
+
+    def index_drop(self, ia, env):
+        self.log.append(("drop",))
+
+    def index_insert(self, ia, rowid, new_values, env):
+        self.log.append(("insert", rowid, tuple(new_values)))
+
+    def index_delete(self, ia, rowid, old_values, env):
+        self.log.append(("delete", rowid, tuple(old_values)))
+
+    def index_start(self, ia, op_info, query_info, env):
+        return None
+
+    def index_fetch(self, context, nrows, env):
+        return FetchResult(done=True)
+
+    def index_close(self, context, env):
+        pass
+
+
+@pytest.fixture
+def ia():
+    return ODCIIndexInfo(index_name="i", index_schema="main",
+                         table_name="t", column_names=("c",),
+                         column_types=(None,), parameters=":p")
+
+
+@pytest.fixture
+def env():
+    return ODCIEnv(callback=None, workspace=None, stats=None)
+
+
+class TestDefaults:
+    def test_default_update_is_delete_plus_insert(self, ia, env):
+        methods = MinimalMethods()
+        methods.index_update(ia, "RID", ["old"], ["new"], env)
+        assert methods.log == [("delete", "RID", ("old",)),
+                               ("insert", "RID", ("new",))]
+
+    def test_default_truncate_is_drop_plus_create(self, ia, env):
+        methods = MinimalMethods()
+        methods.index_truncate(ia, env)
+        assert methods.log == [("drop",), ("create", ":p")]
+
+    def test_default_alter_raises(self, ia, env):
+        with pytest.raises(ODCIError):
+            MinimalMethods().index_alter(ia, ":x", env)
+
+    def test_stats_defaults_mean_use_engine_defaults(self, ia, env):
+        stats = StatsMethods()
+        assert stats.selectivity(None, (), env) is None
+        assert stats.index_cost(ia, None, 0.5, (), env) is None
+        assert stats.function_cost("op", (), env) is None
+        assert stats.stats_collect(ia, env) is None
+        stats.stats_delete(ia, env)  # no-op, no error
+
+    def test_index_cost_total(self):
+        assert IndexCost(io_cost=2.0, cpu_cost=0.5).total == 2.5
+
+    def test_env_trace_noop_without_log(self, env):
+        env.trace("nothing happens")  # must not raise
+
+    def test_env_trace_records_with_log(self):
+        log = []
+        env = ODCIEnv(callback=None, workspace=None, stats=None, trace=log)
+        env.trace("event")
+        assert log == ["event"]
+
+    def test_fetch_result_defaults(self):
+        result = FetchResult()
+        assert result.rowids == []
+        assert result.aux is None
+        assert not result.done
+
+
+class TestErrorFormatting:
+    def test_parse_error_shows_context(self):
+        error = ParseError("boom", position=10,
+                           sql="SELECT * FROM somewhere")
+        assert "boom" in str(error)
+        assert "position 10" in str(error)
+
+    def test_parse_error_without_position(self):
+        assert str(ParseError("plain")) == "plain"
+
+    def test_odci_error_carries_routine(self):
+        error = ODCIError("ODCIIndexCreate", "went wrong")
+        assert error.routine == "ODCIIndexCreate"
+        assert "ODCIIndexCreate" in str(error)

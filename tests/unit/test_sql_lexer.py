@@ -1,0 +1,115 @@
+"""SQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import Token, TokenKind, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)][:-1]  # drop EOF
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql)][:-1]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select from where")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+        assert texts("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        token = tokenize("TextIndexType")[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "TextIndexType"
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind is TokenKind.EOF
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e3 2.5E-2")
+        assert [t.value for t in tokens[:-1]] == [42, 3.14, 1000.0, 0.025]
+
+    def test_string_literal(self):
+        token = tokenize("'Oracle AND UNIX'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.value == "Oracle AND UNIX"
+
+    def test_string_escape_doubled_quote(self):
+        token = tokenize("'it''s'")[0]
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Weird Name"')[0]
+        assert token.kind is TokenKind.IDENT
+        assert token.value == "Weird Name"
+
+
+class TestOperatorsAndPunct:
+    def test_two_char_ops(self):
+        assert texts("a <= b >= c <> d != e || f") == [
+            "a", "<=", "b", ">=", "c", "<>", "d", "!=", "e", "||", "f"]
+
+    def test_punctuation(self):
+        assert kinds("( ) , . ;") == [TokenKind.PUNCT] * 5
+
+    def test_arithmetic(self):
+        assert texts("1+2*3/4-5") == ["1", "+", "2", "*", "3", "/", "4",
+                                      "-", "5"]
+
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("1 -- comment\n2") == ["1", "2"]
+
+    def test_block_comment(self):
+        assert texts("1 /* junk */ 2") == ["1", "2"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("1 /* oops")
+
+
+class TestBinds:
+    def test_positional_bind(self):
+        token = tokenize(":1")[0]
+        assert token.kind is TokenKind.BIND
+        assert token.value == "1"
+
+    def test_named_bind(self):
+        token = tokenize(":rid")[0]
+        assert token.value == "rid"
+
+    def test_bind_inside_expression(self):
+        values = [t for t in tokenize("WHERE rid = :1")
+                  if t.kind is TokenKind.BIND]
+        assert len(values) == 1
+
+    def test_binds_not_confused_with_strings(self):
+        # parameters strings like ':Language English' stay string literals
+        token = tokenize("(':Language English')")[1]
+        assert token.kind is TokenKind.STRING
+        assert token.value == ":Language English"
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+    def test_position_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3

@@ -1,0 +1,210 @@
+"""Planner: access-path selection, EXPLAIN output, statistics use."""
+
+import pytest
+
+from repro import Database
+from repro.sql import ast_nodes as ast
+from repro.sql.planner import (
+    OperatorPred, Sarg, and_together, extract_equijoin,
+    extract_operator_pred, extract_sarg, split_conjuncts)
+from repro.sql.parser import parse_expression
+
+
+@pytest.fixture
+def big(db):
+    db.execute("CREATE TABLE big (id INTEGER, grp VARCHAR2(8), val NUMBER)")
+    rows = [[i, f"g{i % 4}", i * 1.5] for i in range(400)]
+    db.insert_rows("big", rows)
+    return db
+
+
+class TestConjunctHelpers:
+    def test_split_flattens_ands(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_and_together_roundtrip(self):
+        conjuncts = split_conjuncts(parse_expression("a = 1 AND b = 2"))
+        rebuilt = and_together(conjuncts)
+        assert isinstance(rebuilt, ast.BoolOp)
+        assert and_together([]) is None
+
+
+class TestSargExtraction:
+    def _bind(self, db, text):
+        from repro.sql.expressions import Binder, Scope
+        table = db.catalog.get_table("big")
+        return Binder(db.catalog, Scope([("big", table)])).bind(
+            parse_expression(text))
+
+    def test_col_relop_const(self, big):
+        sarg = extract_sarg(self._bind(big, "id = 5"))
+        assert isinstance(sarg, Sarg)
+        assert sarg.op == "="
+
+    def test_const_relop_col_flipped(self, big):
+        sarg = extract_sarg(self._bind(big, "5 < id"))
+        assert sarg.op == ">"
+        assert sarg.column_ref.column == "id"
+
+    def test_col_vs_expr_not_sargable(self, big):
+        assert extract_sarg(self._bind(big, "id = val")) is None
+
+    def test_like_not_sarg(self, big):
+        assert extract_sarg(self._bind(big, "grp LIKE 'g%'")) is None
+
+
+class TestAccessPathChoice:
+    def test_no_index_full_scan(self, big):
+        plan = big.explain("SELECT * FROM big WHERE id = 5")
+        assert any("TABLE SCAN" in line for line in plan)
+
+    def test_btree_chosen_for_selective_eq(self, big):
+        big.execute("CREATE INDEX big_id ON big(id)")
+        big.execute("ANALYZE TABLE big COMPUTE STATISTICS")
+        plan = big.explain("SELECT * FROM big WHERE id = 5")
+        assert any("INDEX RANGE SCAN big_id" in line for line in plan)
+
+    def test_btree_range(self, big):
+        big.execute("CREATE INDEX big_id ON big(id)")
+        plan = big.explain("SELECT * FROM big WHERE id > 390")
+        assert any("INDEX RANGE SCAN" in line for line in plan)
+        rows = big.query("SELECT id FROM big WHERE id > 390")
+        assert len(rows) == 9
+
+    def test_hash_index_eq_only(self, big):
+        big.execute("CREATE HASH INDEX big_hash ON big(id)")
+        big.execute("ANALYZE TABLE big COMPUTE STATISTICS")
+        plan = big.explain("SELECT * FROM big WHERE id = 5")
+        assert any("HASH INDEX SCAN" in line for line in plan)
+        plan = big.explain("SELECT * FROM big WHERE id > 5")
+        assert not any("HASH INDEX SCAN" in line for line in plan)
+
+    def test_bitmap_index(self, big):
+        # without ANALYZE the optimizer assumes equality is selective
+        big.execute("CREATE BITMAP INDEX big_grp ON big(grp)")
+        plan = big.explain("SELECT * FROM big WHERE grp = 'g1'")
+        assert any("BITMAP INDEX SCAN" in line for line in plan)
+        rows = big.query("SELECT COUNT(*) FROM big WHERE grp = 'g1'")
+        assert rows == [(100,)]
+
+    def test_unselective_eq_prefers_full_scan(self, big):
+        big.execute("CREATE INDEX big_grp_b ON big(grp)")
+        big.execute("ANALYZE TABLE big COMPUTE STATISTICS")
+        # grp has 4 distinct values: 25% selectivity, full scan cheaper
+        plan = big.explain("SELECT * FROM big WHERE grp = 'g1'")
+        assert any("TABLE SCAN" in line for line in plan)
+
+    def test_residual_filter_applied(self, big):
+        big.execute("CREATE INDEX big_id ON big(id)")
+        rows = big.query("SELECT id FROM big WHERE id > 395 AND grp = 'g1'")
+        assert all(r[0] % 4 == 1 for r in rows)
+
+    def test_analyze_updates_stats(self, big):
+        big.execute("ANALYZE TABLE big COMPUTE STATISTICS")
+        table = big.catalog.get_table("big")
+        assert table.stats.analyzed
+        assert table.stats.row_count == 400
+        assert table.stats.columns["grp"].ndv == 4
+        assert table.stats.columns["id"].min_value == 0
+        assert table.stats.columns["id"].max_value == 399
+
+
+class TestJoinPlanning:
+    @pytest.fixture
+    def joined(self, big):
+        big.execute("CREATE TABLE small (grp VARCHAR2(8), label VARCHAR2(8))")
+        for i in range(4):
+            big.execute("INSERT INTO small VALUES (:1, :2)",
+                        [f"g{i}", f"L{i}"])
+        return big
+
+    def test_hash_join_for_equi(self, joined):
+        plan = joined.explain(
+            "SELECT b.id, s.label FROM big b, small s WHERE b.grp = s.grp")
+        assert any("HASH JOIN" in line for line in plan)
+        rows = joined.query(
+            "SELECT b.id, s.label FROM big b, small s WHERE b.grp = s.grp")
+        assert len(rows) == 400
+
+    def test_indexed_nl_join_when_inner_indexed(self, joined):
+        joined.execute("CREATE INDEX big_grp_i ON big(grp)")
+        joined.execute("ANALYZE TABLE big COMPUTE STATISTICS")
+        plan = joined.explain(
+            "SELECT s.label, b.id FROM small s, big b WHERE b.grp = s.grp")
+        assert any("INDEXED NL JOIN" in line for line in plan)
+        rows = joined.query(
+            "SELECT s.label, b.id FROM small s, big b WHERE b.grp = s.grp")
+        assert len(rows) == 400
+
+    def test_nested_loop_for_non_equi(self, joined):
+        plan = joined.explain(
+            "SELECT s.label FROM small s, big b WHERE b.id < 2")
+        assert any("NESTED LOOP JOIN" in line for line in plan)
+        rows = joined.query(
+            "SELECT s.label FROM small s, big b WHERE b.id < 2")
+        assert len(rows) == 8  # 4 labels x 2 rows
+
+    def test_equijoin_extraction(self, joined):
+        from repro.sql.expressions import Binder, Scope
+        scope = Scope([("b", joined.catalog.get_table("big")),
+                       ("s", joined.catalog.get_table("small"))])
+        expr = Binder(joined.catalog, scope).bind(
+            parse_expression("b.grp = s.grp"))
+        pair = extract_equijoin(expr)
+        assert pair is not None
+        assert {pair[0].alias, pair[1].alias} == {"b", "s"}
+
+
+class TestOperatorPredExtraction:
+    @pytest.fixture
+    def opdb(self, text_db):
+        text_db.execute("CREATE TABLE docs (body VARCHAR2(200))")
+        return text_db
+
+    def _bind(self, db, text):
+        from repro.sql.expressions import Binder, Scope
+        table = db.catalog.get_table("docs")
+        return Binder(db.catalog, Scope([("docs", table)])).bind(
+            parse_expression(text))
+
+    def test_bare_operator_normalized_to_ge_1(self, opdb):
+        pred = extract_operator_pred(self._bind(opdb, "Contains(body, 'x')"))
+        assert isinstance(pred, OperatorPred)
+        assert pred.lower == 1 and pred.upper is None
+
+    def test_relop_forms(self, opdb):
+        pred = extract_operator_pred(
+            self._bind(opdb, "Contains(body, 'x') = 1"))
+        assert pred.lower == 1 and pred.upper == 1
+        pred = extract_operator_pred(
+            self._bind(opdb, "Contains(body, 'x') > 0"))
+        assert pred.lower == 0 and not pred.include_lower
+        pred = extract_operator_pred(
+            self._bind(opdb, "1 <= Contains(body, 'x')"))
+        assert pred.lower == 1 and pred.include_lower
+
+    def test_plain_comparison_not_operator_pred(self, opdb):
+        assert extract_operator_pred(self._bind(opdb, "body = 'x'")) is None
+
+
+class TestExplainShape:
+    def test_explain_statement_returns_rows(self, big):
+        rows = big.query("EXPLAIN SELECT * FROM big WHERE id = 1")
+        assert all(isinstance(r[0], str) for r in rows)
+
+    def test_costs_and_rows_annotated(self, big):
+        lines = big.explain("SELECT * FROM big")
+        assert "rows=" in lines[0] and "cost=" in lines[0]
+
+    def test_tree_indentation(self, big):
+        lines = big.explain("SELECT * FROM big ORDER BY id LIMIT 3")
+        assert lines[0].startswith("LIMIT")
+        assert any(line.startswith("  ") for line in lines)

@@ -1,0 +1,111 @@
+"""IOStats bookkeeping, buffer residency, and scan-path specifics."""
+
+import pytest
+
+from repro import Database
+from repro.errors import StorageError
+from repro.storage.buffer import BufferCache, IOStats
+from repro.storage.heap import HeapTable
+from repro.storage.page import PAGE_SIZE
+
+
+class TestIOStats:
+    def test_snapshot_and_diff(self):
+        stats = IOStats()
+        before = stats.snapshot()
+        stats.logical_reads += 3
+        stats.bump("custom", 2)
+        delta = stats.diff(before)
+        assert delta["logical_reads"] == 3
+        assert delta["custom"] == 2
+        assert delta["physical_writes"] == 0
+
+    def test_reset(self):
+        stats = IOStats()
+        stats.physical_reads = 9
+        stats.bump("x")
+        stats.reset()
+        assert stats.physical_reads == 0
+        assert stats.extra == {}
+
+    def test_bump_accumulates(self):
+        stats = IOStats()
+        stats.bump("k")
+        stats.bump("k", 4)
+        assert stats.extra["k"] == 5
+
+
+class TestBufferResidency:
+    def test_resident_tracking(self):
+        stats = IOStats()
+        cache = BufferCache(stats, capacity=2)
+        table = HeapTable(cache, name="t")
+        big = "x" * (PAGE_SIZE // 2)
+        rids = [table.insert([big]) for __ in range(6)]
+        # the earliest page must have been evicted
+        assert not cache.resident(table.segment_id, 0)
+        table.fetch(rids[0])  # brings it back
+        assert cache.resident(table.segment_id, 0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(StorageError):
+            BufferCache(IOStats(), capacity=0)
+
+    def test_duplicate_page_rejected(self):
+        cache = BufferCache(IOStats())
+        segment = cache.allocate_segment()
+        cache.new_page(segment, 0)
+        with pytest.raises(StorageError):
+            cache.new_page(segment, 0)
+
+    def test_drop_segment_removes_everywhere(self):
+        cache = BufferCache(IOStats(), capacity=1)
+        segment = cache.allocate_segment()
+        cache.new_page(segment, 0)
+        cache.new_page(segment, 1)  # evicts page 0 to disk
+        assert cache.segment_page_count(segment) == 2
+        cache.drop_segment(segment)
+        assert cache.segment_page_count(segment) == 0
+        with pytest.raises(StorageError):
+            cache.get_page(segment, 0)
+
+
+class TestTextIncrementalPath:
+    @pytest.fixture
+    def docs(self, text_db):
+        text_db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(50))")
+        text_db.insert_rows(
+            "docs", [[i, f"apple item{i}"] for i in range(50)])
+        text_db.execute("CREATE INDEX d_idx ON docs(body)"
+                        " INDEXTYPE IS TextIndexType")
+        return text_db
+
+    def test_limit_single_term_streams(self, docs):
+        rows = docs.query(
+            "SELECT id FROM docs WHERE Contains(body, 'apple') LIMIT 2")
+        assert len(rows) == 2
+
+    def test_batch_boundary_exact_multiple(self, docs):
+        docs.fetch_batch_size = 10  # 50 results = exactly 5 batches
+        try:
+            rows = docs.query(
+                "SELECT id FROM docs WHERE Contains(body, 'apple')")
+        finally:
+            docs.fetch_batch_size = 32
+        assert len(rows) == 50
+
+    def test_batch_size_one(self, docs):
+        docs.fetch_batch_size = 1
+        try:
+            rows = docs.query(
+                "SELECT COUNT(*) FROM docs WHERE Contains(body, 'apple')")
+        finally:
+            docs.fetch_batch_size = 32
+        assert rows == [(50,)]
+
+    def test_no_workspace_leak_after_limit(self, docs):
+        docs.query("SELECT id FROM docs WHERE Contains(body, 'apple')"
+                   " LIMIT 1")
+        # precompute-all scans must be closed and freed even when the
+        # consumer stops early
+        assert docs.workspace.live_handles == 0

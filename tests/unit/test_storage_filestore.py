@@ -1,0 +1,140 @@
+"""External file store: eager I/O accounting, file-like parity with LOBs."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import IOStats
+from repro.storage.filestore import FileStore
+
+
+@pytest.fixture
+def stats():
+    return IOStats()
+
+
+@pytest.fixture
+def store(stats):
+    return FileStore(stats)
+
+
+class TestNamespace:
+    def test_create_and_exists(self, store):
+        store.create("idx.dat")
+        assert store.exists("idx.dat")
+        assert store.listdir() == ["idx.dat"]
+
+    def test_create_duplicate_raises(self, store):
+        store.create("f")
+        with pytest.raises(StorageError):
+            store.create("f")
+
+    def test_open_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.open("missing")
+
+    def test_open_create_flag(self, store):
+        handle = store.open("new", create=True)
+        assert handle.length() == 0
+
+    def test_delete(self, store):
+        store.create("f")
+        store.delete("f")
+        assert not store.exists("f")
+        with pytest.raises(StorageError):
+            store.delete("f")
+
+    def test_size(self, store):
+        store.create("f", b"abc")
+        assert store.size("f") == 3
+
+
+class TestHandleApi:
+    def test_write_read_seek(self, store):
+        handle = store.create("f")
+        handle.write(b"hello world")
+        handle.seek(6)
+        assert handle.read() == b"world"
+
+    def test_overwrite(self, store):
+        handle = store.create("f", b"aaaa")
+        handle.seek(1)
+        handle.write(b"XY")
+        handle.seek(0)
+        assert handle.read() == b"aXYa"
+
+    def test_write_past_end_zero_fills(self, store):
+        handle = store.create("f", b"ab")
+        handle.seek(4)
+        handle.write(b"Z")
+        handle.seek(0)
+        assert handle.read() == b"ab\x00\x00Z"
+
+    def test_truncate(self, store):
+        handle = store.create("f", b"0123456789")
+        handle.truncate(4)
+        assert handle.length() == 4
+
+    def test_seek_whences(self, store):
+        handle = store.create("f", b"0123456789")
+        handle.seek(-3, 2)
+        assert handle.read(1) == b"7"
+        handle.seek(0)
+        handle.seek(2, 1)
+        assert handle.read(1) == b"2"
+
+    def test_bad_whence(self, store):
+        handle = store.create("f", b"x")
+        with pytest.raises(StorageError):
+            handle.seek(0, 3)
+
+
+class TestEagerAccounting:
+    def test_every_write_counts(self, store, stats):
+        handle = store.create("f")
+        for __ in range(5):
+            handle.write(b"x")
+        assert stats.file_writes == 5
+        assert stats.file_bytes_written == 5
+
+    def test_every_read_counts(self, store, stats):
+        handle = store.create("f", b"abcdef")
+        writes_before = stats.file_reads
+        handle.seek(0)
+        handle.read(2)
+        handle.read(2)
+        assert stats.file_reads == writes_before + 2
+        assert stats.file_bytes_read >= 4
+
+    def test_no_caching_between_reads(self, store, stats):
+        """Unlike LOBs, repeated file reads always count."""
+        handle = store.create("f", b"payload")
+        handle.seek(0)
+        handle.read()
+        first = stats.file_reads
+        handle.seek(0)
+        handle.read()
+        assert stats.file_reads == first + 1
+
+
+class TestLobParity:
+    """The chemistry migration relies on the two handle APIs agreeing."""
+
+    def _exercise(self, handle):
+        handle.write(b"header")
+        handle.seek(0)
+        out = [handle.read(3)]
+        handle.seek(2)
+        handle.write(b"XX")
+        handle.seek(0)
+        out.append(handle.read())
+        handle.truncate(4)
+        handle.seek(0, 2)
+        out.append(handle.tell())
+        return out
+
+    def test_same_behaviour_as_lob(self, store):
+        from repro.storage.buffer import BufferCache
+        from repro.storage.lob import LobManager
+        lob = LobManager(BufferCache(IOStats())).create()
+        external = store.create("f")
+        assert self._exercise(lob) == self._exercise(external)

@@ -1,0 +1,125 @@
+"""Index-organized tables: key-ordered storage, range scans, surrogates."""
+
+import pytest
+
+from repro.errors import ConstraintError, InvalidRowIdError
+from repro.storage.buffer import BufferCache, IOStats
+from repro.storage.iot import IndexOrganizedTable
+
+
+@pytest.fixture
+def iot():
+    return IndexOrganizedTable(BufferCache(IOStats()), key_width=1,
+                               name="iot")
+
+
+@pytest.fixture
+def iot2():
+    """Two-column key (like the text cartridge's (token, rid) IOT)."""
+    return IndexOrganizedTable(BufferCache(IOStats()), key_width=2,
+                               name="iot2")
+
+
+class TestBasics:
+    def test_rows_come_back_in_key_order(self, iot):
+        for key in [5, 1, 9, 3]:
+            iot.insert([key, f"v{key}"])
+        assert [row[0] for __, row in iot.scan()] == [1, 3, 5, 9]
+
+    def test_fetch_by_surrogate(self, iot):
+        rid = iot.insert([7, "seven"])
+        assert iot.fetch(rid) == [7, "seven"]
+
+    def test_fetch_or_none_dead_surrogate(self, iot):
+        rid = iot.insert([7, "x"])
+        iot.delete(rid)
+        assert iot.fetch_or_none(rid) is None
+
+    def test_duplicate_key_rejected_when_unique(self, iot):
+        iot.insert([1, "a"])
+        with pytest.raises(ConstraintError):
+            iot.insert([1, "b"])
+
+    def test_non_unique_mode(self):
+        iot = IndexOrganizedTable(BufferCache(IOStats()), key_width=1,
+                                  unique=False)
+        iot.insert([1, "a"])
+        iot.insert([1, "b"])
+        assert iot.row_count == 2
+
+    def test_key_width_validated(self):
+        with pytest.raises(ConstraintError):
+            IndexOrganizedTable(BufferCache(IOStats()), key_width=0)
+
+
+class TestCompositeKey:
+    def test_lookup_exact(self, iot2):
+        iot2.insert(["oracle", 1, 3])
+        iot2.insert(["oracle", 2, 1])
+        iot2.insert(["unix", 1, 2])
+        rows = iot2.lookup(["oracle", 1])
+        assert rows == [["oracle", 1, 3]]
+
+    def test_key_range_scan_prefix(self, iot2):
+        iot2.insert(["apple", 1, 0])
+        iot2.insert(["oracle", 1, 0])
+        iot2.insert(["oracle", 2, 0])
+        iot2.insert(["zebra", 1, 0])
+        rows = [row for __, row in iot2.key_range_scan(
+            low=("oracle", float("-inf")), high=("oracle", float("inf")))]
+        assert len(rows) == 2
+        assert all(row[0] == "oracle" for row in rows)
+
+    def test_delete_by_key(self, iot2):
+        iot2.insert(["a", 1, 0])
+        iot2.insert(["a", 2, 0])
+        assert iot2.delete_by_key(["a", 1]) == 1
+        assert iot2.row_count == 1
+
+
+class TestUpdateDelete:
+    def test_update_same_key(self, iot):
+        rid = iot.insert([1, "old"])
+        iot.update(rid, [1, "new"])
+        assert iot.fetch(rid) == [1, "new"]
+
+    def test_update_key_change_rebinds(self, iot):
+        rid = iot.insert([1, "v"])
+        iot.update(rid, [2, "v"])
+        assert iot.fetch(rid) == [2, "v"]
+        assert [row[0] for __, row in iot.scan()] == [2]
+
+    def test_delete_then_fetch_raises(self, iot):
+        rid = iot.insert([1, "x"])
+        iot.delete(rid)
+        with pytest.raises(InvalidRowIdError):
+            iot.fetch(rid)
+
+    def test_undelete(self, iot):
+        rid = iot.insert([1, "x"])
+        iot.delete(rid)
+        iot.undelete(rid, [1, "x"])
+        assert iot.fetch(rid) == [1, "x"]
+
+    def test_truncate(self, iot):
+        for key in range(10):
+            iot.insert([key, "v"])
+        iot.truncate()
+        assert iot.row_count == 0
+        assert list(iot.scan()) == []
+
+
+class TestAccounting:
+    def test_node_visits_counted_as_logical_reads(self):
+        stats = IOStats()
+        iot = IndexOrganizedTable(BufferCache(stats), key_width=1)
+        for key in range(200):
+            iot.insert([key, "v"])
+        before = stats.logical_reads
+        iot.lookup([150])
+        assert stats.logical_reads > before
+
+    def test_page_count_grows(self, iot):
+        for key in range(200):
+            iot.insert([key, "v"])
+        assert iot.page_count >= 1

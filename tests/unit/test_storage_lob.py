@@ -1,0 +1,158 @@
+"""LOBs: file-like locators, chunking, buffer-cache participation."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferCache, IOStats
+from repro.storage.lob import LOB_CHUNK, LobManager
+
+
+@pytest.fixture
+def stats():
+    return IOStats()
+
+
+@pytest.fixture
+def lobs(stats):
+    return LobManager(BufferCache(stats, capacity=16))
+
+
+class TestCreateOpenDelete:
+    def test_create_empty(self, lobs):
+        locator = lobs.create()
+        assert locator.length() == 0
+        assert locator.read() == b""
+
+    def test_create_with_data(self, lobs):
+        locator = lobs.create(b"hello")
+        assert locator.read() == b"hello"
+
+    def test_open_existing(self, lobs):
+        created = lobs.create(b"abc")
+        opened = lobs.open(created.lob_id)
+        assert opened.read() == b"abc"
+
+    def test_open_unknown_raises(self, lobs):
+        with pytest.raises(StorageError):
+            lobs.open(999)
+
+    def test_delete(self, lobs):
+        locator = lobs.create(b"x")
+        lobs.delete(locator.lob_id)
+        assert not lobs.exists(locator.lob_id)
+        with pytest.raises(StorageError):
+            lobs.open(locator.lob_id)
+
+
+class TestFileLikeApi:
+    def test_seek_tell_read(self, lobs):
+        locator = lobs.create(b"0123456789")
+        locator.seek(5)
+        assert locator.tell() == 5
+        assert locator.read(3) == b"567"
+        assert locator.tell() == 8
+
+    def test_seek_whence_end(self, lobs):
+        locator = lobs.create(b"0123456789")
+        locator.seek(-2, 2)
+        assert locator.read() == b"89"
+
+    def test_seek_whence_relative(self, lobs):
+        locator = lobs.create(b"abcdef")
+        locator.seek(2)
+        locator.seek(2, 1)
+        assert locator.read(1) == b"e"
+
+    def test_negative_seek_raises(self, lobs):
+        locator = lobs.create(b"abc")
+        with pytest.raises(StorageError):
+            locator.seek(-1)
+
+    def test_overwrite_middle(self, lobs):
+        locator = lobs.create(b"aaaaaa")
+        locator.seek(2)
+        locator.write(b"XX")
+        locator.seek(0)
+        assert locator.read() == b"aaXXaa"
+
+    def test_write_past_end_zero_fills(self, lobs):
+        locator = lobs.create(b"ab")
+        locator.seek(5)
+        locator.write(b"Z")
+        locator.seek(0)
+        assert locator.read() == b"ab\x00\x00\x00Z"
+
+    def test_truncate(self, lobs):
+        locator = lobs.create(b"0123456789")
+        locator.seek(4)
+        locator.truncate()
+        assert locator.length() == 4
+        locator.seek(0)
+        assert locator.read() == b"0123"
+
+    def test_read_beyond_end_clamped(self, lobs):
+        locator = lobs.create(b"abc")
+        locator.seek(10)
+        assert locator.read(5) == b""
+
+
+class TestChunking:
+    def test_multi_chunk_roundtrip(self, lobs):
+        payload = bytes(range(256)) * ((3 * LOB_CHUNK) // 256 + 1)
+        locator = lobs.create(payload)
+        assert locator.length() == len(payload)
+        locator.seek(0)
+        assert locator.read() == payload
+
+    def test_read_spanning_chunk_boundary(self, lobs):
+        payload = b"A" * LOB_CHUNK + b"B" * 10
+        locator = lobs.create(payload)
+        locator.seek(LOB_CHUNK - 5)
+        assert locator.read(10) == b"AAAAABBBBB"
+
+    def test_truncate_across_chunks(self, lobs):
+        locator = lobs.create(b"x" * (2 * LOB_CHUNK + 100))
+        locator.truncate(LOB_CHUNK + 7)
+        assert locator.length() == LOB_CHUNK + 7
+        locator.seek(0)
+        assert locator.read() == b"x" * (LOB_CHUNK + 7)
+
+
+class TestLocatorSemantics:
+    def test_locators_equal_by_lob_id(self, lobs):
+        created = lobs.create(b"x")
+        assert created == lobs.open(created.lob_id)
+
+    def test_locators_hashable_and_ordered(self, lobs):
+        a = lobs.create(b"a")
+        b = lobs.create(b"b")
+        assert a < b
+        assert len({a, b}) == 2
+
+    def test_independent_positions(self, lobs):
+        created = lobs.create(b"abcdef")
+        other = lobs.open(created.lob_id)
+        created.seek(3)
+        assert other.tell() == 0
+
+
+class TestBufferParticipation:
+    def test_lob_reads_are_cached(self, stats):
+        lobs = LobManager(BufferCache(stats, capacity=16))
+        locator = lobs.create(b"z" * 100)
+        locator.seek(0)
+        locator.read()
+        physical_before = stats.physical_reads
+        locator.seek(0)
+        locator.read()  # warm read: no physical I/O
+        assert stats.physical_reads == physical_before
+
+    def test_cold_read_hits_disk(self, stats):
+        cache = BufferCache(stats, capacity=16)
+        lobs = LobManager(cache)
+        locator = lobs.create(b"z" * 100)
+        cache.clear()
+        before = stats.physical_reads
+        locator.seek(0)
+        locator.read()
+        assert stats.physical_reads > before

@@ -1,0 +1,186 @@
+"""Transactions, locks, and database events."""
+
+import pytest
+
+from repro.errors import LockTimeoutError, TransactionError
+from repro.txn.events import DatabaseEvent, EventManager
+from repro.txn.locks import LockManager, LockMode
+from repro.txn.transaction import Transaction, TransactionManager
+
+
+class TestTransactionUndo:
+    def test_rollback_runs_undo_in_reverse(self):
+        log = []
+        txn = Transaction(1)
+        txn.record_undo(lambda: log.append("first"))
+        txn.record_undo(lambda: log.append("second"))
+        txn.rollback()
+        assert log == ["second", "first"]
+
+    def test_commit_discards_undo(self):
+        log = []
+        txn = Transaction(1)
+        txn.record_undo(lambda: log.append("x"))
+        txn.commit()
+        assert log == []
+        assert not txn.active
+
+    def test_double_commit_raises(self):
+        txn = Transaction(1)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_record_after_end_raises(self):
+        txn = Transaction(1)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.record_undo(lambda: None)
+
+    def test_undo_depth(self):
+        txn = Transaction(1)
+        assert txn.undo_depth == 0
+        txn.record_undo(lambda: None)
+        assert txn.undo_depth == 1
+
+
+class TestSavepoints:
+    def test_partial_rollback(self):
+        log = []
+        txn = Transaction(1)
+        txn.record_undo(lambda: log.append("a"))
+        txn.savepoint("sp")
+        txn.record_undo(lambda: log.append("b"))
+        txn.record_undo(lambda: log.append("c"))
+        txn.rollback_to_savepoint("sp")
+        assert log == ["c", "b"]
+        assert txn.active
+        txn.rollback()
+        assert log == ["c", "b", "a"]
+
+    def test_unknown_savepoint(self):
+        txn = Transaction(1)
+        with pytest.raises(TransactionError):
+            txn.rollback_to_savepoint("nope")
+
+    def test_later_savepoints_invalidated(self):
+        txn = Transaction(1)
+        txn.savepoint("early")
+        txn.record_undo(lambda: None)
+        txn.savepoint("late")
+        txn.rollback_to_savepoint("early")
+        with pytest.raises(TransactionError):
+            txn.rollback_to_savepoint("late")
+
+
+class TestTransactionManager:
+    def test_begin_and_ensure(self):
+        manager = TransactionManager()
+        assert not manager.in_transaction
+        txn = manager.begin()
+        assert manager.in_transaction
+        assert manager.ensure() is txn
+
+    def test_double_begin_raises(self):
+        manager = TransactionManager()
+        manager.begin()
+        with pytest.raises(TransactionError):
+            manager.begin()
+
+    def test_ensure_starts_new_after_commit(self):
+        manager = TransactionManager()
+        first = manager.begin()
+        first.commit()
+        second = manager.ensure()
+        assert second is not first
+        assert second.txn_id > first.txn_id
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        locks.acquire(1, "t", LockMode.SHARED)
+        locks.acquire(2, "t", LockMode.SHARED)
+        assert locks.holders("t") == {1, 2}
+
+    def test_exclusive_conflicts(self):
+        locks = LockManager()
+        locks.acquire(1, "t", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "t", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "t", LockMode.EXCLUSIVE)
+
+    def test_reentrant(self):
+        locks = LockManager()
+        locks.acquire(1, "t", LockMode.EXCLUSIVE)
+        locks.acquire(1, "t", LockMode.EXCLUSIVE)
+        locks.acquire(1, "t", LockMode.SHARED)
+
+    def test_upgrade_when_sole_holder(self):
+        locks = LockManager()
+        locks.acquire(1, "t", LockMode.SHARED)
+        locks.acquire(1, "t", LockMode.EXCLUSIVE)
+        assert locks.mode("t") is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        locks = LockManager()
+        locks.acquire(1, "t", LockMode.SHARED)
+        locks.acquire(2, "t", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(1, "t", LockMode.EXCLUSIVE)
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.SHARED)
+        locks.acquire(2, "b", LockMode.SHARED)
+        locks.release_all(1)
+        assert locks.mode("a") is None
+        assert locks.holders("b") == {2}
+
+    def test_case_insensitive_resources(self):
+        locks = LockManager()
+        locks.acquire(1, "Table:T", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire(2, "table:t", LockMode.SHARED)
+
+
+class TestEvents:
+    def test_fire_in_registration_order(self):
+        events = EventManager()
+        log = []
+        events.register(DatabaseEvent.COMMIT, "a", lambda: log.append("a"))
+        events.register(DatabaseEvent.COMMIT, "b", lambda: log.append("b"))
+        events.fire(DatabaseEvent.COMMIT)
+        assert log == ["a", "b"]
+
+    def test_rollback_handlers_separate(self):
+        events = EventManager()
+        log = []
+        events.register(DatabaseEvent.ROLLBACK, "r", lambda: log.append("r"))
+        events.fire(DatabaseEvent.COMMIT)
+        assert log == []
+        events.fire(DatabaseEvent.ROLLBACK)
+        assert log == ["r"]
+
+    def test_reregister_replaces(self):
+        events = EventManager()
+        log = []
+        events.register(DatabaseEvent.COMMIT, "h", lambda: log.append(1))
+        events.register(DatabaseEvent.COMMIT, "h", lambda: log.append(2))
+        events.fire(DatabaseEvent.COMMIT)
+        assert log == [2]
+
+    def test_unregister(self):
+        events = EventManager()
+        events.register(DatabaseEvent.COMMIT, "h", lambda: 1 / 0)
+        events.unregister(DatabaseEvent.COMMIT, "h")
+        events.fire(DatabaseEvent.COMMIT)  # no error
+        assert events.registered(DatabaseEvent.COMMIT) == []
+
+    def test_handler_errors_propagate(self):
+        events = EventManager()
+        events.register(DatabaseEvent.COMMIT, "bad", lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            events.fire(DatabaseEvent.COMMIT)

@@ -1,0 +1,114 @@
+"""NULL semantics and three-valued logic."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.types.values import (
+    NULL, Null, is_null, sql_and, sql_compare, sql_eq, sql_like, sql_not,
+    sql_or)
+
+
+class TestNullSingleton:
+    def test_null_is_singleton(self):
+        assert Null() is NULL
+
+    def test_null_is_falsy(self):
+        assert not NULL
+
+    def test_null_repr(self):
+        assert repr(NULL) == "NULL"
+
+    def test_is_null_accepts_none(self):
+        assert is_null(None)
+        assert is_null(NULL)
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestComparison:
+    def test_compare_numbers(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+
+    def test_compare_int_float(self):
+        assert sql_compare(1, 1.0) == 0
+        assert sql_compare(1, 1.5) == -1
+
+    def test_compare_strings(self):
+        assert sql_compare("a", "b") == -1
+        assert sql_compare("b", "b") == 0
+
+    def test_compare_null_yields_null(self):
+        assert is_null(sql_compare(NULL, 1))
+        assert is_null(sql_compare(1, NULL))
+        assert is_null(sql_compare(NULL, NULL))
+
+    def test_compare_mixed_types_raises(self):
+        with pytest.raises(TypeMismatchError):
+            sql_compare(1, "1")
+
+    def test_compare_bool_with_number_raises(self):
+        with pytest.raises(TypeMismatchError):
+            sql_compare(True, 1)
+
+    def test_eq(self):
+        assert sql_eq(3, 3) is True
+        assert sql_eq(3, 4) is False
+        assert is_null(sql_eq(3, NULL))
+
+
+class TestKleeneLogic:
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, True) is False
+        assert sql_and(False, False) is False
+
+    def test_and_with_unknown(self):
+        assert sql_and(False, NULL) is False
+        assert sql_and(NULL, False) is False
+        assert is_null(sql_and(True, NULL))
+        assert is_null(sql_and(NULL, NULL))
+
+    def test_or_truth_table(self):
+        assert sql_or(True, False) is True
+        assert sql_or(False, False) is False
+
+    def test_or_with_unknown(self):
+        assert sql_or(True, NULL) is True
+        assert sql_or(NULL, True) is True
+        assert is_null(sql_or(False, NULL))
+        assert is_null(sql_or(NULL, NULL))
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert is_null(sql_not(NULL))
+
+
+class TestLike:
+    def test_percent_matches_run(self):
+        assert sql_like("hello world", "hello%") is True
+        assert sql_like("hello world", "%world") is True
+        assert sql_like("hello world", "%lo wo%") is True
+
+    def test_underscore_matches_single(self):
+        assert sql_like("cat", "c_t") is True
+        assert sql_like("cart", "c_t") is False
+
+    def test_exact(self):
+        assert sql_like("abc", "abc") is True
+        assert sql_like("abc", "abd") is False
+
+    def test_special_chars_escaped(self):
+        assert sql_like("a.c", "a.c") is True
+        assert sql_like("abc", "a.c") is False
+
+    def test_like_null(self):
+        assert is_null(sql_like(NULL, "a%"))
+        assert is_null(sql_like("a", NULL))
+
+    def test_like_non_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            sql_like(5, "a%")
