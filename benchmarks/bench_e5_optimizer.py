@@ -118,8 +118,11 @@ def test_e5_forced_plan_times_agree_with_choice(benchmark, workload,
                 db.catalog.add_index(btree)
             else:
                 index.domain.valid = False
+                # direct mutation bypasses DDL: invalidate cached plans
+                db.catalog.bump_version()
                 forced = time_call(lambda: db.query(sql))
                 index.domain.valid = True
+                db.catalog.bump_version()
             out[regime] = (chosen, forced)
         return out
 

@@ -6,13 +6,17 @@ the experiment benchmarks.
 """
 
 import random
+import time
 
 import pytest
 
 from repro import Database
+from repro.bench.harness import ReportTable
 from repro.index import BitmapIndex, BTree, HashIndex
 
+REPORT_FILE = "micro_plan_cache.txt"
 N = 5000
+REPEATS = 1000
 
 
 @pytest.fixture(scope="module")
@@ -92,6 +96,59 @@ def test_micro_group_by_sql(benchmark, loaded_db):
     rows = benchmark(lambda: loaded_db.query(
         "SELECT grp, COUNT(*), AVG(val) FROM t GROUP BY grp"))
     assert len(rows) == 16
+
+
+def _repeated_point_queries(db, cold):
+    """Time REPEATS executions of one parameterized point SELECT.
+
+    ``cold`` clears the plan cache before every execution, forcing a
+    hard parse + plan each time; warm mode reuses the shared plan.
+    """
+    sql = "SELECT grp FROM t WHERE id = :1"
+    ids = [(i * 37) % N for i in range(REPEATS)]
+    db.plan_cache.clear()
+    start = time.perf_counter()
+    for ident in ids:
+        if cold:
+            db.plan_cache.clear()
+        rows = db.query(sql, [ident])
+        assert rows
+    return time.perf_counter() - start
+
+
+def test_micro_repeated_statement_cold_vs_warm(loaded_db, fresh_result_file):
+    """1k executions of the same parameterized SELECT: the shared plan
+    cache must measurably beat per-execution hard parsing."""
+    cold = _repeated_point_queries(loaded_db, cold=True)
+    warm = _repeated_point_queries(loaded_db, cold=False)
+    stats = loaded_db.plan_cache.stats
+    table = ReportTable(
+        "micro — repeated parameterized point SELECT "
+        f"({REPEATS} executions): cold vs warm plan cache",
+        ["mode", "total_s", "per_exec_us", "speedup"])
+    table.add_row("cold (hard parse each)", cold,
+                  cold / REPEATS * 1e6, 1.0)
+    table.add_row("warm (shared plan)", warm,
+                  warm / REPEATS * 1e6, cold / warm)
+    table.emit(fresh_result_file)
+    assert stats.hits >= REPEATS - 1
+    assert warm < cold
+
+
+def test_micro_warm_plan_cache_point_sql(benchmark, loaded_db):
+    loaded_db.query("SELECT grp FROM t WHERE id = :1", [1])  # warm the cache
+    rows = benchmark(lambda: loaded_db.query(
+        "SELECT grp FROM t WHERE id = :1", [2500]))
+    assert rows
+
+
+def test_micro_cold_plan_cache_point_sql(benchmark, loaded_db):
+    def cold_query():
+        loaded_db.plan_cache.clear()
+        return loaded_db.query("SELECT grp FROM t WHERE id = :1", [2500])
+
+    rows = benchmark(cold_query)
+    assert rows
 
 
 def test_micro_hash_join_sql(benchmark, loaded_db):

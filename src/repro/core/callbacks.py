@@ -22,8 +22,6 @@ from typing import Any, Optional
 
 from repro.errors import CallbackViolation
 from repro.sql import ast_nodes as ast
-from repro.sql.binds import substitute_binds
-from repro.sql.parser import parse
 
 
 class CallbackPhase(enum.Enum):
@@ -66,15 +64,16 @@ class CallbackSession:
         analogue), which is how rowids and other non-literal values
         travel through callback SQL.  Returns the same cursor a
         top-level ``db.execute`` returns.
+
+        Callback SQL shares the server's plan cache; phase validation
+        runs via the pipeline's ``check`` hook after Parse.  A cache hit
+        skips it by construction — only SELECTs are cached and SELECTs
+        are legal in every phase.
         """
-        statement = parse(sql)
-        self._check(statement, sql)
-        if params is not None:
-            statement = substitute_binds(statement, params)
         # §2.5 definer rights: "Indextype routines always execute under
         # the privileges of the owner of the index."
         with self._db.as_user(self.definer):
-            return self._db.execute_statement(statement, sql)
+            return self._db.pipeline.execute(sql, params, check=self._check)
 
     # convenience wrappers used heavily by the cartridges ----------------
 

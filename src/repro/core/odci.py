@@ -19,7 +19,7 @@ evaluated, exactly as in the paper.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.errors import ODCIError
@@ -59,6 +59,15 @@ class ODCIPredInfo:
     include_lower: bool = True
     include_upper: bool = True
     flags: frozenset = frozenset()
+
+    def with_args(self, operator_args: Tuple[Any, ...]) -> "ODCIPredInfo":
+        """A copy of this descriptor carrying per-execution argument values.
+
+        Plans live in the shared plan cache, so the descriptor attached
+        to a plan node is immutable template state; each execution gets
+        its own copy with that run's evaluated operator arguments.
+        """
+        return replace(self, operator_args=operator_args)
 
     def bound_accepts(self, value: Any) -> bool:
         """True when ``value`` satisfies the return-value bounds."""

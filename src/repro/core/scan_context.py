@@ -75,6 +75,46 @@ class Workspace:
         return len(self._entries)
 
 
+class ScanTracker:
+    """Registry of open domain-index scans for one statement execution.
+
+    The executor registers a closer (an idempotent callable that drives
+    ``ODCIIndexClose`` and frees any workspace handle) for every scan it
+    starts, and unregisters it when the scan finishes normally.  A
+    cursor abandoned mid-fetch still holds registered closers; closing
+    the cursor runs them, so no workspace handles leak without having to
+    wait for the garbage collector to finalize the generator stack.
+    """
+
+    def __init__(self):
+        self._closers: List[Any] = []
+
+    def register(self, closer: Any) -> None:
+        """Track an idempotent close callable for an open scan."""
+        self._closers.append(closer)
+
+    def unregister(self, closer: Any) -> None:
+        """Forget a closer once its scan has completed normally."""
+        try:
+            self._closers.remove(closer)
+        except ValueError:
+            pass
+
+    @property
+    def open_scans(self) -> int:
+        """Number of scans still open."""
+        return len(self._closers)
+
+    def close_all(self) -> None:
+        """Run every outstanding closer (errors are swallowed)."""
+        closers, self._closers = self._closers, []
+        for closer in reversed(closers):
+            try:
+                closer()
+            except Exception:
+                pass
+
+
 class ScanContext:
     """Base class for *incremental* scan state (return-state style).
 

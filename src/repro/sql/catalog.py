@@ -139,9 +139,18 @@ class SQLFunction:
 
 
 class Catalog:
-    """All schema objects of one database."""
+    """All schema objects of one database.
+
+    ``version`` is a monotonic counter bumped on every schema change —
+    DDL, ANALYZE, operator/indextype (re)registration — and is the
+    invalidation signal for the shared plan cache: a compiled plan is
+    only reusable while the catalog version it was built against is
+    still current.
+    """
 
     def __init__(self):
+        #: monotonic schema version (plan-cache invalidation signal)
+        self.version = 0
         self.tables: Dict[str, TableDef] = {}
         self.indexes: Dict[str, IndexDef] = {}
         self.operators: Dict[str, Operator] = {}
@@ -160,6 +169,13 @@ class Catalog:
         self.grants: Dict[Tuple[str, str], set] = {}
         #: optional name -> TableDef hook for synthesized dictionary views
         self.view_provider = None
+
+    # -- schema versioning ----------------------------------------------
+
+    def bump_version(self) -> int:
+        """Advance the schema version (invalidates cached plans)."""
+        self.version += 1
+        return self.version
 
     # -- privileges ------------------------------------------------------
 
@@ -188,6 +204,7 @@ class Catalog:
         if table.key in self.tables:
             raise CatalogError(f"table {table.name} already exists")
         self.tables[table.key] = table
+        self.bump_version()
 
     def get_table(self, name: str) -> TableDef:
         try:
@@ -205,6 +222,7 @@ class Catalog:
     def drop_table(self, name: str) -> TableDef:
         table = self.get_table(name)
         del self.tables[table.key]
+        self.bump_version()
         return table
 
     def indexes_on(self, table_name: str) -> List[IndexDef]:
@@ -221,6 +239,7 @@ class Catalog:
         self.indexes[index.key] = index
         table = self.get_table(index.table_name)
         table.index_names.append(index.name)
+        self.bump_version()
 
     def get_index(self, name: str) -> IndexDef:
         try:
@@ -238,6 +257,7 @@ class Catalog:
         if table and index.name in table.index_names:
             table.index_names.remove(index.name)
         self.domain_index_stats.pop(index.key, None)
+        self.bump_version()
         return index
 
     # -- operators -----------------------------------------------------------
@@ -246,6 +266,7 @@ class Catalog:
         if operator.key in self.operators:
             raise CatalogError(f"operator {operator.name} already exists")
         self.operators[operator.key] = operator
+        self.bump_version()
 
     def get_operator(self, name: str) -> Operator:
         try:
@@ -259,6 +280,7 @@ class Catalog:
     def drop_operator(self, name: str) -> Operator:
         operator = self.get_operator(name)
         del self.operators[operator.key]
+        self.bump_version()
         return operator
 
     # -- indextypes -------------------------------------------------------------
@@ -267,6 +289,7 @@ class Catalog:
         if indextype.key in self.indextypes:
             raise CatalogError(f"indextype {indextype.name} already exists")
         self.indextypes[indextype.key] = indextype
+        self.bump_version()
 
     def get_indextype(self, name: str) -> Indextype:
         try:
@@ -287,6 +310,7 @@ class Catalog:
                 f"indextype {indextype.name} is used by domain index(es) "
                 f"{used_by}; drop them first (or use FORCE)")
         del self.indextypes[indextype.key]
+        self.bump_version()
         return indextype
 
     def indextypes_supporting(self, operator_name: str) -> List[Indextype]:
@@ -298,6 +322,7 @@ class Catalog:
 
     def add_function(self, function: SQLFunction) -> None:
         self.functions[function.key] = function
+        self.bump_version()
 
     def get_function(self, name: str) -> SQLFunction:
         try:
@@ -315,6 +340,7 @@ class Catalog:
         if key in self.object_types:
             raise CatalogError(f"type {object_type.type_name} already exists")
         self.object_types[key] = object_type
+        self.bump_version()
 
     def get_object_type(self, name: str) -> ObjectType:
         try:
@@ -334,6 +360,7 @@ class Catalog:
             raise CatalogError(
                 f"{name}: implementation must subclass IndexMethods")
         self.method_types[name.lower()] = cls
+        self.bump_version()
 
     def get_method_type(self, name: str) -> Type[IndexMethods]:
         try:
@@ -349,6 +376,7 @@ class Catalog:
             raise CatalogError(
                 f"{name}: statistics type must subclass StatsMethods")
         self.stats_types[name.lower()] = cls
+        self.bump_version()
 
     def get_stats_type(self, name: str) -> Type[StatsMethods]:
         try:

@@ -1,0 +1,80 @@
+"""The statement cursor.
+
+:class:`Cursor` is what every executed statement returns.  For queries
+it streams rows out of the executor's generator pipeline; for DML it
+carries the affected-row count.  It is a context manager: leaving the
+``with`` block (or calling :meth:`close`) shuts the generator stack down
+and runs the statement's :class:`~repro.core.scan_context.ScanTracker`
+closers, so any domain-index scan still open from a partial fetch gets
+its ``ODCIIndexClose`` and its workspace handle back deterministically —
+no waiting for the garbage collector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class Cursor:
+    """Result of one executed statement.
+
+    For queries, iterate or call ``fetchone/fetchmany/fetchall``;
+    ``description`` lists output column names.  For DML, ``rowcount``
+    holds the number of affected rows.  Usable as a context manager::
+
+        with db.execute("SELECT ...") as cur:
+            first = cur.fetchmany(10)
+    """
+
+    def __init__(self, columns: Optional[List[str]] = None,
+                 rows: Optional[Iterator[Tuple[Any, ...]]] = None,
+                 rowcount: int = -1, tracker: Any = None):
+        self.description = columns
+        self._rows = rows if rows is not None else iter(())
+        self.rowcount = rowcount
+        self._tracker = tracker
+        self._closed = False
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return self._rows
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        """Return the next row, or None at end (or after close)."""
+        return next(self._rows, None)
+
+    def fetchmany(self, size: int = 10) -> List[Tuple[Any, ...]]:
+        """Return up to ``size`` next rows ([] once exhausted or closed)."""
+        out = []
+        for __ in range(size):
+            row = self.fetchone()
+            if row is None:
+                break
+            out.append(row)
+        return out
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        """Return all remaining rows."""
+        return list(self._rows)
+
+    def close(self) -> None:
+        """Release the result set and any open domain-index scans.
+
+        Idempotent.  Subsequent fetches return no rows rather than
+        raising.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        rows, self._rows = self._rows, iter(())
+        close = getattr(rows, "close", None)
+        if close is not None:
+            close()  # unwinds the generator stack (runs finally blocks)
+        if self._tracker is not None:
+            self._tracker.close_all()

@@ -1,0 +1,367 @@
+"""DML execution and implicit index maintenance.
+
+:class:`DMLEngine` owns the write side of the statement pipeline:
+INSERT/UPDATE/DELETE execution, statement-level atomicity (each DML
+statement runs under an implicit savepoint), and the paper's *implicit
+domain-index maintenance* — every mutation of a table fans out to
+``ODCIIndexInsert/Update/Delete`` on its domain indexes and to direct
+structure maintenance on its native indexes, with undo records so
+rollback restores base table and index state together (§2.4.1, §2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.callbacks import CallbackPhase
+from repro.errors import ConstraintError, ExecutionError
+from repro.sql import ast_nodes as ast
+from repro.sql import planner as pl
+from repro.sql.catalog import TableDef
+from repro.sql.cursor import Cursor
+from repro.sql.expressions import Binder, RowContext, Scope
+from repro.storage.heap import RowId
+from repro.txn.locks import LockMode
+from repro.types.values import NULL, is_null
+
+
+def index_key(row: List[Any], positions: List[int]) -> Any:
+    """The native-index key for ``row`` restricted to ``positions``.
+
+    Returns None for rows with any NULL key column (NULL keys are not
+    indexed, Oracle semantics); a bare value for single-column keys.
+    """
+    values = [row[p] for p in positions]
+    if any(is_null(v) for v in values):
+        return None
+    return values[0] if len(values) == 1 else tuple(values)
+
+
+class DMLEngine:
+    """Executes DML statements and maintains every index implicitly."""
+
+    def __init__(self, db: Any):
+        self.db = db
+        self._stmt_depth = 0
+
+    # ------------------------------------------------------------------
+    # statement scope
+    # ------------------------------------------------------------------
+
+    def statement_transaction(self):
+        """Open the statement scope: (txn, autocommit_flag).
+
+        Every DML statement gets an implicit savepoint so a failure
+        rolls back exactly that statement's changes (statement-level
+        atomicity) while an enclosing explicit transaction survives.
+        The depth counter keeps nested DML issued by maintenance
+        callbacks from clobbering the outer statement's savepoint.
+        """
+        db = self.db
+        if db.txns.in_transaction:
+            txn, autocommit = db.txns.current, False
+        else:
+            txn, autocommit = db.txns.begin(), True
+        self._stmt_depth += 1
+        txn.savepoint(f"__stmt_{self._stmt_depth}__")
+        return txn, autocommit
+
+    def finish(self, autocommit: bool, failed: bool = False) -> None:
+        """Close the statement scope opened by :meth:`statement_transaction`."""
+        db = self.db
+        depth = self._stmt_depth
+        self._stmt_depth -= 1
+        if failed:
+            txn = db.txns.current
+            if txn is not None and txn.active:
+                txn.rollback_to_savepoint(f"__stmt_{depth}__")
+            if autocommit:
+                db.rollback()
+            return
+        if autocommit:
+            db.commit()
+
+    # ------------------------------------------------------------------
+    # row validation / physical insert
+    # ------------------------------------------------------------------
+
+    def validate_row(self, table: TableDef, row: List[Any]) -> List[Any]:
+        out = []
+        for col, value in zip(table.columns, row):
+            validated = col.datatype.validate(value)
+            if col.not_null and is_null(validated):
+                raise ConstraintError(
+                    f"column {table.name}.{col.name} is NOT NULL")
+            out.append(validated)
+        return out
+
+    def insert_row(self, table_name: str, values: Sequence[Any]) -> RowId:
+        """Insert one row of Python values (bypasses the parser).
+
+        Used by application code that holds non-literal values (rowids,
+        object instances, LOB locators) — e.g. the legacy text baseline
+        writing rowids to its temporary result table.
+        """
+        db = self.db
+        table = db.catalog.get_table(table_name)
+        db._check_table_privilege(table, "insert")
+        if len(values) != len(table.columns):
+            raise ExecutionError(
+                f"{table.name} has {len(table.columns)} columns, "
+                f"got {len(values)} values")
+        txn, autocommit = self.statement_transaction()
+        try:
+            db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                             LockMode.EXCLUSIVE)
+            rowid = self.insert_physical(table, list(values), txn)
+        except Exception:
+            self.finish(autocommit, failed=True)
+            raise
+        self.finish(autocommit)
+        return rowid
+
+    def insert_rows(self, table_name: str,
+                    rows: Sequence[Sequence[Any]]) -> int:
+        """Bulk :meth:`insert_row`; returns the number of rows inserted."""
+        db = self.db
+        table = db.catalog.get_table(table_name)
+        db._check_table_privilege(table, "insert")
+        txn, autocommit = self.statement_transaction()
+        try:
+            db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                             LockMode.EXCLUSIVE)
+            for values in rows:
+                if len(values) != len(table.columns):
+                    raise ExecutionError(
+                        f"{table.name} has {len(table.columns)} columns, "
+                        f"got {len(values)} values")
+                self.insert_physical(table, list(values), txn)
+        except Exception:
+            self.finish(autocommit, failed=True)
+            raise
+        self.finish(autocommit)
+        return len(rows)
+
+    def insert_physical(self, table: TableDef, row: List[Any], txn) -> RowId:
+        row = self.validate_row(table, row)
+        storage = table.storage
+        rowid = storage.insert(row)
+        txn.record_undo(lambda: storage.delete(rowid))
+        self.maintain_insert(table, rowid, row, txn)
+        return rowid
+
+    # ------------------------------------------------------------------
+    # implicit index maintenance (ODCIIndexInsert/Update/Delete fan-out)
+    # ------------------------------------------------------------------
+
+    def maintain_insert(self, table: TableDef, rowid: RowId,
+                        row: List[Any], txn) -> None:
+        db = self.db
+        for index in db.catalog.indexes_on(table.name):
+            if index.is_domain and index.domain is not None:
+                domain = index.domain
+                env = db.make_env(CallbackPhase.MAINTENANCE, domain)
+                env.trace(f"dml:ODCIIndexInsert({index.name})")
+                values = [row[table.column_position(c)]
+                          for c in index.column_names]
+                domain.methods.index_insert(domain.index_info(), rowid,
+                                            values, env)
+                continue
+            structure = index.structure
+            positions = [table.column_position(c)
+                         for c in index.column_names]
+            key = index_key(row, positions)
+            if key is None:
+                continue
+            structure.insert(key, rowid)
+            txn.record_undo(
+                lambda s=structure, k=key, r=rowid: s.delete(k, r))
+
+    def maintain_delete(self, table: TableDef, rowid: RowId,
+                        row: List[Any], txn) -> None:
+        db = self.db
+        for index in db.catalog.indexes_on(table.name):
+            if index.is_domain and index.domain is not None:
+                domain = index.domain
+                env = db.make_env(CallbackPhase.MAINTENANCE, domain)
+                env.trace(f"dml:ODCIIndexDelete({index.name})")
+                values = [row[table.column_position(c)]
+                          for c in index.column_names]
+                domain.methods.index_delete(domain.index_info(), rowid,
+                                            values, env)
+                continue
+            structure = index.structure
+            positions = [table.column_position(c)
+                         for c in index.column_names]
+            key = index_key(row, positions)
+            if key is None:
+                continue
+            structure.delete(key, rowid)
+            txn.record_undo(
+                lambda s=structure, k=key, r=rowid: s.insert(k, r))
+
+    def maintain_update(self, table: TableDef, rowid: RowId,
+                        old_row: List[Any], new_row: List[Any],
+                        txn) -> None:
+        db = self.db
+        for index in db.catalog.indexes_on(table.name):
+            positions = [table.column_position(c)
+                         for c in index.column_names]
+            old_vals = [old_row[p] for p in positions]
+            new_vals = [new_row[p] for p in positions]
+            if index.is_domain and index.domain is not None:
+                if old_vals == new_vals:
+                    continue  # indexed columns unchanged
+                domain = index.domain
+                env = db.make_env(CallbackPhase.MAINTENANCE, domain)
+                env.trace(f"dml:ODCIIndexUpdate({index.name})")
+                domain.methods.index_update(domain.index_info(), rowid,
+                                            old_vals, new_vals, env)
+                continue
+            structure = index.structure
+            old_key = index_key(old_row, positions)
+            new_key = index_key(new_row, positions)
+            if old_key == new_key:
+                continue
+            if old_key is not None:
+                structure.delete(old_key, rowid)
+                txn.record_undo(
+                    lambda s=structure, k=old_key, r=rowid: s.insert(k, r))
+            if new_key is not None:
+                structure.insert(new_key, rowid)
+                txn.record_undo(
+                    lambda s=structure, k=new_key, r=rowid: s.delete(k, r))
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def execute_insert(self, stmt: ast.Insert) -> Cursor:
+        db = self.db
+        table = db.catalog.get_table(stmt.table)
+        db._check_table_privilege(table, "insert")
+        column_order = [c.lower() for c in stmt.columns] \
+            if stmt.columns else [c.name for c in table.columns]
+        positions = [table.column_position(c) for c in column_order]
+
+        def build_row(values: List[Any]) -> List[Any]:
+            if len(values) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expects {len(positions)} values, "
+                    f"got {len(values)}")
+            row: List[Any] = [NULL] * len(table.columns)
+            for pos, value in zip(positions, values):
+                row[pos] = value
+            return row
+
+        rows_to_insert: List[List[Any]] = []
+        if stmt.select is not None:
+            for out in db.pipeline.run_select(stmt.select):
+                rows_to_insert.append(build_row(list(out)))
+        else:
+            empty = RowContext()
+            for value_row in stmt.rows:
+                binder = Binder(db.catalog, Scope([]))
+                values = [db.evaluator.evaluate(binder.bind(e), empty)
+                          for e in value_row]
+                rows_to_insert.append(build_row(values))
+
+        txn, autocommit = self.statement_transaction()
+        try:
+            db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                             LockMode.EXCLUSIVE)
+            for row in rows_to_insert:
+                self.insert_physical(table, row, txn)
+        except Exception:
+            self.finish(autocommit, failed=True)
+            raise
+        self.finish(autocommit)
+        return Cursor(rowcount=len(rows_to_insert))
+
+    def plan_target_rows(self, table: TableDef, binding: str,
+                         where: Optional[ast.Expr]
+                         ) -> List[Tuple[RowId, RowContext]]:
+        db = self.db
+        select = ast.Select(
+            items=[ast.SelectItem(ast.Star())],
+            tables=[ast.TableRef(name=table.name, alias=binding)],
+            where=where)
+        plan = db.planner.plan_select(select)
+        node = plan.root
+        while isinstance(node, (pl.ProjectNode, pl.DistinctNode,
+                                pl.LimitNode, pl.SortNode)):
+            node = node.child
+        # materialize fully before mutating (Halloween-problem avoidance)
+        return [(ctx.rowids[binding], ctx)
+                for ctx in db.executor.iter_node(node)]
+
+    def execute_update(self, stmt: ast.Update) -> Cursor:
+        db = self.db
+        table = db.catalog.get_table(stmt.table)
+        db._check_table_privilege(table, "update")
+        binding = (stmt.alias or stmt.table).lower()
+        scope = Scope([(binding, table)])
+        binder = Binder(db.catalog, scope)
+        where = stmt.where
+        if where is not None:
+            where = binder.bind(db.planner.materialize_subqueries(where))
+        assignments = [(table.column_position(col), binder.bind(expr))
+                       for col, expr in stmt.assignments]
+        targets = self.plan_target_rows(table, binding, where)
+        txn, autocommit = self.statement_transaction()
+        count = 0
+        try:
+            db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                             LockMode.EXCLUSIVE)
+            for rowid, ctx in targets:
+                old_row = table.storage.fetch_or_none(rowid)
+                if old_row is None:
+                    continue
+                new_row = list(old_row)
+                for pos, expr in assignments:
+                    new_row[pos] = db.evaluator.evaluate(expr, ctx)
+                new_row = self.validate_row(table, new_row)
+                storage = table.storage
+                storage.update(rowid, new_row)
+                old_copy = list(old_row)
+                txn.record_undo(
+                    lambda s=storage, r=rowid, o=old_copy: s.update(r, o))
+                self.maintain_update(table, rowid, old_copy, new_row, txn)
+                count += 1
+        except Exception:
+            self.finish(autocommit, failed=True)
+            raise
+        self.finish(autocommit)
+        return Cursor(rowcount=count)
+
+    def execute_delete(self, stmt: ast.Delete) -> Cursor:
+        db = self.db
+        table = db.catalog.get_table(stmt.table)
+        db._check_table_privilege(table, "delete")
+        binding = (stmt.alias or stmt.table).lower()
+        scope = Scope([(binding, table)])
+        binder = Binder(db.catalog, scope)
+        where = stmt.where
+        if where is not None:
+            where = binder.bind(db.planner.materialize_subqueries(where))
+        targets = self.plan_target_rows(table, binding, where)
+        txn, autocommit = self.statement_transaction()
+        count = 0
+        try:
+            db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                             LockMode.EXCLUSIVE)
+            for rowid, __ in targets:
+                old_row = table.storage.fetch_or_none(rowid)
+                if old_row is None:
+                    continue
+                storage = table.storage
+                old_copy = list(storage.delete(rowid))
+                txn.record_undo(
+                    lambda s=storage, r=rowid, o=old_copy: s.undelete(r, o))
+                self.maintain_delete(table, rowid, old_copy, txn)
+                count += 1
+        except Exception:
+            self.finish(autocommit, failed=True)
+            raise
+        self.finish(autocommit)
+        return Cursor(rowcount=count)

@@ -32,12 +32,22 @@ from repro.types.values import NULL, is_null, sql_compare
 
 
 class Executor:
-    """Runs query plans against the database's storage and framework."""
+    """Runs query plans against the database's storage and framework.
 
-    def __init__(self, db: Any):
+    One instance is created per statement execution: ``binds`` carries
+    that execution's bind-variable values (cached plans keep BindParam
+    nodes in the tree), and ``tracker`` (a
+    :class:`~repro.core.scan_context.ScanTracker`) collects closers for
+    any domain-index scans opened, so an abandoned cursor can release
+    them deterministically.
+    """
+
+    def __init__(self, db: Any, binds: Optional[Dict[str, Any]] = None,
+                 tracker: Optional[Any] = None):
         self.db = db
         self.catalog = db.catalog
-        self.evaluator = Evaluator(db.catalog)
+        self.evaluator = Evaluator(db.catalog, binds)
+        self.tracker = tracker
 
     # -- public entry points -----------------------------------------------
 
@@ -195,8 +205,9 @@ class Executor:
         const_ctx = RowContext()
         evaluated_args = tuple(self.evaluator.evaluate(a, const_ctx)
                                for a in value_args)
-        pred_info = node.pred_info
-        pred_info.operator_args = evaluated_args
+        # the plan (and its pred_info) may be shared via the plan cache:
+        # never mutate it — take a per-execution copy with these args
+        pred_info = node.pred_info.with_args(evaluated_args)
         query_info = ODCIQueryInfo(first_rows=node.first_rows,
                                    ancillary_label=call.label)
         env = self.db.make_env(CallbackPhase.SCAN, domain)
@@ -205,6 +216,7 @@ class Executor:
         env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
                   f"{node.index.name})")
         context = methods.index_start(ia, pred_info, query_info, env)
+        closer = self._make_closer(methods, context, env)
         batch_size = self.db.fetch_batch_size
         try:
             while True:
@@ -223,7 +235,24 @@ class Executor:
                     break
         finally:
             env.trace("exec:ODCIIndexClose()")
+            closer()
+
+    def _make_closer(self, methods, context, env):
+        """An idempotent ODCIIndexClose callable, registered with the
+        statement's scan tracker (if any) so cursor close can run it."""
+        closed = [False]
+
+        def closer() -> None:
+            if closed[0]:
+                return
+            closed[0] = True
+            if self.tracker is not None:
+                self.tracker.unregister(closer)
             methods.index_close(context, env)
+
+        if self.tracker is not None:
+            self.tracker.register(closer)
+        return closer
 
     # -- composite nodes ------------------------------------------------------
 
@@ -292,6 +321,7 @@ class Executor:
             env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
                       f"{node.index.name}) [join probe]")
             context = methods.index_start(ia, pred_info, query_info, env)
+            closer = self._make_closer(methods, context, env)
             try:
                 while True:
                     result = methods.index_fetch(context, batch_size, env)
@@ -312,7 +342,7 @@ class Executor:
                     if result.done or not result.rowids:
                         break
             finally:
-                methods.index_close(context, env)
+                closer()
 
     def _iter_hash_join(self, node: pl.HashJoin) -> Iterator[RowContext]:
         build: Dict[Tuple[Any, ...], List[RowContext]] = {}

@@ -223,6 +223,8 @@ class Binder:
             expr.operand = self.bind(expr.operand)
             expr.items = [self.bind(item) for item in expr.items]
             return expr
+        if isinstance(expr, ast.BindParam):
+            return expr  # resolved at execution time from the bind set
         if isinstance(expr, (OperatorCall, AggregateCall)):
             return expr  # already bound
         raise ExecutionError(f"cannot bind expression {expr!r}")
@@ -313,15 +315,29 @@ class Binder:
 # ---------------------------------------------------------------------------
 
 class Evaluator:
-    """Evaluates bound expressions against row contexts."""
+    """Evaluates bound expressions against row contexts.
 
-    def __init__(self, catalog: Catalog):
+    ``binds`` maps bind-parameter name → value for the current
+    execution.  Cached plans keep :class:`~repro.sql.ast_nodes.BindParam`
+    nodes in the tree, so each execution supplies its own values here
+    instead of rewriting the (shared) plan.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 binds: Optional[Dict[str, Any]] = None):
         self.catalog = catalog
+        self.binds = binds or {}
 
     def evaluate(self, expr: ast.Expr, ctx: RowContext) -> Any:
         """SQL-evaluate ``expr``; returns a value or NULL."""
         if isinstance(expr, ast.Literal):
             return expr.value
+        if isinstance(expr, ast.BindParam):
+            key = expr.name.lower()
+            if key not in self.binds:
+                raise ExecutionError(
+                    f"no value supplied for bind :{expr.name}")
+            return self.binds[key]
         if isinstance(expr, ast.ColumnRef):
             return self._column_value(expr, ctx)
         if isinstance(expr, OperatorCall):
@@ -490,6 +506,8 @@ def static_type(expr: ast.Expr, scope: Scope, catalog: Catalog) -> DataType:
     """Best-effort static SQL type of a bound expression (planner use)."""
     if isinstance(expr, ast.Literal):
         return value_datatype(expr.value)
+    if isinstance(expr, ast.BindParam):
+        return ANY  # value unknown until execution
     if isinstance(expr, ast.ColumnRef) and expr.bound:
         table = scope.table_for_alias(expr.alias or "")
         if table is None:

@@ -1,0 +1,336 @@
+"""The staged statement pipeline: Parse → Bind → Plan → Execute.
+
+Every statement the :class:`~repro.sql.session.Database` facade accepts
+flows through :class:`StatementPipeline`.  Each stage produces an
+inspectable artifact:
+
+* **Parse** (:class:`ParseArtifact`) — the AST, the statement class
+  (query / dml / ddl / tcl), the bind-variable names it references, and
+  whether the statement is *plan-cacheable*;
+* **Bind** (:class:`BindArtifact`) — normalized bind values and the
+  bind-variable *signature* (the sorted name tuple that is part of the
+  plan-cache key);
+* **Plan** (:class:`PlanArtifact`) — the compiled
+  :class:`~repro.sql.planner.QueryPlan` plus whether it came out of the
+  shared :class:`~repro.sql.plan_cache.PlanCache`;
+* **Execute** — a :class:`~repro.sql.cursor.Cursor` streaming rows from
+  a per-execution :class:`~repro.sql.executor.Executor`.
+
+The shared plan cache fronts the pipeline: a repeated statement text
+with the same bind signature skips Parse and Plan entirely (like
+Oracle8i's soft parse against the shared pool).  Only SELECTs are
+cached, and only when the plan is execution-independent:
+
+* no IN/EXISTS subquery — the planner materializes subquery results at
+  plan time, freezing data into the plan;
+* every referenced table is a real catalog table — dictionary views
+  synthesize a fresh TableDef per lookup.
+
+Cached plans are shared read-only templates.  Each execution gets its
+own :class:`~repro.sql.executor.Executor` carrying that call's bind
+values and a :class:`~repro.core.scan_context.ScanTracker`, so closing
+the returned cursor drives ``ODCIIndexClose`` for any still-open domain
+index scan.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.scan_context import ScanTracker
+from repro.errors import ExecutionError
+from repro.sql import ast_nodes as ast
+from repro.sql.binds import (
+    collect_bind_names, normalize_params, statement_has_subquery,
+    substitute_binds)
+from repro.sql.cursor import Cursor
+from repro.sql.executor import Executor
+from repro.sql.parser import parse
+from repro.sql.plan_cache import (
+    CachedPlan, PlanCache, normalize_sql, size_bucket)
+from repro.txn.locks import LockMode
+
+_EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+PLAN\s+FOR)?\s", re.IGNORECASE)
+
+_TCL_TYPES = (ast.Commit, ast.Rollback, ast.BeginTransaction, ast.Savepoint)
+_DML_TYPES = (ast.Insert, ast.Update, ast.Delete)
+
+
+@dataclass
+class ParseArtifact:
+    """Output of the Parse stage."""
+
+    sql: str
+    normalized_sql: str
+    statement: ast.Statement
+    #: 'query' | 'dml' | 'ddl' | 'tcl'
+    kind: str
+    #: sorted bind-variable names referenced by the statement
+    bind_names: Tuple[str, ...]
+    #: True when the compiled plan may enter the shared plan cache
+    cacheable: bool
+
+
+@dataclass
+class BindArtifact:
+    """Output of the Bind stage."""
+
+    #: normalized name → value mapping (positional binds become '1', '2', ...)
+    values: Dict[str, Any]
+    #: sorted name tuple — the bind part of the plan-cache key
+    signature: Tuple[str, ...]
+
+
+@dataclass
+class PlanArtifact:
+    """Output of the Plan stage."""
+
+    plan: Any
+    #: True when the plan came out of the shared cache (soft parse)
+    cache_hit: bool
+    #: True when the plan was (or could have been) cached
+    cacheable: bool
+
+
+class StatementPipeline:
+    """Drives statements through Parse → Bind → Plan → Execute."""
+
+    def __init__(self, db: Any, cache_capacity: int = 128):
+        self.db = db
+        self.cache = PlanCache(capacity=cache_capacity)
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+
+    def parse(self, sql: str) -> ParseArtifact:
+        """Parse stage: AST + statement class + cacheability."""
+        statement = parse(sql)
+        return self.parse_artifact(sql, statement)
+
+    def parse_artifact(self, sql: str,
+                       statement: ast.Statement) -> ParseArtifact:
+        """Build the Parse artifact for an already-parsed statement."""
+        if isinstance(statement, (ast.Select, ast.Explain)):
+            kind = "query"
+        elif isinstance(statement, _DML_TYPES):
+            kind = "dml"
+        elif isinstance(statement, _TCL_TYPES):
+            kind = "tcl"
+        else:
+            kind = "ddl"
+        return ParseArtifact(
+            sql=sql, normalized_sql=normalize_sql(sql), statement=statement,
+            kind=kind, bind_names=tuple(collect_bind_names(statement)),
+            cacheable=self._cacheable(statement))
+
+    def bind(self, params: Optional[Any]) -> BindArtifact:
+        """Bind stage: normalize values and derive the bind signature."""
+        values = normalize_params(params)
+        return BindArtifact(values=values, signature=tuple(sorted(values)))
+
+    def plan(self, parsed: ParseArtifact, bound: BindArtifact) -> PlanArtifact:
+        """Plan stage: cache probe, then compile-and-store on a miss.
+
+        Only valid for cacheable SELECTs (``parsed.cacheable``); other
+        statements never reach this stage.
+        """
+        entry = self.cache.lookup(parsed.normalized_sql, bound.signature,
+                                  self.db.catalog)
+        if entry is not None:
+            return PlanArtifact(plan=entry.plan, cache_hit=True,
+                                cacheable=True)
+        plan = self.db.planner.plan_select(parsed.statement,
+                                           peek_binds=bound.values)
+        self.cache.store(parsed.normalized_sql, bound.signature,
+                         self._entry_for(parsed, plan))
+        return PlanArtifact(plan=plan, cache_hit=False, cacheable=True)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[Any] = None,
+                check: Optional[Any] = None) -> Cursor:
+        """Run one SQL text through the pipeline.
+
+        ``check`` is a pre-execution hook ``check(statement, sql)`` used
+        by restricted callback sessions; it runs after Parse on every
+        path that parses.  A plan-cache hit skips it by construction:
+        only SELECTs are cached and SELECTs pass every callback phase.
+        """
+        if _EXPLAIN_RE.match(sql):
+            lines = self.explain_lines(sql, params, check=check)
+            return Cursor(columns=["plan"],
+                          rows=iter([(line,) for line in lines]))
+        bound = self.bind(params)
+        entry = self.cache.lookup(normalize_sql(sql), bound.signature,
+                                  self.db.catalog)
+        if entry is not None:
+            return self._execute_plan(entry.plan, bound.values)
+        parsed = self.parse(sql)
+        if check is not None:
+            check(parsed.statement, sql)
+        if parsed.cacheable:
+            self._require_binds(parsed, bound)
+            planned = self.plan(parsed, bound)
+            return self._execute_plan(planned.plan, bound.values)
+        statement = parsed.statement
+        if params is not None:
+            statement = substitute_binds(statement, params)
+        return self.execute_statement(statement, sql)
+
+    def execute_statement(self, statement: ast.Statement,
+                          sql: str = "") -> Cursor:
+        """Execute an already-parsed statement (no plan caching).
+
+        Entry point for callers that build ASTs directly; binds must
+        already be substituted for non-query statements.
+        """
+        db = self.db
+        if isinstance(statement, ast.Select):
+            return self.run_select(statement)
+        if isinstance(statement, ast.Explain):
+            plan = db.planner.plan_select(statement.query)
+            return Cursor(columns=["plan"],
+                          rows=iter([(line,) for line in plan.explain()]))
+        if isinstance(statement, ast.Insert):
+            return db.dml.execute_insert(statement)
+        if isinstance(statement, ast.Update):
+            return db.dml.execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return db.dml.execute_delete(statement)
+        if isinstance(statement, ast.Commit):
+            db.commit()
+            return Cursor(rowcount=0)
+        if isinstance(statement, ast.Rollback):
+            db.rollback(statement.savepoint)
+            return Cursor(rowcount=0)
+        if isinstance(statement, ast.BeginTransaction):
+            db.begin()
+            return Cursor(rowcount=0)
+        if isinstance(statement, ast.Savepoint):
+            db.savepoint(statement.name)
+            return Cursor(rowcount=0)
+        handler = self._DDL_DISPATCH.get(type(statement))
+        if handler is not None:
+            return getattr(db.ddl, handler)(statement)
+        raise ExecutionError(
+            f"unsupported statement {type(statement).__name__}")
+
+    _DDL_DISPATCH = {
+        ast.CreateTable: "execute_create_table",
+        ast.DropTable: "execute_drop_table",
+        ast.TruncateTable: "execute_truncate",
+        ast.CreateIndex: "execute_create_index",
+        ast.AlterIndex: "execute_alter_index",
+        ast.DropIndex: "execute_drop_index",
+        ast.CreateOperator: "execute_create_operator",
+        ast.DropOperator: "execute_drop_operator",
+        ast.CreateIndextype: "execute_create_indextype",
+        ast.DropIndextype: "execute_drop_indextype",
+        ast.CreateType: "execute_create_type",
+        ast.AssociateStatistics: "execute_associate",
+        ast.GrantStatement: "execute_grant",
+        ast.AnalyzeTable: "execute_analyze",
+    }
+
+    def run_select(self, select: ast.Select) -> Cursor:
+        """Plan and run a SELECT AST outside the plan cache."""
+        db = self.db
+        for tref in select.tables:
+            db._check_table_privilege(db.catalog.get_table(tref.name),
+                                      "select")
+        txn = db.txns.current
+        if txn is not None and txn.active:
+            for tref in select.tables:
+                db.locks.acquire(txn.txn_id, f"table:{tref.name.lower()}",
+                                 LockMode.SHARED)
+        plan = db.planner.plan_select(select)
+        tracker = ScanTracker()
+        rows = Executor(db, tracker=tracker).run(plan)
+        return Cursor(columns=plan.column_names, rows=rows, tracker=tracker)
+
+    def explain_lines(self, sql: str, params: Optional[Any] = None,
+                      check: Optional[Any] = None) -> List[str]:
+        """EXPLAIN surface: plan tree plus a plan-cache status line.
+
+        Shares the SELECT's cache slot — explaining a statement warms
+        the cache for its execution and vice versa.
+        """
+        statement = parse(sql)
+        if check is not None:
+            check(statement, sql)
+        if isinstance(statement, ast.Explain):
+            query: ast.Statement = statement.query
+            inner_sql = _EXPLAIN_RE.sub("", sql, count=1)
+        else:
+            query = statement
+            inner_sql = sql
+        if not isinstance(query, ast.Select):
+            raise ExecutionError("explain requires a SELECT")
+        bound = self.bind(params)
+        if not self._cacheable(query):
+            if params is not None:
+                query = substitute_binds(query, params)
+            plan = self.db.planner.plan_select(query)
+            return plan.explain() + ["plan cache: BYPASS (not cacheable)"]
+        normalized = normalize_sql(inner_sql)
+        entry = self.cache.lookup(normalized, bound.signature,
+                                  self.db.catalog)
+        if entry is not None:
+            return entry.plan.explain() + \
+                [f"plan cache: HIT (executions={entry.hits})"]
+        plan = self.db.planner.plan_select(query, peek_binds=bound.values)
+        parsed = self.parse_artifact(inner_sql, query)
+        self.cache.store(normalized, bound.signature,
+                         self._entry_for(parsed, plan))
+        return plan.explain() + ["plan cache: MISS (stored)"]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _cacheable(self, statement: ast.Statement) -> bool:
+        if not isinstance(statement, ast.Select):
+            return False
+        if statement_has_subquery(statement):
+            return False  # subquery results are frozen into the plan
+        catalog = self.db.catalog
+        for tref in statement.tables:
+            if not catalog.has_table(tref.name):
+                return False  # dictionary view (or will fail downstream)
+        return True
+
+    def _entry_for(self, parsed: ParseArtifact, plan: Any) -> CachedPlan:
+        catalog = self.db.catalog
+        table_sig = tuple(
+            (table.key, size_bucket(table.storage.row_count))
+            for table in plan.referenced_tables()
+            if not table.stats.analyzed)
+        return CachedPlan(plan=plan, catalog_version=catalog.version,
+                          table_sig=table_sig,
+                          bind_names=parsed.bind_names, sql=parsed.sql)
+
+    @staticmethod
+    def _require_binds(parsed: ParseArtifact, bound: BindArtifact) -> None:
+        for name in parsed.bind_names:
+            if name not in bound.values:
+                raise ExecutionError(f"no value supplied for bind :{name}")
+
+    def _execute_plan(self, plan: Any, values: Dict[str, Any]) -> Cursor:
+        """Execute stage for a compiled (possibly shared) plan."""
+        db = self.db
+        tables = plan.referenced_tables()
+        for table in tables:
+            db._check_table_privilege(table, "select")
+        txn = db.txns.current
+        if txn is not None and txn.active:
+            for table in tables:
+                db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                                 LockMode.SHARED)
+        tracker = ScanTracker()
+        rows = Executor(db, values, tracker).run(plan)
+        return Cursor(columns=plan.column_names, rows=rows, tracker=tracker)

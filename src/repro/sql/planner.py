@@ -327,6 +327,10 @@ class QueryPlan:
     def explain(self) -> List[str]:
         return self.root.explain()
 
+    def referenced_tables(self) -> List[TableDef]:
+        """The tables this plan reads (one entry per FROM binding)."""
+        return [table for _, table in self.scope.entries]
+
 
 # ---------------------------------------------------------------------------
 # Helpers over predicates
@@ -489,6 +493,11 @@ class Planner:
     def __init__(self, catalog: Catalog, db: Any = None):
         self.catalog = catalog
         self.db = db
+        #: bind values peeked for the current planning (Oracle-style
+        #: "bind peeking": the first execution's values inform
+        #: selectivity/cost estimates; the compiled plan is then shared
+        #: by later executions with different values)
+        self._peeked_binds: dict = {}
 
     # -- entry point ----------------------------------------------------------
 
@@ -540,8 +549,16 @@ class Planner:
             return [] if first is None else [first]
         return list(rows_iter)
 
-    def plan_select(self, select: ast.Select) -> QueryPlan:
-        """Bind and plan a SELECT."""
+    def plan_select(self, select: ast.Select,
+                    peek_binds: Optional[dict] = None) -> QueryPlan:
+        """Bind and plan a SELECT.
+
+        ``peek_binds`` (name → value) lets cost estimation see the bind
+        values of the execution that triggered compilation, even though
+        the plan tree itself keeps the BindParam placeholders.
+        """
+        if peek_binds is not None:
+            self._peeked_binds = peek_binds
         if select.where is not None:
             select.where = self.materialize_subqueries(select.where)
         if select.having is not None:
@@ -603,8 +620,18 @@ class Planner:
             node.est_cost = root.est_cost
             root = node
 
-        return QueryPlan(root=root, column_names=[n for _, n in items],
+        plan = QueryPlan(root=root, column_names=[n for _, n in items],
                          scope=scope)
+        self._peeked_binds = {}
+        return plan
+
+    def _peek_value(self, expr: ast.Expr) -> Any:
+        """Plan-time value of an argument expression, for stats routines."""
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.BindParam):
+            return self._peeked_binds.get(expr.name.lower())
+        return None
 
     # -- select list -----------------------------------------------------------
 
@@ -1028,8 +1055,7 @@ class Planner:
                 lower_bound=op_pred.lower, upper_bound=op_pred.upper,
                 include_lower=op_pred.include_lower,
                 include_upper=op_pred.include_upper)
-            args = [a.value if isinstance(a, ast.Literal) else None
-                    for a in op_pred.call.args]
+            args = [self._peek_value(a) for a in op_pred.call.args]
             if env is not None:
                 env.trace(f"optimizer:ODCIStatsSelectivity("
                           f"{op_pred.call.operator.name})")
@@ -1045,8 +1071,7 @@ class Planner:
         if stats is not None:
             env = (self.db.make_stats_env(index.domain)
                    if self.db is not None else None)
-            args = [a.value if isinstance(a, ast.Literal) else None
-                    for a in call.args]
+            args = [self._peek_value(a) for a in call.args]
             if env is not None:
                 env.trace(f"optimizer:ODCIStatsIndexCost({index.name})")
             cost = stats.index_cost(index.domain.index_info(), pred_info,

@@ -1,98 +1,60 @@
 """The database session facade.
 
-:class:`Database` ties the substrates together and implements the
-server-side orchestration of the paper's framework (§2.4):
+:class:`Database` ties the substrates together and fronts the staged
+statement pipeline (:mod:`repro.sql.pipeline`).  The facade itself owns
+only cross-cutting session state — users and privileges, tracing, ODCI
+environments, and transaction control; statement processing is
+delegated:
 
-* **Domain index definition/maintenance** — CREATE/ALTER/TRUNCATE/DROP
-  INDEX on a domain index invoke the indextype's
-  ``ODCIIndexCreate/Alter/Truncate/Drop``; every INSERT/UPDATE/DELETE on
-  a table *implicitly* maintains its domain indexes by invoking
-  ``ODCIIndexInsert/Update/Delete`` with the old/new indexed-column
-  values and the rowid.
-* **Query optimization** — SELECTs go through the cost-based planner,
-  which may choose a domain-index scan for operator predicates (§2.4.2).
-* **Transactions** — DML runs inside a transaction (autocommit when none
-  is open); index data written through server callbacks shares the same
-  undo, so rollback restores base table and in-database index state
-  together (§2.5).  Commit/rollback fire registered database events (§5).
+* **Parse → Bind → Plan → Execute** with the shared plan cache lives in
+  :class:`~repro.sql.pipeline.StatementPipeline`;
+* **DML + implicit domain-index maintenance**
+  (``ODCIIndexInsert/Update/Delete`` fan-out, §2.4.1) lives in
+  :class:`~repro.sql.dml.DMLEngine`;
+* **DDL** (including ``ODCIIndexCreate/Alter/Truncate/Drop`` and the
+  ODCIStats wiring of §2.4.2) lives in
+  :class:`~repro.sql.ddl.DDLEngine`.
+
+Transactions: DML runs inside a transaction (autocommit when none is
+open); index data written through server callbacks shares the same
+undo, so rollback restores base table and in-database index state
+together (§2.5).  Commit/rollback fire registered database events (§5).
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Any, Callable, List, Optional, Sequence, Tuple, Type)
 
 from repro.core.callbacks import CallbackPhase, CallbackSession
 from repro.core.domain_index import DomainIndex
-from repro.core.indextype import Indextype, SupportedOperator
 from repro.core.odci import IndexMethods, ODCIEnv
-from repro.core.operators import Operator, OperatorBinding
 from repro.core.scan_context import Workspace
 from repro.core.stats import StatsMethods
-from repro.errors import (
-    CatalogError, ConstraintError, DatabaseError, ExecutionError,
-    IndextypeError, PrivilegeError, TransactionError)
-from repro.index import BitmapIndex, BTree, HashIndex
+from repro.errors import PrivilegeError, TransactionError
 from repro.sql import ast_nodes as ast
 from repro.sql.builtins import register_builtins
-from repro.sql.catalog import (
-    Catalog, ColumnInfo, ColumnStats, IndexDef, SQLFunction, TableDef,
-    TableStats)
-from repro.sql.binds import substitute_binds
+from repro.sql.catalog import Catalog, SQLFunction, TableDef
+from repro.sql.cursor import Cursor
+from repro.sql.ddl import DDLEngine
+from repro.sql.dml import DMLEngine
 from repro.sql.executor import Executor
-from repro.sql.expressions import Evaluator, RowContext, Scope, Binder
-from repro.sql.parser import parse
-from repro.sql import planner as pl
-from repro.sql.planner import Planner, QueryPlan
+from repro.sql.expressions import Evaluator
+from repro.sql.pipeline import StatementPipeline
+from repro.sql.plan_cache import PlanCache
+from repro.sql.planner import Planner
 from repro.storage.buffer import BufferCache, IOStats
 from repro.storage.filestore import FileStore
-from repro.storage.heap import HeapTable, RowId
-from repro.storage.iot import IndexOrganizedTable
+from repro.storage.heap import RowId
 from repro.storage.lob import LobManager
 from repro.txn.events import DatabaseEvent, EventManager
-from repro.txn.locks import LockManager, LockMode
+from repro.txn.locks import LockManager
 from repro.txn.transaction import TransactionManager
-from repro.types.datatypes import DataType, type_from_name
-from repro.types.objects import NestedTable, ObjectType, Varray
-from repro.types.values import NULL, is_null
+from repro.types.datatypes import DataType
+from repro.types.objects import ObjectType
 
-
-class Cursor:
-    """Result of one executed statement.
-
-    For queries, iterate or call ``fetchone/fetchmany/fetchall``;
-    ``description`` lists output column names.  For DML, ``rowcount``
-    holds the number of affected rows.
-    """
-
-    def __init__(self, columns: Optional[List[str]] = None,
-                 rows: Optional[Iterator[Tuple[Any, ...]]] = None,
-                 rowcount: int = -1):
-        self.description = columns
-        self._rows = rows if rows is not None else iter(())
-        self.rowcount = rowcount
-        self._exhausted = rows is None
-
-    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
-        return self._rows
-
-    def fetchone(self) -> Optional[Tuple[Any, ...]]:
-        """Return the next row, or None at end."""
-        return next(self._rows, None)
-
-    def fetchmany(self, size: int = 10) -> List[Tuple[Any, ...]]:
-        """Return up to ``size`` next rows."""
-        out = []
-        for __ in range(size):
-            row = self.fetchone()
-            if row is None:
-                break
-            out.append(row)
-        return out
-
-    def fetchall(self) -> List[Tuple[Any, ...]]:
-        """Return all remaining rows."""
-        return list(self._rows)
+__all__ = ["Cursor", "Database"]
 
 
 class Database:
@@ -110,19 +72,27 @@ class Database:
         self.events = EventManager()
         self.workspace = Workspace(self.stats)
         self.fetch_batch_size = fetch_batch_size
-        self._stmt_depth = 0
         #: current session user; "main" is the superuser/DBA
         self.session_user = "main"
         self.trace_log: Optional[List[str]] = None
         self.planner = Planner(self.catalog, db=self)
+        #: default bindless executor (planner subqueries, DML target rows)
         self.executor = Executor(self)
         self.evaluator = Evaluator(self.catalog)
+        self.pipeline = StatementPipeline(self)
+        self.dml = DMLEngine(self)
+        self.ddl = DDLEngine(self)
         register_builtins(self.catalog)
         self.catalog.add_function(SQLFunction(
             name="varray", fn=lambda *args: tuple(args), cost=0.0001))
         from repro.sql.dictionary import dictionary_view
         self.catalog.view_provider = (
             lambda name: dictionary_view(self.catalog, name))
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The shared plan cache fronting the statement pipeline."""
+        return self.pipeline.cache
 
     # ------------------------------------------------------------------
     # registration API (stands in for PL/SQL bodies; see DESIGN.md §5)
@@ -285,20 +255,18 @@ class Database:
             self.commit()
 
     # ------------------------------------------------------------------
-    # statement execution
+    # statement execution (delegates to the pipeline)
     # ------------------------------------------------------------------
 
     def execute(self, sql: str, params: Optional[Any] = None) -> Cursor:
-        """Parse and execute one SQL statement.
+        """Parse and execute one SQL statement through the pipeline.
 
         ``params`` supplies bind-variable values: a sequence for
         positional binds (``:1``, ``:2``, ...) or a mapping for named
-        binds (``:rid``).
+        binds (``:rid``).  Repeated cacheable SELECT texts reuse their
+        compiled plan from the shared plan cache.
         """
-        statement = parse(sql)
-        if params is not None:
-            statement = substitute_binds(statement, params)
-        return self.execute_statement(statement, sql)
+        return self.pipeline.execute(sql, params)
 
     def query(self, sql: str,
               params: Optional[Any] = None) -> List[Tuple[Any, ...]]:
@@ -312,473 +280,17 @@ class Database:
         return rows[0] if rows else None
 
     def explain(self, sql: str, params: Optional[Any] = None) -> List[str]:
-        """Return the EXPLAIN plan lines for a query."""
-        statement = parse(sql)
-        if params is not None:
-            statement = substitute_binds(statement, params)
-        if isinstance(statement, ast.Explain):
-            statement = statement.query
-        if not isinstance(statement, ast.Select):
-            raise ExecutionError("explain requires a SELECT")
-        return self.planner.plan_select(statement).explain()
+        """Return the EXPLAIN plan lines (plus a plan-cache status line)."""
+        return self.pipeline.explain_lines(sql, params)
 
     def execute_statement(self, statement: ast.Statement,
                           sql: str = "") -> Cursor:
         """Execute a parsed statement (entry point shared with callbacks)."""
-        if isinstance(statement, ast.Select):
-            return self._execute_select(statement)
-        if isinstance(statement, ast.Explain):
-            plan = self.planner.plan_select(statement.query)
-            lines = plan.explain()
-            return Cursor(columns=["plan"],
-                          rows=iter([(line,) for line in lines]))
-        if isinstance(statement, ast.Insert):
-            return self._execute_insert(statement)
-        if isinstance(statement, ast.Update):
-            return self._execute_update(statement)
-        if isinstance(statement, ast.Delete):
-            return self._execute_delete(statement)
-        if isinstance(statement, ast.CreateTable):
-            return self._execute_create_table(statement)
-        if isinstance(statement, ast.DropTable):
-            return self._execute_drop_table(statement)
-        if isinstance(statement, ast.TruncateTable):
-            return self._execute_truncate(statement)
-        if isinstance(statement, ast.CreateIndex):
-            return self._execute_create_index(statement)
-        if isinstance(statement, ast.AlterIndex):
-            return self._execute_alter_index(statement)
-        if isinstance(statement, ast.DropIndex):
-            return self._execute_drop_index(statement)
-        if isinstance(statement, ast.CreateOperator):
-            return self._execute_create_operator(statement)
-        if isinstance(statement, ast.DropOperator):
-            return self._execute_drop_operator(statement)
-        if isinstance(statement, ast.CreateIndextype):
-            return self._execute_create_indextype(statement)
-        if isinstance(statement, ast.DropIndextype):
-            return self._execute_drop_indextype(statement)
-        if isinstance(statement, ast.CreateType):
-            return self._execute_create_type(statement)
-        if isinstance(statement, ast.AssociateStatistics):
-            return self._execute_associate(statement)
-        if isinstance(statement, ast.GrantStatement):
-            return self._execute_grant(statement)
-        if isinstance(statement, ast.AnalyzeTable):
-            return self._execute_analyze(statement)
-        if isinstance(statement, ast.Commit):
-            self.commit()
-            return Cursor(rowcount=0)
-        if isinstance(statement, ast.Rollback):
-            self.rollback(statement.savepoint)
-            return Cursor(rowcount=0)
-        if isinstance(statement, ast.BeginTransaction):
-            self.begin()
-            return Cursor(rowcount=0)
-        if isinstance(statement, ast.Savepoint):
-            self.savepoint(statement.name)
-            return Cursor(rowcount=0)
-        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+        return self.pipeline.execute_statement(statement, sql)
 
     # ------------------------------------------------------------------
-    # SELECT
+    # direct-value DML (delegates to the DML engine)
     # ------------------------------------------------------------------
-
-    def _execute_select(self, select: ast.Select) -> Cursor:
-        for tref in select.tables:
-            self._check_table_privilege(self.catalog.get_table(tref.name),
-                                        "select")
-        txn = self.txns.current
-        if txn is not None and txn.active:
-            for tref in select.tables:
-                self.locks.acquire(txn.txn_id, f"table:{tref.name.lower()}",
-                                   LockMode.SHARED)
-        plan = self.planner.plan_select(select)
-        rows = self.executor.run(plan)
-        return Cursor(columns=plan.column_names, rows=rows)
-
-    # ------------------------------------------------------------------
-    # DDL: tables
-    # ------------------------------------------------------------------
-
-    def _column_datatype(self, col: ast.ColumnDef) -> DataType:
-        if col.collection == "varray":
-            return Varray(self._scalar_datatype(col.elem_type_name,
-                                                col.elem_length),
-                          limit=col.limit)
-        if col.collection == "table":
-            return NestedTable(self._scalar_datatype(col.elem_type_name,
-                                                     col.elem_length))
-        return self._scalar_datatype(col.type_name, col.length)
-
-    def _scalar_datatype(self, type_name: Optional[str],
-                         length: Optional[int]) -> DataType:
-        name = (type_name or "").upper()
-        if self.catalog.has_object_type(name):
-            return self.catalog.get_object_type(name)
-        return type_from_name(name, length)
-
-    def _execute_create_table(self, stmt: ast.CreateTable) -> Cursor:
-        self._autocommit_ddl()
-        if self.catalog.has_table(stmt.name):
-            raise CatalogError(f"table {stmt.name} already exists")
-        columns = [ColumnInfo(name=c.name.lower(),
-                              datatype=self._column_datatype(c),
-                              not_null=c.not_null or c.primary_key)
-                   for c in stmt.columns]
-        pk = [c.lower() for c in stmt.primary_key]
-        if stmt.organization_index:
-            if not pk:
-                raise CatalogError(
-                    "an index-organized table requires a primary key")
-            leading = [c.name for c in columns[:len(pk)]]
-            if leading != pk:
-                raise CatalogError(
-                    "IOT primary key columns must be the leading columns "
-                    f"(got key {pk}, leading columns {leading})")
-            storage: Any = IndexOrganizedTable(self.buffer,
-                                               key_width=len(pk),
-                                               name=stmt.name,
-                                               unique=True)
-        else:
-            storage = HeapTable(self.buffer, name=stmt.name)
-        table = TableDef(name=stmt.name, columns=columns, storage=storage,
-                         primary_key=pk, is_iot=stmt.organization_index,
-                         owner=self.session_user)
-        self.catalog.add_table(table)
-        return Cursor(rowcount=0)
-
-    def _execute_drop_table(self, stmt: ast.DropTable) -> Cursor:
-        self._autocommit_ddl()
-        if not self.catalog.has_table(stmt.name):
-            if stmt.if_exists:
-                return Cursor(rowcount=0)
-            raise CatalogError(f"no such table {stmt.name!r}")
-        table = self.catalog.get_table(stmt.name)
-        self._check_table_ownership(table, "drop")
-        for index in list(self.catalog.indexes_on(table.name)):
-            self._drop_index_object(index, force=True)
-        if isinstance(table.storage, HeapTable):
-            self.buffer.drop_segment(table.storage.segment_id)
-        else:
-            table.storage.truncate()
-        self.catalog.drop_table(stmt.name)
-        return Cursor(rowcount=0)
-
-    def _execute_truncate(self, stmt: ast.TruncateTable) -> Cursor:
-        self._autocommit_ddl()
-        table = self.catalog.get_table(stmt.name)
-        self._check_table_ownership(table, "truncate")
-        table.storage.truncate()
-        for index in self.catalog.indexes_on(table.name):
-            if index.is_domain and index.domain is not None:
-                env = self.make_env(CallbackPhase.DEFINITION, index.domain)
-                env.trace(f"ddl:ODCIIndexTruncate({index.name})")
-                index.domain.methods.index_truncate(
-                    index.domain.index_info(), env)
-            elif index.structure is not None:
-                index.structure.clear()
-        return Cursor(rowcount=0)
-
-    # ------------------------------------------------------------------
-    # DDL: indexes
-    # ------------------------------------------------------------------
-
-    def _execute_create_index(self, stmt: ast.CreateIndex) -> Cursor:
-        self._autocommit_ddl()
-        if self.catalog.has_index(stmt.name):
-            raise CatalogError(f"index {stmt.name} already exists")
-        table = self.catalog.get_table(stmt.table)
-        self._check_table_ownership(table, "index")
-        columns = tuple(c.lower() for c in stmt.columns)
-        for column in columns:
-            table.column_position(column)  # validates existence
-        if stmt.kind == "domain":
-            return self._create_domain_index(stmt, table, columns)
-        return self._create_native_index(stmt, table, columns)
-
-    def _create_native_index(self, stmt: ast.CreateIndex, table: TableDef,
-                             columns: Tuple[str, ...]) -> Cursor:
-        touch = lambda n: setattr(  # noqa: E731 - tiny counter hook
-            self.stats, "logical_reads", self.stats.logical_reads + n)
-        if stmt.kind == "btree":
-            structure: Any = BTree(unique=stmt.unique, touch=touch)
-        elif stmt.kind == "hash":
-            structure = HashIndex(unique=stmt.unique, touch=touch)
-        elif stmt.kind == "bitmap":
-            structure = BitmapIndex(touch=touch)
-        else:
-            raise CatalogError(f"unknown index kind {stmt.kind!r}")
-        index = IndexDef(name=stmt.name, table_name=table.name,
-                         column_names=columns, kind=stmt.kind,
-                         unique=stmt.unique, structure=structure)
-        positions = [table.column_position(c) for c in columns]
-        for rowid, row in table.storage.scan():
-            key = self._index_key(row, positions)
-            if key is not None:
-                structure.insert(key, rowid)
-        self.catalog.add_index(index)
-        return Cursor(rowcount=0)
-
-    @staticmethod
-    def _index_key(row: List[Any], positions: List[int]) -> Any:
-        values = [row[p] for p in positions]
-        if any(is_null(v) for v in values):
-            return None  # NULL keys are not indexed (Oracle semantics)
-        return values[0] if len(values) == 1 else tuple(values)
-
-    def _create_domain_index(self, stmt: ast.CreateIndex, table: TableDef,
-                             columns: Tuple[str, ...]) -> Cursor:
-        indextype = self.catalog.get_indextype(stmt.indextype or "")
-        methods_cls = self.catalog.get_method_type(
-            indextype.implementation_name)
-        column_types = tuple(table.column_info(c).datatype for c in columns)
-        domain = DomainIndex(
-            name=stmt.name, table_name=table.name, column_names=columns,
-            column_types=column_types, indextype_name=indextype.name,
-            parameters=stmt.parameters or "", methods=methods_cls(),
-            owner=self.session_user)
-        env = self.make_env(CallbackPhase.DEFINITION, domain)
-        env.trace(f"ddl:ODCIIndexCreate({indextype.name}:{stmt.name})")
-        domain.methods.index_create(domain.index_info(),
-                                    stmt.parameters or "", env)
-        index = IndexDef(name=stmt.name, table_name=table.name,
-                         column_names=columns, kind="domain", domain=domain)
-        self.catalog.add_index(index)
-        return Cursor(rowcount=0)
-
-    def _execute_alter_index(self, stmt: ast.AlterIndex) -> Cursor:
-        self._autocommit_ddl()
-        index = self.catalog.get_index(stmt.name)
-        if index.is_domain and index.domain is not None:
-            domain = index.domain
-            env = self.make_env(CallbackPhase.DEFINITION, domain)
-            env.trace(f"ddl:ODCIIndexAlter({index.name})")
-            domain.methods.index_alter(domain.index_info(),
-                                       stmt.parameters or "", env)
-            if stmt.parameters is not None:
-                domain.parameters = stmt.parameters
-            return Cursor(rowcount=0)
-        if stmt.rebuild:
-            table = self.catalog.get_table(index.table_name)
-            index.structure.clear()
-            positions = [table.column_position(c)
-                         for c in index.column_names]
-            for rowid, row in table.storage.scan():
-                key = self._index_key(row, positions)
-                if key is not None:
-                    index.structure.insert(key, rowid)
-            return Cursor(rowcount=0)
-        raise CatalogError(
-            f"index {index.name} is not a domain index; only REBUILD applies")
-
-    def _execute_drop_index(self, stmt: ast.DropIndex) -> Cursor:
-        self._autocommit_ddl()
-        index = self.catalog.get_index(stmt.name)
-        self._drop_index_object(index, force=stmt.force)
-        return Cursor(rowcount=0)
-
-    def _drop_index_object(self, index: IndexDef, force: bool) -> None:
-        if index.is_domain and index.domain is not None:
-            env = self.make_env(CallbackPhase.DEFINITION, index.domain)
-            env.trace(f"ddl:ODCIIndexDrop({index.name})")
-            try:
-                index.domain.methods.index_drop(index.domain.index_info(), env)
-            except DatabaseError:
-                if not force:
-                    raise
-        self.catalog.drop_index(index.name)
-
-    # ------------------------------------------------------------------
-    # DDL: operators / indextypes / types / statistics
-    # ------------------------------------------------------------------
-
-    def _binding_types(self, raw: List[Tuple[str, Optional[int]]]
-                       ) -> List[DataType]:
-        return [self._scalar_datatype(name, length) for name, length in raw]
-
-    def _execute_create_operator(self, stmt: ast.CreateOperator) -> Cursor:
-        self._autocommit_ddl()
-        bindings = []
-        for raw in stmt.bindings:
-            if not self.catalog.has_function(raw.function_name):
-                raise CatalogError(
-                    f"operator binding references unknown function "
-                    f"{raw.function_name!r}; register it with "
-                    "db.create_function first")
-            bindings.append(OperatorBinding(
-                arg_types=self._binding_types(raw.arg_types),
-                return_type=self._scalar_datatype(raw.return_type, None),
-                function_name=raw.function_name))
-        operator = Operator(name=stmt.name, bindings=bindings,
-                            ancillary_to=stmt.ancillary_to)
-        self.catalog.add_operator(operator)
-        return Cursor(rowcount=0)
-
-    def _execute_drop_operator(self, stmt: ast.DropOperator) -> Cursor:
-        self._autocommit_ddl()
-        operator = self.catalog.get_operator(stmt.name)
-        users = [it.name for it in self.catalog.indextypes.values()
-                 if it.supports(operator.name.split(".")[-1])]
-        if users and not stmt.force:
-            raise CatalogError(
-                f"operator {operator.name} is supported by indextype(s) "
-                f"{users}; use DROP OPERATOR ... FORCE")
-        self.catalog.drop_operator(stmt.name)
-        return Cursor(rowcount=0)
-
-    def _execute_create_indextype(self, stmt: ast.CreateIndextype) -> Cursor:
-        self._autocommit_ddl()
-        operators = []
-        for raw in stmt.operators:
-            if not self.catalog.has_operator(raw.name):
-                # tolerate schema-qualified lookup
-                binder = Binder(self.catalog, Scope([]))
-                if binder.find_operator(raw.name) is None:
-                    raise CatalogError(
-                        f"indextype references unknown operator {raw.name!r}")
-            operators.append(SupportedOperator(
-                operator_name=raw.name.split(".")[-1],
-                arg_types=tuple(self._binding_types(raw.arg_types))))
-        # validates that the implementation type is registered
-        self.catalog.get_method_type(stmt.using)
-        indextype = Indextype(name=stmt.name, operators=operators,
-                              implementation_name=stmt.using)
-        self.catalog.add_indextype(indextype)
-        return Cursor(rowcount=0)
-
-    def _execute_drop_indextype(self, stmt: ast.DropIndextype) -> Cursor:
-        self._autocommit_ddl()
-        if stmt.force:
-            indextype = self.catalog.get_indextype(stmt.name)
-            for index in list(self.catalog.indexes.values()):
-                if index.is_domain and index.domain is not None and \
-                        index.domain.indextype_name.lower() == indextype.key:
-                    self._drop_index_object(index, force=True)
-        self.catalog.drop_indextype(stmt.name)
-        return Cursor(rowcount=0)
-
-    def _execute_create_type(self, stmt: ast.CreateType) -> Cursor:
-        self._autocommit_ddl()
-        attributes = [(a.name, self._column_datatype(a))
-                      for a in stmt.attributes]
-        self.create_object_type(stmt.name, attributes)
-        return Cursor(rowcount=0)
-
-    def _execute_associate(self, stmt: ast.AssociateStatistics) -> Cursor:
-        self._autocommit_ddl()
-        self.catalog.get_stats_type(stmt.using)  # validates registration
-        if stmt.kind == "indextypes":
-            for name in stmt.names:
-                self.catalog.get_indextype(name).stats_name = stmt.using
-        else:
-            for name in stmt.names:
-                if not self.catalog.has_function(name):
-                    raise CatalogError(f"no such function {name!r}")
-                # the planner consults this for per-call function costs
-                self.catalog.function_stats[name.lower()] = stmt.using
-        return Cursor(rowcount=0)
-
-    def _execute_grant(self, stmt: ast.GrantStatement) -> Cursor:
-        self._autocommit_ddl()
-        table = self.catalog.get_table(stmt.table)
-        self._check_table_ownership(
-            table, "revoke privileges on" if stmt.revoke
-            else "grant privileges on")
-        if stmt.revoke:
-            self.catalog.revoke(stmt.grantee, table.key, stmt.privileges)
-        else:
-            self.catalog.grant(stmt.grantee, table.key, stmt.privileges)
-        return Cursor(rowcount=0)
-
-    def _execute_analyze(self, stmt: ast.AnalyzeTable) -> Cursor:
-        table = self.catalog.get_table(stmt.name)
-        stats = TableStats(row_count=table.storage.row_count,
-                           page_count=table.storage.page_count,
-                           analyzed=True)
-        distinct: Dict[str, set] = {c.name: set() for c in table.columns}
-        nulls: Dict[str, int] = {c.name: 0 for c in table.columns}
-        mins: Dict[str, Any] = {}
-        maxs: Dict[str, Any] = {}
-        for __, row in table.storage.scan():
-            for col, value in zip(table.columns, row):
-                if is_null(value):
-                    nulls[col.name] += 1
-                    continue
-                marker = value if isinstance(value, (int, float, str, bool)) \
-                    else repr(value)
-                distinct[col.name].add(marker)
-                if isinstance(value, (int, float, str)) \
-                        and not isinstance(value, bool):
-                    if col.name not in mins or value < mins[col.name]:
-                        mins[col.name] = value
-                    if col.name not in maxs or value > maxs[col.name]:
-                        maxs[col.name] = value
-        for col in table.columns:
-            stats.columns[col.name] = ColumnStats(
-                ndv=len(distinct[col.name]), null_count=nulls[col.name],
-                min_value=mins.get(col.name), max_value=maxs.get(col.name))
-        table.stats = stats
-        # ODCIStatsCollect for domain indexes with associated statistics
-        for index in self.catalog.indexes_on(table.name):
-            if not index.is_domain or index.domain is None:
-                continue
-            indextype = self.catalog.get_indextype(
-                index.domain.indextype_name)
-            if indextype.stats_name is None:
-                continue
-            stats_impl = self.catalog.get_stats_type(indextype.stats_name)()
-            env = self.make_env(CallbackPhase.SCAN, index.domain)
-            env.trace(f"analyze:ODCIStatsCollect({index.name})")
-            collected = stats_impl.stats_collect(index.domain.index_info(),
-                                                 env)
-            if collected is not None:
-                self.catalog.domain_index_stats[index.key] = collected
-        return Cursor(rowcount=0)
-
-    # ------------------------------------------------------------------
-    # DML
-    # ------------------------------------------------------------------
-
-    def _dml_transaction(self):
-        """Open the statement scope: (txn, autocommit_flag).
-
-        Every DML statement gets an implicit savepoint so a failure
-        rolls back exactly that statement's changes (statement-level
-        atomicity) while an enclosing explicit transaction survives.
-        The depth counter keeps nested DML issued by maintenance
-        callbacks from clobbering the outer statement's savepoint.
-        """
-        if self.txns.in_transaction:
-            txn, autocommit = self.txns.current, False
-        else:
-            txn, autocommit = self.txns.begin(), True
-        self._stmt_depth += 1
-        txn.savepoint(f"__stmt_{self._stmt_depth}__")
-        return txn, autocommit
-
-    def _finish_dml(self, autocommit: bool, failed: bool = False) -> None:
-        depth = self._stmt_depth
-        self._stmt_depth -= 1
-        if failed:
-            txn = self.txns.current
-            if txn is not None and txn.active:
-                txn.rollback_to_savepoint(f"__stmt_{depth}__")
-            if autocommit:
-                self.rollback()
-            return
-        if autocommit:
-            self.commit()
-
-    def _validate_row(self, table: TableDef, row: List[Any]) -> List[Any]:
-        out = []
-        for col, value in zip(table.columns, row):
-            validated = col.datatype.validate(value)
-            if col.not_null and is_null(validated):
-                raise ConstraintError(
-                    f"column {table.name}.{col.name} is NOT NULL")
-            out.append(validated)
-        return out
 
     def insert_row(self, table_name: str, values: Sequence[Any]) -> RowId:
         """Insert one row of Python values (bypasses the parser).
@@ -787,250 +299,9 @@ class Database:
         object instances, LOB locators) — e.g. the legacy text baseline
         writing rowids to its temporary result table.
         """
-        table = self.catalog.get_table(table_name)
-        self._check_table_privilege(table, "insert")
-        if len(values) != len(table.columns):
-            raise ExecutionError(
-                f"{table.name} has {len(table.columns)} columns, "
-                f"got {len(values)} values")
-        txn, autocommit = self._dml_transaction()
-        try:
-            self.locks.acquire(txn.txn_id, f"table:{table.key}",
-                               LockMode.EXCLUSIVE)
-            rowid = self._insert_physical(table, list(values), txn)
-        except Exception:
-            self._finish_dml(autocommit, failed=True)
-            raise
-        self._finish_dml(autocommit)
-        return rowid
+        return self.dml.insert_row(table_name, values)
 
     def insert_rows(self, table_name: str,
                     rows: Sequence[Sequence[Any]]) -> int:
         """Bulk :meth:`insert_row`; returns the number of rows inserted."""
-        table = self.catalog.get_table(table_name)
-        self._check_table_privilege(table, "insert")
-        txn, autocommit = self._dml_transaction()
-        try:
-            self.locks.acquire(txn.txn_id, f"table:{table.key}",
-                               LockMode.EXCLUSIVE)
-            for values in rows:
-                if len(values) != len(table.columns):
-                    raise ExecutionError(
-                        f"{table.name} has {len(table.columns)} columns, "
-                        f"got {len(values)} values")
-                self._insert_physical(table, list(values), txn)
-        except Exception:
-            self._finish_dml(autocommit, failed=True)
-            raise
-        self._finish_dml(autocommit)
-        return len(rows)
-
-    def _insert_physical(self, table: TableDef, row: List[Any], txn) -> RowId:
-        row = self._validate_row(table, row)
-        storage = table.storage
-        rowid = storage.insert(row)
-        txn.record_undo(lambda: storage.delete(rowid))
-        self._maintain_indexes_insert(table, rowid, row, txn)
-        return rowid
-
-    def _maintain_indexes_insert(self, table: TableDef, rowid: RowId,
-                                 row: List[Any], txn) -> None:
-        for index in self.catalog.indexes_on(table.name):
-            if index.is_domain and index.domain is not None:
-                domain = index.domain
-                env = self.make_env(CallbackPhase.MAINTENANCE, domain)
-                env.trace(f"dml:ODCIIndexInsert({index.name})")
-                values = [row[table.column_position(c)]
-                          for c in index.column_names]
-                domain.methods.index_insert(domain.index_info(), rowid,
-                                            values, env)
-                continue
-            structure = index.structure
-            positions = [table.column_position(c)
-                         for c in index.column_names]
-            key = self._index_key(row, positions)
-            if key is None:
-                continue
-            structure.insert(key, rowid)
-            txn.record_undo(
-                lambda s=structure, k=key, r=rowid: s.delete(k, r))
-
-    def _maintain_indexes_delete(self, table: TableDef, rowid: RowId,
-                                 row: List[Any], txn) -> None:
-        for index in self.catalog.indexes_on(table.name):
-            if index.is_domain and index.domain is not None:
-                domain = index.domain
-                env = self.make_env(CallbackPhase.MAINTENANCE, domain)
-                env.trace(f"dml:ODCIIndexDelete({index.name})")
-                values = [row[table.column_position(c)]
-                          for c in index.column_names]
-                domain.methods.index_delete(domain.index_info(), rowid,
-                                            values, env)
-                continue
-            structure = index.structure
-            positions = [table.column_position(c)
-                         for c in index.column_names]
-            key = self._index_key(row, positions)
-            if key is None:
-                continue
-            structure.delete(key, rowid)
-            txn.record_undo(
-                lambda s=structure, k=key, r=rowid: s.insert(k, r))
-
-    def _maintain_indexes_update(self, table: TableDef, rowid: RowId,
-                                 old_row: List[Any], new_row: List[Any],
-                                 txn) -> None:
-        for index in self.catalog.indexes_on(table.name):
-            positions = [table.column_position(c)
-                         for c in index.column_names]
-            old_vals = [old_row[p] for p in positions]
-            new_vals = [new_row[p] for p in positions]
-            if index.is_domain and index.domain is not None:
-                if old_vals == new_vals:
-                    continue  # indexed columns unchanged
-                domain = index.domain
-                env = self.make_env(CallbackPhase.MAINTENANCE, domain)
-                env.trace(f"dml:ODCIIndexUpdate({index.name})")
-                domain.methods.index_update(domain.index_info(), rowid,
-                                            old_vals, new_vals, env)
-                continue
-            structure = index.structure
-            old_key = self._index_key(old_row, positions)
-            new_key = self._index_key(new_row, positions)
-            if old_key == new_key:
-                continue
-            if old_key is not None:
-                structure.delete(old_key, rowid)
-                txn.record_undo(
-                    lambda s=structure, k=old_key, r=rowid: s.insert(k, r))
-            if new_key is not None:
-                structure.insert(new_key, rowid)
-                txn.record_undo(
-                    lambda s=structure, k=new_key, r=rowid: s.delete(k, r))
-
-    def _execute_insert(self, stmt: ast.Insert) -> Cursor:
-        table = self.catalog.get_table(stmt.table)
-        self._check_table_privilege(table, "insert")
-        column_order = [c.lower() for c in stmt.columns] \
-            if stmt.columns else [c.name for c in table.columns]
-        positions = [table.column_position(c) for c in column_order]
-
-        def build_row(values: List[Any]) -> List[Any]:
-            if len(values) != len(positions):
-                raise ExecutionError(
-                    f"INSERT expects {len(positions)} values, "
-                    f"got {len(values)}")
-            row: List[Any] = [NULL] * len(table.columns)
-            for pos, value in zip(positions, values):
-                row[pos] = value
-            return row
-
-        rows_to_insert: List[List[Any]] = []
-        if stmt.select is not None:
-            for out in self._execute_select(stmt.select):
-                rows_to_insert.append(build_row(list(out)))
-        else:
-            empty = RowContext()
-            for value_row in stmt.rows:
-                binder = Binder(self.catalog, Scope([]))
-                values = [self.evaluator.evaluate(binder.bind(e), empty)
-                          for e in value_row]
-                rows_to_insert.append(build_row(values))
-
-        txn, autocommit = self._dml_transaction()
-        try:
-            self.locks.acquire(txn.txn_id, f"table:{table.key}",
-                               LockMode.EXCLUSIVE)
-            for row in rows_to_insert:
-                self._insert_physical(table, row, txn)
-        except Exception:
-            self._finish_dml(autocommit, failed=True)
-            raise
-        self._finish_dml(autocommit)
-        return Cursor(rowcount=len(rows_to_insert))
-
-    def _plan_target_rows(self, table: TableDef, binding: str,
-                          where: Optional[ast.Expr]
-                          ) -> List[Tuple[RowId, RowContext]]:
-        select = ast.Select(
-            items=[ast.SelectItem(ast.Star())],
-            tables=[ast.TableRef(name=table.name, alias=binding)],
-            where=where)
-        plan = self.planner.plan_select(select)
-        node = plan.root
-        while isinstance(node, (pl.ProjectNode, pl.DistinctNode,
-                                pl.LimitNode, pl.SortNode)):
-            node = node.child
-        # materialize fully before mutating (Halloween-problem avoidance)
-        return [(ctx.rowids[binding], ctx)
-                for ctx in self.executor.iter_node(node)]
-
-    def _execute_update(self, stmt: ast.Update) -> Cursor:
-        table = self.catalog.get_table(stmt.table)
-        self._check_table_privilege(table, "update")
-        binding = (stmt.alias or stmt.table).lower()
-        scope = Scope([(binding, table)])
-        binder = Binder(self.catalog, scope)
-        where = stmt.where
-        if where is not None:
-            where = binder.bind(self.planner.materialize_subqueries(where))
-        assignments = [(table.column_position(col), binder.bind(expr))
-                       for col, expr in stmt.assignments]
-        targets = self._plan_target_rows(table, binding, where)
-        txn, autocommit = self._dml_transaction()
-        count = 0
-        try:
-            self.locks.acquire(txn.txn_id, f"table:{table.key}",
-                               LockMode.EXCLUSIVE)
-            for rowid, ctx in targets:
-                old_row = table.storage.fetch_or_none(rowid)
-                if old_row is None:
-                    continue
-                new_row = list(old_row)
-                for pos, expr in assignments:
-                    new_row[pos] = self.evaluator.evaluate(expr, ctx)
-                new_row = self._validate_row(table, new_row)
-                storage = table.storage
-                storage.update(rowid, new_row)
-                old_copy = list(old_row)
-                txn.record_undo(
-                    lambda s=storage, r=rowid, o=old_copy: s.update(r, o))
-                self._maintain_indexes_update(table, rowid, old_copy,
-                                              new_row, txn)
-                count += 1
-        except Exception:
-            self._finish_dml(autocommit, failed=True)
-            raise
-        self._finish_dml(autocommit)
-        return Cursor(rowcount=count)
-
-    def _execute_delete(self, stmt: ast.Delete) -> Cursor:
-        table = self.catalog.get_table(stmt.table)
-        self._check_table_privilege(table, "delete")
-        binding = (stmt.alias or stmt.table).lower()
-        scope = Scope([(binding, table)])
-        binder = Binder(self.catalog, scope)
-        where = stmt.where
-        if where is not None:
-            where = binder.bind(self.planner.materialize_subqueries(where))
-        targets = self._plan_target_rows(table, binding, where)
-        txn, autocommit = self._dml_transaction()
-        count = 0
-        try:
-            self.locks.acquire(txn.txn_id, f"table:{table.key}",
-                               LockMode.EXCLUSIVE)
-            for rowid, __ in targets:
-                old_row = table.storage.fetch_or_none(rowid)
-                if old_row is None:
-                    continue
-                storage = table.storage
-                old_copy = list(storage.delete(rowid))
-                txn.record_undo(
-                    lambda s=storage, r=rowid, o=old_copy: s.undelete(r, o))
-                self._maintain_indexes_delete(table, rowid, old_copy, txn)
-                count += 1
-        except Exception:
-            self._finish_dml(autocommit, failed=True)
-            raise
-        self._finish_dml(autocommit)
-        return Cursor(rowcount=count)
+        return self.dml.insert_rows(table_name, rows)
