@@ -53,6 +53,9 @@ from repro.sql.plan_cache import (
 from repro.txn.locks import LockMode
 
 _EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+PLAN\s+FOR)?\s", re.IGNORECASE)
+#: cheap gate for the pre-parse cache probe — only SELECTs are ever
+#: stored, so probing for DML/DDL/TCL would just inflate miss counts
+_SELECT_RE = re.compile(r"^\s*SELECT\b", re.IGNORECASE)
 
 _TCL_TYPES = (ast.Commit, ast.Rollback, ast.BeginTransaction, ast.Savepoint)
 _DML_TYPES = (ast.Insert, ast.Update, ast.Delete)
@@ -131,17 +134,21 @@ class StatementPipeline:
         values = normalize_params(params)
         return BindArtifact(values=values, signature=tuple(sorted(values)))
 
-    def plan(self, parsed: ParseArtifact, bound: BindArtifact) -> PlanArtifact:
+    def plan(self, parsed: ParseArtifact, bound: BindArtifact,
+             probed: bool = False) -> PlanArtifact:
         """Plan stage: cache probe, then compile-and-store on a miss.
 
         Only valid for cacheable SELECTs (``parsed.cacheable``); other
-        statements never reach this stage.
+        statements never reach this stage.  ``probed=True`` means the
+        caller already probed the cache for this key and missed, so the
+        lookup (and its stats accounting) is not repeated here.
         """
-        entry = self.cache.lookup(parsed.normalized_sql, bound.signature,
-                                  self.db.catalog)
-        if entry is not None:
-            return PlanArtifact(plan=entry.plan, cache_hit=True,
-                                cacheable=True)
+        if not probed:
+            entry = self.cache.lookup(parsed.normalized_sql,
+                                      bound.signature, self.db.catalog)
+            if entry is not None:
+                return PlanArtifact(plan=entry.plan, cache_hit=True,
+                                    cacheable=True)
         plan = self.db.planner.plan_select(parsed.statement,
                                            peek_binds=bound.values)
         self.cache.store(parsed.normalized_sql, bound.signature,
@@ -166,16 +173,19 @@ class StatementPipeline:
             return Cursor(columns=["plan"],
                           rows=iter([(line,) for line in lines]))
         bound = self.bind(params)
-        entry = self.cache.lookup(normalize_sql(sql), bound.signature,
-                                  self.db.catalog)
-        if entry is not None:
-            return self._execute_plan(entry.plan, bound.values)
+        probed = False
+        if _SELECT_RE.match(sql):
+            entry = self.cache.lookup(normalize_sql(sql), bound.signature,
+                                      self.db.catalog)
+            if entry is not None:
+                return self._execute_plan(entry.plan, bound.values)
+            probed = True
         parsed = self.parse(sql)
         if check is not None:
             check(parsed.statement, sql)
         if parsed.cacheable:
             self._require_binds(parsed, bound)
-            planned = self.plan(parsed, bound)
+            planned = self.plan(parsed, bound, probed=probed)
             return self._execute_plan(planned.plan, bound.values)
         statement = parsed.statement
         if params is not None:

@@ -7,8 +7,10 @@ indexes) ODCIStats routines.  The cache amortizes that work across
 repeated executions of the same statement text.
 
 Key: ``(normalized SQL text, bind-variable signature)``.  Normalization
-collapses whitespace only — it never case-folds, so two statements that
-differ in string-literal case never collide.
+collapses whitespace outside quoted regions only — it never case-folds,
+and it never touches the inside of ``'...'`` literals or ``"..."``
+identifiers, so two statements that differ anywhere inside a quoted
+region (case or spacing) never collide.
 
 Validation: every entry records the :class:`~repro.sql.catalog.Catalog`
 ``version`` it was compiled against plus a per-table size signature.  A
@@ -30,10 +32,41 @@ __all__ = ["PlanCache", "CachedPlan", "PlanCacheStats", "normalize_sql"]
 def normalize_sql(sql: str) -> str:
     """Whitespace-collapsed statement text used as the cache-key text.
 
+    Quote-aware: runs of whitespace collapse to a single space *outside*
+    quoted regions only.  The inside of a ``'...'`` string literal (or a
+    ``"..."`` quoted identifier) is preserved byte-for-byte — literals
+    are frozen into the compiled plan, so two statements whose literals
+    differ only in spacing must not share a cache slot.  A doubled quote
+    (``''``) is the SQL escape and stays inside the region.
+
     Deliberately does NOT lower-case: string literals are
     case-significant, and the parser already case-folds identifiers.
     """
-    return " ".join(sql.split())
+    out = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in ("'", '"'):
+            j = i + 1
+            while j < n:
+                if sql[j] == ch:
+                    if j + 1 < n and sql[j + 1] == ch:  # escaped quote
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                j += 1
+            out.append(sql[i:j])
+            i = j
+        elif ch.isspace():
+            while i < n and sql[i].isspace():
+                i += 1
+            if out and i < n:  # no leading/trailing separator
+                out.append(" ")
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
 
 
 @dataclass

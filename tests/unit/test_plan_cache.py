@@ -23,6 +23,27 @@ class TestNormalizeSql:
         assert normalize_sql("SELECT 'Amy' FROM t") \
             != normalize_sql("SELECT 'amy' FROM t")
 
+    def test_literal_whitespace_is_significant(self):
+        # 'a  b' and 'a b' are different values — they must not share a key
+        assert normalize_sql("SELECT * FROM t WHERE name = 'a  b'") \
+            != normalize_sql("SELECT * FROM t WHERE name = 'a b'")
+
+    def test_literal_interior_preserved_verbatim(self):
+        assert normalize_sql("SELECT  'x \t y'  FROM\tt") \
+            == "SELECT 'x \t y' FROM t"
+
+    def test_quoted_identifier_whitespace_preserved(self):
+        assert normalize_sql('SELECT "a  b"  FROM t') \
+            == 'SELECT "a  b" FROM t'
+
+    def test_escaped_quote_stays_inside_literal(self):
+        # the doubled quote does not end the literal early
+        assert normalize_sql("SELECT 'it''s  ok'   FROM t") \
+            == "SELECT 'it''s  ok' FROM t"
+
+    def test_leading_trailing_whitespace_stripped(self):
+        assert normalize_sql("  SELECT 1  ") == "SELECT 1"
+
 
 class TestSizeBucket:
     def test_logarithmic(self):
@@ -119,6 +140,35 @@ class TestPipelineCaching:
         t_db.query("SELECT  id   FROM t\n WHERE id = :1", [2])
         assert len(t_db.plan_cache) == before
         assert t_db.plan_cache.stats.hits >= 1
+
+    def test_literal_whitespace_variants_get_distinct_plans(self, t_db):
+        # regression: literals are frozen into the cached plan, so
+        # "= 'a  b'" must not reuse the plan compiled for "= 'a b'"
+        t_db.execute("INSERT INTO t VALUES (:1, :2)", [50, "a b"])
+        t_db.execute("INSERT INTO t VALUES (:1, :2)", [51, "a  b"])
+        assert t_db.query("SELECT id FROM t WHERE grp = 'a  b'") \
+            == [(51,)]
+        assert t_db.query("SELECT id FROM t WHERE grp = 'a b'") \
+            == [(50,)]
+
+    def test_miss_is_counted_once_per_execution(self, t_db):
+        stats = t_db.plan_cache.stats
+        stats.reset()
+        t_db.query("SELECT grp FROM t WHERE id = :1", [1])
+        assert (stats.lookups, stats.misses, stats.hits) == (1, 1, 0)
+        t_db.query("SELECT grp FROM t WHERE id = :1", [2])
+        assert (stats.lookups, stats.misses, stats.hits) == (2, 1, 1)
+
+    def test_non_select_statements_skip_the_cache_probe(self, t_db):
+        stats = t_db.plan_cache.stats
+        stats.reset()
+        t_db.execute("INSERT INTO t VALUES (:1, :2)", [40, "x"])
+        t_db.execute("UPDATE t SET grp = 'y' WHERE id = 40")
+        t_db.execute("DELETE FROM t WHERE id = 40")
+        t_db.execute("COMMIT")
+        t_db.execute("ANALYZE TABLE t COMPUTE STATISTICS")
+        assert stats.lookups == 0
+        assert stats.misses == 0
 
     def test_dml_is_never_cached(self, t_db):
         t_db.plan_cache.clear()
