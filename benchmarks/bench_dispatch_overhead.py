@@ -1,0 +1,124 @@
+"""Dispatch-seam overhead guard.
+
+Every ODCI callback now flows through the
+:class:`~repro.core.dispatch.CallbackDispatcher` (classification,
+metrics, budget checks, the fault-injection seam).  That robustness must
+stay effectively free on the hot path: this benchmark measures the warm
+plan-cache domain-index query path with the dispatcher in place against
+the same path with dispatch bypassed (callbacks invoked directly), and
+fails if the seam costs more than 5%.
+"""
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench.harness import ReportTable
+from repro.bench.workloads import make_corpus
+from repro.cartridges.text import install
+
+REPORT_FILE = "dispatch_overhead.txt"
+
+REPEATS = 60          # queries per timed round
+ROUNDS = 5            # min-of-rounds defeats scheduler noise
+MAX_OVERHEAD = 0.05   # the guard: dispatch may cost at most 5%
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def workload():
+    corpus = make_corpus(300, words_per_doc=30, vocabulary_size=150,
+                         seed=17)
+    db = Database()
+    install(db)
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(2000))")
+    db.insert_rows("docs", [[i, d] for i, d in enumerate(corpus.documents)])
+    db.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    db.execute("ANALYZE TABLE docs COMPUTE STATISTICS")
+    sql = (f"SELECT id FROM docs WHERE "
+           f"Contains(body, '{corpus.common_word(0)}')")
+    # warm the plan cache so every timed run is the soft-parse hot path
+    assert db.query(sql)
+    plan = db.explain(sql)
+    assert any("DOMAIN INDEX SCAN docs_text" in line for line in plan)
+    assert any("plan cache: HIT" in line for line in plan)
+    return db, sql
+
+
+def _timed_round(db, sql):
+    start = time.perf_counter()
+    for __ in range(REPEATS):
+        db.query(sql)
+    return time.perf_counter() - start
+
+
+def _bypass_dispatch(db):
+    """Make dispatcher.call invoke the callback directly (no seam)."""
+    db.dispatcher.call = lambda routine, fn, *args, **kwargs: fn(*args)
+
+
+def _measure(db, sql):
+    """Interleaved min-of-rounds for dispatched vs bypassed dispatch."""
+    original_call = db.dispatcher.call
+    dispatched, bypassed = [], []
+    try:
+        for __ in range(ROUNDS):
+            db.dispatcher.call = original_call
+            dispatched.append(_timed_round(db, sql))
+            _bypass_dispatch(db)
+            bypassed.append(_timed_round(db, sql))
+    finally:
+        db.dispatcher.call = original_call
+    return min(dispatched), min(bypassed)
+
+
+def test_dispatch_overhead_under_5_percent(workload, fresh_result_file):
+    db, sql = workload
+    with_dispatch, without_dispatch = _measure(db, sql)
+    overhead = (with_dispatch - without_dispatch) / without_dispatch
+
+    table = ReportTable(
+        "Dispatch-seam overhead on the warm plan-cache path "
+        f"({REPEATS} queries/round, min of {ROUNDS} rounds)",
+        ["configuration", "seconds/round", "us/query", "overhead"])
+    table.add_row("dispatch bypassed", without_dispatch,
+                  without_dispatch / REPEATS * 1e6, "baseline")
+    table.add_row("full dispatcher", with_dispatch,
+                  with_dispatch / REPEATS * 1e6,
+                  f"{overhead * 100:.2f}%")
+    table.emit(fresh_result_file)
+
+    assert overhead < MAX_OVERHEAD, (
+        f"dispatch seam costs {overhead * 100:.1f}% on the warm path "
+        f"(budget {MAX_OVERHEAD * 100:.0f}%)")
+
+
+def test_dispatch_call_microcost(workload, fresh_result_file):
+    """Informative: the per-call cost of the seam itself."""
+    db, __ = workload
+    fn = lambda: None  # noqa: E731 - the cheapest possible callback
+    n = 20000
+
+    start = time.perf_counter()
+    for __ in range(n):
+        fn()
+    direct = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for __ in range(n):
+        db.dispatcher.call("ODCIIndexFetch", fn, index_name="docs_text",
+                           phase="scan")
+    dispatched = time.perf_counter() - start
+
+    table = ReportTable(
+        f"Per-call dispatch cost ({n} no-op callbacks)",
+        ["path", "ns/call"])
+    table.add_row("direct function call", direct / n * 1e9)
+    table.add_row("dispatcher.call", dispatched / n * 1e9)
+    table.emit(fresh_result_file)
+
+    # sanity only — the wrapped call must stay within a few microseconds
+    assert (dispatched - direct) / n < 20e-6

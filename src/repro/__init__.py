@@ -31,13 +31,17 @@ Quickstart::
 """
 
 from repro.errors import (
+    CallbackError,
+    CallbackTimeoutError,
     CallbackViolation,
     CatalogError,
     ConstraintError,
     DatabaseError,
     ExecutionError,
     ExtensibleIndexError,
+    FatalCallbackError,
     IndextypeError,
+    IndexUnusableError,
     LockTimeoutError,
     ODCIError,
     OperatorBindingError,
@@ -45,6 +49,7 @@ from repro.errors import (
     PrivilegeError,
     StorageError,
     TransactionError,
+    TransientCallbackError,
     TypeMismatchError,
 )
 from repro.sql.session import Cursor, Database
@@ -52,6 +57,7 @@ from repro.core import (
     FetchResult,
     IndexMethods,
     IndexCost,
+    IndexState,
     ODCIEnv,
     ODCIIndexInfo,
     ODCIPredInfo,
@@ -90,6 +96,12 @@ __all__ = [
     "StorageError",
     "ExtensibleIndexError",
     "ODCIError",
+    "CallbackError",
+    "TransientCallbackError",
+    "CallbackTimeoutError",
+    "FatalCallbackError",
+    "IndexUnusableError",
+    "IndexState",
     "CallbackViolation",
     "OperatorBindingError",
     "IndextypeError",

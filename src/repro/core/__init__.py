@@ -12,7 +12,9 @@ This package defines the contract between the server and a cartridge:
 * :mod:`repro.core.stats` — the extensible-optimizer statistics
   interface (ODCIStatsSelectivity / ODCIStatsIndexCost),
 * :mod:`repro.core.callbacks` — server callbacks with the §2.5 phase
-  restrictions.
+  restrictions,
+* :mod:`repro.core.dispatch` — the fault-isolating dispatcher every
+  ODCI callback is routed through (§2.6–2.7 degradation).
 """
 
 from repro.core.odci import (
@@ -26,11 +28,15 @@ from repro.core.odci import (
 from repro.core.scan_context import ScanContext, PrecomputedScan, Workspace
 from repro.core.operators import Operator, OperatorBinding
 from repro.core.indextype import Indextype
-from repro.core.domain_index import DomainIndex
+from repro.core.dispatch import CallbackDispatcher, RoutineMetrics
+from repro.core.domain_index import DomainIndex, IndexState
 from repro.core.stats import StatsMethods, IndexCost
 from repro.core.callbacks import CallbackSession, CallbackPhase
 
 __all__ = [
+    "CallbackDispatcher",
+    "RoutineMetrics",
+    "IndexState",
     "IndexMethods",
     "ODCIEnv",
     "ODCIIndexInfo",

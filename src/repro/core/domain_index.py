@@ -5,19 +5,42 @@ created.  Such an index is called a domain index ... created, managed,
 and accessed by routines supplied by an indextype." (§1)
 
 A :class:`DomainIndex` is the catalog's record of one such index: which
-table/columns it covers, which indextype implements it, and the current
-PARAMETERS string.  The server-side orchestration (invoking the ODCI
-routines at create/DML/scan time) lives in the session layer; the methods
-instance is cached here so cartridge state tied to the index (e.g. open
-file handles) survives across calls.
+table/columns it covers, which indextype implements it, the current
+PARAMETERS string, and its **health state** — the server-side record of
+whether the cartridge's routines can currently be trusted for this
+index.  The state machine mirrors Oracle's domain-index status column:
+
+* ``VALID`` — usable for scans, maintained on DML;
+* ``IN_PROGRESS`` — a Create or Rebuild is running; not plannable;
+* ``FAILED`` — ``ODCIIndexCreate`` (or a rebuild's create phase) died;
+  the only legal operation is ``DROP INDEX`` (optionally ``FORCE``);
+* ``UNUSABLE`` — a maintenance routine died (or the DBA issued ``ALTER
+  INDEX ... UNUSABLE``); queries silently fall back to the operator's
+  functional implementation and DML skips maintenance under the
+  ``skip_unusable_indexes`` session setting; ``ALTER INDEX ... REBUILD``
+  restores ``VALID``.
+
+State transitions happen through :meth:`~repro.sql.catalog.Catalog.
+set_index_state` so each one bumps the catalog version and invalidates
+cached plans pinned to the old state.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 from repro.core.odci import IndexMethods, ODCIIndexInfo
+
+
+class IndexState(enum.Enum):
+    """Health state of a domain index (Oracle's domidx_status)."""
+
+    VALID = "VALID"
+    IN_PROGRESS = "IN_PROGRESS"
+    FAILED = "FAILED"
+    UNUSABLE = "UNUSABLE"
 
 
 @dataclass
@@ -32,8 +55,8 @@ class DomainIndex:
     parameters: str = ""
     #: The per-index instance of the indextype's IndexMethods subclass.
     methods: Optional[IndexMethods] = None
-    #: False after a failed create/alter, mirroring Oracle's UNUSABLE state.
-    valid: bool = True
+    #: Health state; only VALID indexes are planned or maintained.
+    state: IndexState = IndexState.VALID
     #: The user who created the index; its ODCI routines execute with
     #: this user's privileges (§2.5 definer rights).
     owner: str = "main"
@@ -43,6 +66,11 @@ class DomainIndex:
     @property
     def key(self) -> str:
         return self.name.lower()
+
+    @property
+    def valid(self) -> bool:
+        """True only in the VALID state (the plannable/maintainable one)."""
+        return self.state is IndexState.VALID
 
     def index_info(self) -> ODCIIndexInfo:
         """Build the ODCIIndexInfo descriptor passed to every ODCI routine."""

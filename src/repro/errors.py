@@ -83,6 +83,83 @@ class ODCIError(ExtensibleIndexError):
         self.routine = routine
 
 
+class CallbackError(ODCIError):
+    """A cartridge routine failed inside the dispatch seam.
+
+    Every ODCI invocation is routed through the
+    :class:`~repro.core.dispatch.CallbackDispatcher`, which catches
+    whatever the cartridge raised and re-raises it as this type so the
+    server layers above can react (mark the index UNUSABLE, retry the
+    statement, degrade to functional evaluation) without ever seeing a
+    raw cartridge exception.  ``cause`` preserves the original
+    exception; ``index_name`` and ``phase`` say which domain index and
+    which routine class (definition/maintenance/scan) was executing.
+    """
+
+    def __init__(self, routine: str, message: str, index_name: str = "",
+                 phase: str = "", cause: "Exception | None" = None):
+        super().__init__(routine, message)
+        self.index_name = index_name
+        self.phase = phase
+        self.cause = cause
+
+
+class TransientCallbackError(ODCIError):
+    """A cartridge routine hit a retryable condition.
+
+    Cartridges (and the fault-injection harness) raise this to signal
+    "try again"; the dispatcher retries the routine a bounded,
+    deterministic number of times before giving up and wrapping the
+    last failure in a :class:`CallbackError`.
+    """
+
+    def __init__(self, routine: str, message: str = "transient failure"):
+        super().__init__(routine, message)
+
+
+class CallbackTimeoutError(CallbackError):
+    """A cartridge routine exceeded its wall-clock budget.
+
+    The dispatcher checks elapsed time around each call (no threads);
+    a routine that returns after its budget has already been spent
+    fails the statement exactly as if it had raised.
+    """
+
+    def __init__(self, routine: str, index_name: str = "", phase: str = "",
+                 budget: float = 0.0, elapsed: float = 0.0):
+        super().__init__(
+            routine,
+            f"exceeded wall-clock budget ({elapsed:.3f}s > {budget:.3f}s)",
+            index_name=index_name, phase=phase)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class FatalCallbackError(CallbackError):
+    """A cartridge routine crashed with a non-database exception.
+
+    TypeError/ZeroDivisionError/etc. out of cartridge code indicate a
+    bug rather than an index-data condition; they are never retried and
+    are reported with the original traceback chained as ``cause``.
+    """
+
+
+class IndexUnusableError(ExtensibleIndexError):
+    """DML touched a non-VALID domain index with skip_unusable_indexes off.
+
+    Mirrors ORA-01502: when the session setting is disabled, a statement
+    that would need maintenance on an UNUSABLE/FAILED index fails
+    instead of silently skipping it.
+    """
+
+    def __init__(self, index_name: str, state: str):
+        super().__init__(
+            f"index {index_name} is {state}; DML requires a VALID index "
+            "(or session setting skip_unusable_indexes = TRUE)")
+        self.index_name = index_name
+        self.state = state
+
+
 class CallbackViolation(ExtensibleIndexError):
     """An indextype routine issued a SQL callback its phase forbids.
 

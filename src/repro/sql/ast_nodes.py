@@ -247,6 +247,8 @@ class AlterIndex(Statement):
     name: str
     parameters: Optional[str] = None
     rebuild: bool = False
+    #: ALTER INDEX ... UNUSABLE — administratively degrade the index
+    unusable: bool = False
 
 
 @dataclass

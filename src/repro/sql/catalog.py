@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
-from repro.core.domain_index import DomainIndex
+from repro.core.domain_index import DomainIndex, IndexState
 from repro.core.indextype import Indextype
 from repro.core.odci import IndexMethods
 from repro.core.operators import Operator
@@ -249,6 +249,22 @@ class Catalog:
 
     def has_index(self, name: str) -> bool:
         return name.lower() in self.indexes
+
+    def set_index_state(self, name: str, state: "IndexState") -> IndexDef:
+        """Transition a domain index's health state.
+
+        Every transition bumps the catalog version so cached plans that
+        chose (or deliberately avoided) the index are invalidated — a
+        plan compiled against a VALID index must not survive the index
+        going UNUSABLE, and vice versa after REBUILD.
+        """
+        index = self.get_index(name)
+        if index.domain is None:
+            raise CatalogError(f"index {index.name} is not a domain index")
+        if index.domain.state is not state:
+            index.domain.state = state
+            self.bump_version()
+        return index
 
     def drop_index(self, name: str) -> IndexDef:
         index = self.get_index(name)

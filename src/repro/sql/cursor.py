@@ -66,15 +66,21 @@ class Cursor:
     def close(self) -> None:
         """Release the result set and any open domain-index scans.
 
-        Idempotent.  Subsequent fetches return no rows rather than
-        raising.
+        Idempotent and exception-safe: even if unwinding the generator
+        stack raises (e.g. a ``finally`` block re-enters a broken
+        cartridge), the tracker still runs so every registered
+        ``ODCIIndexClose`` fires exactly once and workspace handles are
+        returned.  Subsequent fetches return no rows rather than
+        raising; a second ``close()`` is a no-op.
         """
         if self._closed:
             return
         self._closed = True
         rows, self._rows = self._rows, iter(())
-        close = getattr(rows, "close", None)
-        if close is not None:
-            close()  # unwinds the generator stack (runs finally blocks)
-        if self._tracker is not None:
-            self._tracker.close_all()
+        try:
+            close = getattr(rows, "close", None)
+            if close is not None:
+                close()  # unwinds the generator stack (runs finally blocks)
+        finally:
+            if self._tracker is not None:
+                self._tracker.close_all()

@@ -18,10 +18,10 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.callbacks import CallbackPhase
-from repro.core.domain_index import DomainIndex
+from repro.core.domain_index import DomainIndex, IndexState
 from repro.core.indextype import Indextype, SupportedOperator
 from repro.core.operators import Operator, OperatorBinding
-from repro.errors import CatalogError, DatabaseError
+from repro.errors import CallbackError, CatalogError, DatabaseError
 from repro.index import BitmapIndex, BTree, HashIndex
 from repro.sql import ast_nodes as ast
 from repro.sql.catalog import (
@@ -128,10 +128,31 @@ class DDLEngine:
         table.storage.truncate()
         for index in db.catalog.indexes_on(table.name):
             if index.is_domain and index.domain is not None:
-                env = db.make_env(CallbackPhase.DEFINITION, index.domain)
+                domain = index.domain
+                if domain.state is IndexState.FAILED:
+                    # create never succeeded; there is nothing to empty
+                    db._trace(f"ddl:truncate skip({index.name}) state=FAILED")
+                    continue
+                env = db.make_env(CallbackPhase.DEFINITION, domain)
                 env.trace(f"ddl:ODCIIndexTruncate({index.name})")
-                index.domain.methods.index_truncate(
-                    index.domain.index_info(), env)
+                try:
+                    db.dispatcher.call(
+                        "ODCIIndexTruncate", domain.methods.index_truncate,
+                        domain.index_info(), env,
+                        index_name=index.name, phase="definition")
+                except CallbackError as exc:
+                    # degrade, don't die: the table is already truncated,
+                    # so an UNUSABLE index just forces functional fallback
+                    db.catalog.set_index_state(index.name,
+                                               IndexState.UNUSABLE)
+                    db._trace(f"ddl:truncate degrade({index.name}) -> "
+                              f"UNUSABLE [{exc.routine}]")
+                    continue
+                if domain.state is IndexState.UNUSABLE:
+                    # empty index + empty table are trivially consistent:
+                    # a successful truncate restores the index (Oracle
+                    # TRUNCATE resets unusable indexes the same way)
+                    db.catalog.set_index_state(index.name, IndexState.VALID)
             elif index.structure is not None:
                 index.structure.clear()
         db.catalog.bump_version()  # cardinality collapsed; cached plans stale
@@ -190,14 +211,24 @@ class DDLEngine:
             name=stmt.name, table_name=table.name, column_names=columns,
             column_types=column_types, indextype_name=indextype.name,
             parameters=stmt.parameters or "", methods=methods_cls(),
-            owner=db.session_user)
-        env = db.make_env(CallbackPhase.DEFINITION, domain)
-        env.trace(f"ddl:ODCIIndexCreate({indextype.name}:{stmt.name})")
-        domain.methods.index_create(domain.index_info(),
-                                    stmt.parameters or "", env)
+            state=IndexState.IN_PROGRESS, owner=db.session_user)
+        # Catalog entry first (Oracle records the index before building
+        # it): a failed ODCIIndexCreate leaves the index behind in the
+        # FAILED state, where the only legal statement is DROP INDEX.
         index = IndexDef(name=stmt.name, table_name=table.name,
                          column_names=columns, kind="domain", domain=domain)
         db.catalog.add_index(index)
+        env = db.make_env(CallbackPhase.DEFINITION, domain)
+        env.trace(f"ddl:ODCIIndexCreate({indextype.name}:{stmt.name})")
+        try:
+            db.dispatcher.call(
+                "ODCIIndexCreate", domain.methods.index_create,
+                domain.index_info(), stmt.parameters or "", env,
+                index_name=stmt.name, phase="definition")
+        except CallbackError:
+            db.catalog.set_index_state(stmt.name, IndexState.FAILED)
+            raise
+        db.catalog.set_index_state(stmt.name, IndexState.VALID)
         return Cursor(rowcount=0)
 
     def execute_alter_index(self, stmt: ast.AlterIndex) -> Cursor:
@@ -206,14 +237,31 @@ class DDLEngine:
         index = db.catalog.get_index(stmt.name)
         if index.is_domain and index.domain is not None:
             domain = index.domain
+            if stmt.unusable:
+                # administrative degrade: no cartridge callback involved
+                db.catalog.set_index_state(index.name, IndexState.UNUSABLE)
+                db._trace(f"ddl:alter {index.name} UNUSABLE")
+                return Cursor(rowcount=0)
+            if domain.state is IndexState.FAILED:
+                raise CatalogError(
+                    f"index {index.name} is FAILED (create died); "
+                    "only DROP INDEX is allowed")
+            if stmt.rebuild:
+                return self._rebuild_domain_index(index)
             env = db.make_env(CallbackPhase.DEFINITION, domain)
             env.trace(f"ddl:ODCIIndexAlter({index.name})")
-            domain.methods.index_alter(domain.index_info(),
-                                       stmt.parameters or "", env)
+            db.dispatcher.call(
+                "ODCIIndexAlter", domain.methods.index_alter,
+                domain.index_info(), stmt.parameters or "", env,
+                index_name=index.name, phase="definition")
             if stmt.parameters is not None:
                 domain.parameters = stmt.parameters
             db.catalog.bump_version()  # parameters can change scan behaviour
             return Cursor(rowcount=0)
+        if stmt.unusable:
+            raise CatalogError(
+                f"index {index.name} is not a domain index; "
+                "UNUSABLE applies to domain indexes only")
         if stmt.rebuild:
             table = db.catalog.get_table(index.table_name)
             index.structure.clear()
@@ -228,6 +276,43 @@ class DDLEngine:
         raise CatalogError(
             f"index {index.name} is not a domain index; only REBUILD applies")
 
+    def _rebuild_domain_index(self, index: IndexDef) -> Cursor:
+        """ALTER INDEX ... REBUILD on a domain index (§2.6 recovery).
+
+        Drop + Create from the base table: the old index data is
+        discarded via a best-effort ``ODCIIndexDrop`` (an UNUSABLE
+        index's drop routine may itself fail — that must not block
+        recovery), then ``ODCIIndexCreate`` rebuilds from the base
+        table under ``IN_PROGRESS``.  Success restores ``VALID``;
+        a failed rebuild leaves the index ``FAILED``.
+        """
+        db = self.db
+        domain = index.domain
+        db.catalog.set_index_state(index.name, IndexState.IN_PROGRESS)
+        env = db.make_env(CallbackPhase.DEFINITION, domain)
+        env.trace(f"ddl:rebuild({index.name})")
+        try:
+            db.dispatcher.call(
+                "ODCIIndexDrop", domain.methods.index_drop,
+                domain.index_info(), env,
+                index_name=index.name, phase="definition")
+        except CallbackError as exc:
+            db._trace(f"ddl:rebuild({index.name}) drop phase failed, "
+                      f"continuing [{exc.routine}]")
+        env = db.make_env(CallbackPhase.DEFINITION, domain)
+        env.trace(f"ddl:ODCIIndexCreate({domain.indextype_name}:"
+                  f"{index.name})")
+        try:
+            db.dispatcher.call(
+                "ODCIIndexCreate", domain.methods.index_create,
+                domain.index_info(), domain.parameters, env,
+                index_name=index.name, phase="definition")
+        except CallbackError:
+            db.catalog.set_index_state(index.name, IndexState.FAILED)
+            raise
+        db.catalog.set_index_state(index.name, IndexState.VALID)
+        return Cursor(rowcount=0)
+
     def execute_drop_index(self, stmt: ast.DropIndex) -> Cursor:
         db = self.db
         db._autocommit_ddl()
@@ -241,10 +326,18 @@ class DDLEngine:
             env = db.make_env(CallbackPhase.DEFINITION, index.domain)
             env.trace(f"ddl:ODCIIndexDrop({index.name})")
             try:
-                index.domain.methods.index_drop(index.domain.index_info(), env)
-            except DatabaseError:
+                db.dispatcher.call(
+                    "ODCIIndexDrop", index.domain.methods.index_drop,
+                    index.domain.index_info(), env,
+                    index_name=index.name, phase="definition")
+            except DatabaseError as exc:
+                # DROP ... FORCE must win even when the cartridge's own
+                # drop routine is broken — the catalog entry goes away
+                # regardless (§2.6: FAILED indexes can always be dropped).
                 if not force:
                     raise
+                db._trace(f"ddl:drop force({index.name}) ignoring "
+                          f"ODCIIndexDrop failure [{exc}]")
         db.catalog.drop_index(index.name)
 
     # ------------------------------------------------------------------
@@ -394,8 +487,12 @@ class DDLEngine:
             stats_impl = db.catalog.get_stats_type(indextype.stats_name)()
             env = db.make_env(CallbackPhase.SCAN, index.domain)
             env.trace(f"analyze:ODCIStatsCollect({index.name})")
-            collected = stats_impl.stats_collect(index.domain.index_info(),
-                                                 env)
+            # a broken statistics type must not abort ANALYZE: degrade
+            # to "no domain stats collected" with a trace line
+            collected = db.dispatcher.call_degraded(
+                "ODCIStatsCollect", stats_impl.stats_collect,
+                index.domain.index_info(), env,
+                index_name=index.name, phase="definition")
             if collected is not None:
                 db.catalog.domain_index_stats[index.key] = collected
         # fresh statistics change cost estimates → cached plans are stale

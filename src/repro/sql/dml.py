@@ -7,14 +7,26 @@ domain-index maintenance* — every mutation of a table fans out to
 ``ODCIIndexInsert/Update/Delete`` on its domain indexes and to direct
 structure maintenance on its native indexes, with undo records so
 rollback restores base table and index state together (§2.4.1, §2.5).
+
+Maintenance callbacks are dispatched through the
+:class:`~repro.core.dispatch.CallbackDispatcher`, and a failed callback
+triggers the degradation policy (§2.6 analogue): the statement's
+savepoint rolls back base table *and* index undo together, then — under
+the ``skip_unusable_indexes`` session setting (default on) — the failing
+index is marked ``UNUSABLE`` (bumping the catalog version, which drops
+cached plans pinned to it) and the statement is retried once, this time
+skipping maintenance of the now-UNUSABLE index.  With the setting off
+the statement simply fails, mirroring ORA-01502.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.callbacks import CallbackPhase
-from repro.errors import ConstraintError, ExecutionError
+from repro.core.domain_index import DomainIndex, IndexState
+from repro.errors import (
+    CallbackError, ConstraintError, ExecutionError, IndexUnusableError)
 from repro.sql import ast_nodes as ast
 from repro.sql import planner as pl
 from repro.sql.catalog import TableDef
@@ -81,6 +93,58 @@ class DMLEngine:
         if autocommit:
             db.commit()
 
+    def run_maintained(self, table: TableDef, body: Callable[[Any], Any]):
+        """Run one DML statement body under the degradation policy.
+
+        ``body(txn)`` performs the statement's mutations (its inputs —
+        rows to insert, target rowids — must be materialized *before*
+        this call so a retry replays identical work).  On a maintenance
+        :class:`CallbackError` the statement savepoint has already
+        rolled back base table and index undo together; then, when
+        ``skip_unusable_indexes`` is on, the failing index degrades to
+        ``UNUSABLE`` and the body runs once more with that index's
+        maintenance skipped.  Any second failure — or any failure with
+        the setting off — propagates.
+        """
+        db = self.db
+        for attempt in (0, 1):
+            txn, autocommit = self.statement_transaction()
+            try:
+                db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                                 LockMode.EXCLUSIVE)
+                result = body(txn)
+            except CallbackError as exc:
+                self.finish(autocommit, failed=True)
+                if (attempt == 0 and exc.phase == "maintenance"
+                        and exc.index_name and db.skip_unusable_indexes
+                        and db.catalog.has_index(exc.index_name)):
+                    db.catalog.set_index_state(exc.index_name,
+                                               IndexState.UNUSABLE)
+                    db._trace(
+                        f"dml:degrade index {exc.index_name} -> UNUSABLE; "
+                        f"retrying statement [{exc.routine}]")
+                    continue
+                raise
+            except Exception:
+                self.finish(autocommit, failed=True)
+                raise
+            self.finish(autocommit)
+            return result
+
+    def _maintainable(self, index_name: str, domain: DomainIndex) -> bool:
+        """Whether a domain index participates in maintenance right now.
+
+        Non-VALID indexes are skipped under ``skip_unusable_indexes``
+        (with a trace line); with the setting off the statement fails
+        immediately (ORA-01502 analogue).
+        """
+        if domain.valid:
+            return True
+        if not self.db.skip_unusable_indexes:
+            raise IndexUnusableError(index_name, domain.state.value)
+        self.db._trace(f"dml:skip({index_name}) state={domain.state.value}")
+        return False
+
     # ------------------------------------------------------------------
     # row validation / physical insert
     # ------------------------------------------------------------------
@@ -109,16 +173,9 @@ class DMLEngine:
             raise ExecutionError(
                 f"{table.name} has {len(table.columns)} columns, "
                 f"got {len(values)} values")
-        txn, autocommit = self.statement_transaction()
-        try:
-            db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                             LockMode.EXCLUSIVE)
-            rowid = self.insert_physical(table, list(values), txn)
-        except Exception:
-            self.finish(autocommit, failed=True)
-            raise
-        self.finish(autocommit)
-        return rowid
+        return self.run_maintained(
+            table,
+            lambda txn: self.insert_physical(table, list(values), txn))
 
     def insert_rows(self, table_name: str,
                     rows: Sequence[Sequence[Any]]) -> int:
@@ -126,21 +183,17 @@ class DMLEngine:
         db = self.db
         table = db.catalog.get_table(table_name)
         db._check_table_privilege(table, "insert")
-        txn, autocommit = self.statement_transaction()
-        try:
-            db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                             LockMode.EXCLUSIVE)
+
+        def body(txn) -> int:
             for values in rows:
                 if len(values) != len(table.columns):
                     raise ExecutionError(
                         f"{table.name} has {len(table.columns)} columns, "
                         f"got {len(values)} values")
                 self.insert_physical(table, list(values), txn)
-        except Exception:
-            self.finish(autocommit, failed=True)
-            raise
-        self.finish(autocommit)
-        return len(rows)
+            return len(rows)
+
+        return self.run_maintained(table, body)
 
     def insert_physical(self, table: TableDef, row: List[Any], txn) -> RowId:
         row = self.validate_row(table, row)
@@ -160,12 +213,16 @@ class DMLEngine:
         for index in db.catalog.indexes_on(table.name):
             if index.is_domain and index.domain is not None:
                 domain = index.domain
+                if not self._maintainable(index.name, domain):
+                    continue
                 env = db.make_env(CallbackPhase.MAINTENANCE, domain)
                 env.trace(f"dml:ODCIIndexInsert({index.name})")
                 values = [row[table.column_position(c)]
                           for c in index.column_names]
-                domain.methods.index_insert(domain.index_info(), rowid,
-                                            values, env)
+                db.dispatcher.call(
+                    "ODCIIndexInsert", domain.methods.index_insert,
+                    domain.index_info(), rowid, values, env,
+                    index_name=index.name, phase="maintenance")
                 continue
             structure = index.structure
             positions = [table.column_position(c)
@@ -183,12 +240,16 @@ class DMLEngine:
         for index in db.catalog.indexes_on(table.name):
             if index.is_domain and index.domain is not None:
                 domain = index.domain
+                if not self._maintainable(index.name, domain):
+                    continue
                 env = db.make_env(CallbackPhase.MAINTENANCE, domain)
                 env.trace(f"dml:ODCIIndexDelete({index.name})")
                 values = [row[table.column_position(c)]
                           for c in index.column_names]
-                domain.methods.index_delete(domain.index_info(), rowid,
-                                            values, env)
+                db.dispatcher.call(
+                    "ODCIIndexDelete", domain.methods.index_delete,
+                    domain.index_info(), rowid, values, env,
+                    index_name=index.name, phase="maintenance")
                 continue
             structure = index.structure
             positions = [table.column_position(c)
@@ -213,10 +274,14 @@ class DMLEngine:
                 if old_vals == new_vals:
                     continue  # indexed columns unchanged
                 domain = index.domain
+                if not self._maintainable(index.name, domain):
+                    continue
                 env = db.make_env(CallbackPhase.MAINTENANCE, domain)
                 env.trace(f"dml:ODCIIndexUpdate({index.name})")
-                domain.methods.index_update(domain.index_info(), rowid,
-                                            old_vals, new_vals, env)
+                db.dispatcher.call(
+                    "ODCIIndexUpdate", domain.methods.index_update,
+                    domain.index_info(), rowid, old_vals, new_vals, env,
+                    index_name=index.name, phase="maintenance")
                 continue
             structure = index.structure
             old_key = index_key(old_row, positions)
@@ -266,17 +331,12 @@ class DMLEngine:
                           for e in value_row]
                 rows_to_insert.append(build_row(values))
 
-        txn, autocommit = self.statement_transaction()
-        try:
-            db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                             LockMode.EXCLUSIVE)
+        def body(txn) -> int:
             for row in rows_to_insert:
-                self.insert_physical(table, row, txn)
-        except Exception:
-            self.finish(autocommit, failed=True)
-            raise
-        self.finish(autocommit)
-        return Cursor(rowcount=len(rows_to_insert))
+                self.insert_physical(table, list(row), txn)
+            return len(rows_to_insert)
+
+        return Cursor(rowcount=self.run_maintained(table, body))
 
     def plan_target_rows(self, table: TableDef, binding: str,
                          where: Optional[ast.Expr]
@@ -308,11 +368,9 @@ class DMLEngine:
         assignments = [(table.column_position(col), binder.bind(expr))
                        for col, expr in stmt.assignments]
         targets = self.plan_target_rows(table, binding, where)
-        txn, autocommit = self.statement_transaction()
-        count = 0
-        try:
-            db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                             LockMode.EXCLUSIVE)
+
+        def body(txn) -> int:
+            count = 0
             for rowid, ctx in targets:
                 old_row = table.storage.fetch_or_none(rowid)
                 if old_row is None:
@@ -328,11 +386,9 @@ class DMLEngine:
                     lambda s=storage, r=rowid, o=old_copy: s.update(r, o))
                 self.maintain_update(table, rowid, old_copy, new_row, txn)
                 count += 1
-        except Exception:
-            self.finish(autocommit, failed=True)
-            raise
-        self.finish(autocommit)
-        return Cursor(rowcount=count)
+            return count
+
+        return Cursor(rowcount=self.run_maintained(table, body))
 
     def execute_delete(self, stmt: ast.Delete) -> Cursor:
         db = self.db
@@ -345,11 +401,9 @@ class DMLEngine:
         if where is not None:
             where = binder.bind(db.planner.materialize_subqueries(where))
         targets = self.plan_target_rows(table, binding, where)
-        txn, autocommit = self.statement_transaction()
-        count = 0
-        try:
-            db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                             LockMode.EXCLUSIVE)
+
+        def body(txn) -> int:
+            count = 0
             for rowid, __ in targets:
                 old_row = table.storage.fetch_or_none(rowid)
                 if old_row is None:
@@ -360,8 +414,6 @@ class DMLEngine:
                     lambda s=storage, r=rowid, o=old_copy: s.undelete(r, o))
                 self.maintain_delete(table, rowid, old_copy, txn)
                 count += 1
-        except Exception:
-            self.finish(autocommit, failed=True)
-            raise
-        self.finish(autocommit)
-        return Cursor(rowcount=count)
+            return count
+
+        return Cursor(rowcount=self.run_maintained(table, body))

@@ -215,13 +215,21 @@ class Executor:
         methods = domain.methods
         env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
                   f"{node.index.name})")
-        context = methods.index_start(ia, pred_info, query_info, env)
-        closer = self._make_closer(methods, context, env)
+        dispatcher = self.db.dispatcher
+        context = dispatcher.call(
+            "ODCIIndexStart", methods.index_start,
+            ia, pred_info, query_info, env,
+            index_name=node.index.name, phase="scan")
+        closer = self._make_closer(methods, context, env,
+                                   index_name=node.index.name)
         batch_size = self.db.fetch_batch_size
         try:
             while True:
                 env.trace(f"exec:ODCIIndexFetch(n={batch_size})")
-                result = methods.index_fetch(context, batch_size, env)
+                result = dispatcher.call(
+                    "ODCIIndexFetch", methods.index_fetch,
+                    context, batch_size, env,
+                    index_name=node.index.name, phase="scan")
                 aux = result.aux or []
                 for i, rowid in enumerate(result.rowids):
                     ctx = self._fetch_ctx(node, rowid)
@@ -237,7 +245,7 @@ class Executor:
             env.trace("exec:ODCIIndexClose()")
             closer()
 
-    def _make_closer(self, methods, context, env):
+    def _make_closer(self, methods, context, env, index_name: str = ""):
         """An idempotent ODCIIndexClose callable, registered with the
         statement's scan tracker (if any) so cursor close can run it."""
         closed = [False]
@@ -248,7 +256,9 @@ class Executor:
             closed[0] = True
             if self.tracker is not None:
                 self.tracker.unregister(closer)
-            methods.index_close(context, env)
+            self.db.dispatcher.call(
+                "ODCIIndexClose", methods.index_close, context, env,
+                index_name=index_name, phase="scan")
 
         if self.tracker is not None:
             self.tracker.register(closer)
@@ -320,11 +330,19 @@ class Executor:
             query_info = ODCIQueryInfo(ancillary_label=call.label)
             env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
                       f"{node.index.name}) [join probe]")
-            context = methods.index_start(ia, pred_info, query_info, env)
-            closer = self._make_closer(methods, context, env)
+            dispatcher = self.db.dispatcher
+            context = dispatcher.call(
+                "ODCIIndexStart", methods.index_start,
+                ia, pred_info, query_info, env,
+                index_name=node.index.name, phase="scan")
+            closer = self._make_closer(methods, context, env,
+                                       index_name=node.index.name)
             try:
                 while True:
-                    result = methods.index_fetch(context, batch_size, env)
+                    result = dispatcher.call(
+                        "ODCIIndexFetch", methods.index_fetch,
+                        context, batch_size, env,
+                        index_name=node.index.name, phase="scan")
                     aux = result.aux or []
                     for i, rowid in enumerate(result.rowids):
                         row = node.inner_table.storage.fetch_or_none(rowid)

@@ -37,7 +37,7 @@ KEYWORDS = frozenset("""
     ASSOCIATE STATISTICS WITH INDEXTYPES FUNCTIONS ANALYZE COMPUTE ESTIMATE
     COMMIT ROLLBACK SAVEPOINT TO BEGIN WORK TRANSACTION
     ORGANIZATION HEAP LIMIT OFFSET EXPLAIN PLAN VARRAY OF NESTED
-    TRUE FALSE FORCE REBUILD ANCILLARY GRANT REVOKE ALL
+    TRUE FALSE FORCE REBUILD UNUSABLE ANCILLARY GRANT REVOKE ALL
 """.split())
 
 _TWO_CHAR_OPS = ("<=", ">=", "!=", "<>", ":=", "||")

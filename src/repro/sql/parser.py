@@ -390,6 +390,8 @@ class Parser:
         name = self._ident("index name")
         parameters = None
         rebuild = False
+        if self._accept_keyword("UNUSABLE"):
+            return ast.AlterIndex(name=name, unusable=True)
         if self._accept_keyword("REBUILD"):
             rebuild = True
         if self._accept_keyword("PARAMETERS"):
@@ -400,7 +402,8 @@ class Parser:
             parameters = tok.value
             self._expect_punct(")")
         if parameters is None and not rebuild:
-            raise self._error("ALTER INDEX requires REBUILD or PARAMETERS")
+            raise self._error(
+                "ALTER INDEX requires REBUILD, UNUSABLE, or PARAMETERS")
         return ast.AlterIndex(name=name, parameters=parameters, rebuild=rebuild)
 
     # -- statistics --------------------------------------------------------------

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.odci import ODCIPredInfo
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import CatalogError, DatabaseError, ExecutionError
 from repro.sql import ast_nodes as ast
 from repro.sql.catalog import Catalog, IndexDef, TableDef
 from repro.sql.expressions import (
@@ -59,6 +59,10 @@ class PlanNode:
 
     est_rows: float = field(default=0.0, init=False)
     est_cost: float = field(default=0.0, init=False)
+    #: optimizer remarks shown under the node in EXPLAIN — e.g. the
+    #: functional-evaluation fallback notice when a matching domain
+    #: index was skipped because it is not VALID
+    annotations: List[str] = field(default_factory=list, init=False)
 
     def label(self) -> str:
         """One-line description used by EXPLAIN."""
@@ -72,6 +76,8 @@ class PlanNode:
         line = (f"{'  ' * depth}{self.label()} "
                 f"(rows={self.est_rows:.0f} cost={self.est_cost:.2f})")
         lines = [line]
+        for note in self.annotations:
+            lines.append(f"{'  ' * (depth + 1)}{note}")
         for child in self.children():
             lines.extend(child.explain(depth + 1))
         return lines
@@ -804,8 +810,10 @@ class Planner:
             or self.catalog.function_stats.get(key.split(".")[-1])
         if stats_name is not None:
             stats = self.catalog.get_stats_type(stats_name)()
-            cost = stats.function_cost(call.name, call.args,
-                                       self._stats_env())
+            cost = self._dispatch_stats("ODCIStatsFunctionCost",
+                                        stats.function_cost,
+                                        call.name, call.args,
+                                        self._stats_env())
             if cost is not None:
                 return cost
         fn = self.catalog.functions.get(key)
@@ -817,8 +825,9 @@ class Planner:
         stats = self._stats_for_operator(operator)
         if stats is not None:
             env = self._stats_env()
-            cost = stats.function_cost(operator.name,
-                                       call.args, env)
+            cost = self._dispatch_stats("ODCIStatsFunctionCost",
+                                        stats.function_cost,
+                                        operator.name, call.args, env)
             if cost is not None:
                 return cost
         if operator.bindings:
@@ -841,6 +850,7 @@ class Planner:
         full.est_rows = max(1.0, rows * sel_all) if conjuncts else max(rows, 1.0)
         full.est_cost = pages + rows * (ROW_CPU + self._filter_cost(residual))
         candidates.append(full)
+        fallback_notes: List[str] = []
 
         indexes = self.catalog.indexes_on(table.name)
 
@@ -865,11 +875,19 @@ class Planner:
             op_pred = extract_operator_pred(conjunct)
             if op_pred is not None:
                 domain = self._domain_path(table, binding, op_pred, rest,
-                                           rows, first_rows)
+                                           rows, first_rows,
+                                           notes=fallback_notes)
                 if domain is not None:
                     candidates.append(domain)
 
         best = min(candidates, key=lambda c: c.est_cost)
+        if fallback_notes and not isinstance(best, DomainScan):
+            # make the degradation visible: the operator predicate will
+            # run through its functional implementation because every
+            # matching domain index is sidelined
+            for note in fallback_notes:
+                if note not in best.annotations:
+                    best.annotations.append(note)
         if self.db is not None and getattr(self.db, "trace_log", None) is not None:
             for cand in candidates:
                 marker = "*" if cand is best else " "
@@ -970,7 +988,8 @@ class Planner:
 
     def _domain_path(self, table: TableDef, binding: str,
                      op_pred: OperatorPred, rest: List[ast.Expr],
-                     rows: float, first_rows: bool) -> Optional[PlanNode]:
+                     rows: float, first_rows: bool,
+                     notes: Optional[List[str]] = None) -> Optional[PlanNode]:
         call = op_pred.call
         if not call.args:
             return None
@@ -989,8 +1008,6 @@ class Planner:
         for index in self.catalog.indexes_on(table.name):
             if not index.is_domain or index.domain is None:
                 continue
-            if not index.domain.valid:
-                continue
             if target_column not in [c.lower() for c in index.column_names]:
                 continue
             indextype = self.catalog.get_indextype(
@@ -1000,6 +1017,13 @@ class Planner:
             if not indextype.supports(call.operator.name.split(".")[-1],
                                       arg_types) \
                     and not indextype.supports(call.operator.name, arg_types):
+                continue
+            if not index.domain.valid:
+                # index would have served this predicate but is sidelined:
+                # the operator degrades to functional evaluation (§2.6)
+                if notes is not None:
+                    notes.append(f"FUNCTIONAL (index {index.name} "
+                                 f"{index.domain.state.value})")
                 continue
             return self._build_domain_scan(table, binding, index, op_pred,
                                            rest, rows, first_rows)
@@ -1046,6 +1070,23 @@ class Planner:
             return self.db.make_stats_env()
         return None
 
+    def _dispatch_stats(self, routine: str, fn, *args, index_name: str = ""):
+        """Invoke an ODCIStats routine, degrading failures to None.
+
+        None makes the caller fall back to its documented default
+        selectivity/cost heuristic — a broken statistics type must
+        never abort planning (§2.4.2).  Routed through the dispatcher
+        when a database is attached (metrics + fault injection); a
+        bare catalog-only planner calls directly but still degrades.
+        """
+        if self.db is not None:
+            return self.db.dispatcher.call_degraded(
+                routine, fn, *args, index_name=index_name, phase="plan")
+        try:
+            return fn(*args)
+        except DatabaseError:
+            return None
+
     def _operator_selectivity(self, op_pred: OperatorPred) -> float:
         stats = self._stats_for_operator(op_pred.call.operator)
         if stats is not None:
@@ -1059,7 +1100,9 @@ class Planner:
             if env is not None:
                 env.trace(f"optimizer:ODCIStatsSelectivity("
                           f"{op_pred.call.operator.name})")
-            sel = stats.selectivity(pred_info, args, env)
+            sel = self._dispatch_stats("ODCIStatsSelectivity",
+                                       stats.selectivity,
+                                       pred_info, args, env)
             if sel is not None:
                 return min(1.0, max(0.0, sel))
         return DEFAULT_OPERATOR_SELECTIVITY
@@ -1074,8 +1117,11 @@ class Planner:
             args = [self._peek_value(a) for a in call.args]
             if env is not None:
                 env.trace(f"optimizer:ODCIStatsIndexCost({index.name})")
-            cost = stats.index_cost(index.domain.index_info(), pred_info,
-                                    sel, args, env)
+            cost = self._dispatch_stats("ODCIStatsIndexCost",
+                                        stats.index_cost,
+                                        index.domain.index_info(), pred_info,
+                                        sel, args, env,
+                                        index_name=index.name)
             if cost is not None:
                 return cost.total
         return DOMAIN_SCAN_STARTUP + rows * sel * (FETCH_COST

@@ -28,6 +28,7 @@ from typing import (
     Any, Callable, List, Optional, Sequence, Tuple, Type)
 
 from repro.core.callbacks import CallbackPhase, CallbackSession
+from repro.core.dispatch import CallbackDispatcher
 from repro.core.domain_index import DomainIndex
 from repro.core.odci import IndexMethods, ODCIEnv
 from repro.core.scan_context import Workspace
@@ -75,6 +76,13 @@ class Database:
         #: current session user; "main" is the superuser/DBA
         self.session_user = "main"
         self.trace_log: Optional[List[str]] = None
+        #: fault-isolation seam every ODCI callback routes through
+        self.dispatcher = CallbackDispatcher(self)
+        #: Oracle's SKIP_UNUSABLE_INDEXES session setting (default TRUE):
+        #: DML skips maintenance of non-VALID domain indexes, and a
+        #: maintenance failure degrades the index to UNUSABLE and retries
+        #: the statement once, instead of failing it outright.
+        self.skip_unusable_indexes = True
         self.planner = Planner(self.catalog, db=self)
         #: default bindless executor (planner subqueries, DML target rows)
         self.executor = Executor(self)

@@ -1,0 +1,5 @@
+"""Deterministic testing utilities for the extensible-indexing engine."""
+
+from repro.testing.faults import FaultPlan, LedgerEntry
+
+__all__ = ["FaultPlan", "LedgerEntry"]

@@ -2,15 +2,22 @@
 guarantees afterwards.
 
 The framework's promise is that a domain index behaves like a built-in
-one — including error atomicity: if ODCIIndexInsert fails, the whole
-statement rolls back (base table AND index tables); if ODCIIndexCreate
-fails, no index object is left behind.
+one — including fault isolation: if ODCIIndexCreate fails the index is
+left FAILED (only DROP is allowed); if ODCIIndexInsert fails the
+statement's changes roll back atomically and, under
+``skip_unusable_indexes`` (default on), the index degrades to UNUSABLE
+and the statement is retried once without it — queries then fall back
+to the operator's functional implementation until ``ALTER INDEX ...
+REBUILD`` restores the index.
 """
 
 import pytest
 
-from repro import Database, FetchResult, IndexMethods, PrecomputedScan
-from repro.errors import CatalogError, ODCIError
+from repro import Database, FetchResult, IndexMethods, IndexState, \
+    PrecomputedScan
+from repro.errors import CatalogError, IndexUnusableError, ODCIError
+
+pytestmark = pytest.mark.faults
 
 
 class FlakyIndexMethods(IndexMethods):
@@ -85,25 +92,42 @@ def flaky_db():
 
 
 class TestCreateFailure:
-    def test_failed_create_leaves_no_index(self, flaky_db):
+    def test_failed_create_leaves_failed_index(self, flaky_db):
         FlakyIndexMethods.fail_on = "create"
         with pytest.raises(ODCIError):
             flaky_db.execute("CREATE INDEX t_idx ON t(v)"
                              " INDEXTYPE IS FlakyIndexType")
-        assert not flaky_db.catalog.has_index("t_idx")
-        # and the query still works functionally
+        # Oracle semantics: the catalog entry survives in FAILED state
+        index = flaky_db.catalog.get_index("t_idx")
+        assert index.domain.state is IndexState.FAILED
+        # and the query still works functionally (FAILED is never planned)
         assert flaky_db.query(
             "SELECT v FROM t WHERE Eq_Val(v, 'alpha')") == [("alpha",)]
 
-    def test_create_succeeds_after_failure_cleared(self, flaky_db):
+    def test_failed_index_allows_only_drop(self, flaky_db):
         FlakyIndexMethods.fail_on = "create"
         with pytest.raises(ODCIError):
             flaky_db.execute("CREATE INDEX t_idx ON t(v)"
                              " INDEXTYPE IS FlakyIndexType")
         FlakyIndexMethods.fail_on = ""
+        with pytest.raises(CatalogError):
+            flaky_db.execute("ALTER INDEX t_idx REBUILD")
+        with pytest.raises(CatalogError):
+            flaky_db.execute("ALTER INDEX t_idx PARAMETERS ('x')")
+        flaky_db.execute("DROP INDEX t_idx FORCE")
+        assert not flaky_db.catalog.has_index("t_idx")
+
+    def test_create_succeeds_after_drop_of_failed_index(self, flaky_db):
+        FlakyIndexMethods.fail_on = "create"
+        with pytest.raises(ODCIError):
+            flaky_db.execute("CREATE INDEX t_idx ON t(v)"
+                             " INDEXTYPE IS FlakyIndexType")
+        FlakyIndexMethods.fail_on = ""
+        flaky_db.execute("DROP INDEX t_idx FORCE")
         flaky_db.execute("CREATE INDEX t_idx ON t(v)"
                          " INDEXTYPE IS FlakyIndexType")
-        assert flaky_db.catalog.has_index("t_idx")
+        index = flaky_db.catalog.get_index("t_idx")
+        assert index.domain.state is IndexState.VALID
 
 
 class TestMaintenanceFailure:
@@ -113,53 +137,101 @@ class TestMaintenanceFailure:
                          " INDEXTYPE IS FlakyIndexType")
         return flaky_db
 
-    def test_failed_insert_rolls_back_statement(self, indexed):
+    def test_failed_insert_degrades_index_and_retries(self, indexed):
+        FlakyIndexMethods.fail_on = "insert"
+        # default skip_unusable_indexes: the statement rolls back, the
+        # index degrades to UNUSABLE, and the retry (without domain
+        # maintenance) succeeds — the user never sees the failure
+        indexed.execute("INSERT INTO t VALUES ('gamma')")
+        FlakyIndexMethods.fail_on = ""
+        index = indexed.catalog.get_index("t_idx")
+        assert index.domain.state is IndexState.UNUSABLE
+        assert indexed.query("SELECT COUNT(*) FROM t") == [(3,)]
+        # the rolled-back maintenance left no index entry behind
+        assert indexed.query(
+            "SELECT COUNT(*) FROM t_idx_data WHERE v = 'gamma'") == [(0,)]
+        # and the row is still found — via functional evaluation
+        assert indexed.query(
+            "SELECT v FROM t WHERE Eq_Val(v, 'gamma')") == [("gamma",)]
+
+    def test_failed_insert_raises_with_skip_disabled(self, indexed):
+        indexed.skip_unusable_indexes = False
         FlakyIndexMethods.fail_on = "insert"
         with pytest.raises(ODCIError):
             indexed.execute("INSERT INTO t VALUES ('gamma')")
         FlakyIndexMethods.fail_on = ""
-        # neither the base row nor any index entry survived
+        # no degradation, full rollback: index stays VALID, row is gone
+        index = indexed.catalog.get_index("t_idx")
+        assert index.domain.state is IndexState.VALID
         assert indexed.query("SELECT COUNT(*) FROM t") == [(2,)]
         assert indexed.query(
             "SELECT COUNT(*) FROM t_idx_data WHERE v = 'gamma'") == [(0,)]
-        assert indexed.query(
-            "SELECT v FROM t WHERE Eq_Val(v, 'gamma')") == []
 
-    def test_failed_delete_rolls_back_statement(self, indexed):
-        FlakyIndexMethods.fail_on = "delete"
-        with pytest.raises(ODCIError):
-            indexed.execute("DELETE FROM t WHERE v = 'alpha'")
-        FlakyIndexMethods.fail_on = ""
+    def test_dml_on_unusable_index_raises_with_skip_disabled(self, indexed):
+        indexed.execute("ALTER INDEX t_idx UNUSABLE")
+        indexed.skip_unusable_indexes = False
+        with pytest.raises(IndexUnusableError):
+            indexed.execute("INSERT INTO t VALUES ('gamma')")
         assert indexed.query("SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_failed_delete_degrades_index_and_retries(self, indexed):
+        FlakyIndexMethods.fail_on = "delete"
+        indexed.execute("DELETE FROM t WHERE v = 'alpha'")
+        FlakyIndexMethods.fail_on = ""
+        index = indexed.catalog.get_index("t_idx")
+        assert index.domain.state is IndexState.UNUSABLE
+        assert indexed.query("SELECT COUNT(*) FROM t") == [(1,)]
         assert indexed.query(
-            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')") == [("alpha",)]
+            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')") == []
 
     def test_failure_in_explicit_txn_preserves_earlier_work(self, indexed):
         indexed.begin()
         indexed.execute("INSERT INTO t VALUES ('early')")
         FlakyIndexMethods.fail_on = "insert"
-        with pytest.raises(ODCIError):
-            indexed.execute("INSERT INTO t VALUES ('late')")
+        indexed.execute("INSERT INTO t VALUES ('late')")
         FlakyIndexMethods.fail_on = ""
-        # the failed statement died, but the transaction is still open
-        # with the earlier insert intact; commit keeps it
+        # the failed attempt rolled back to its own savepoint only; the
+        # earlier insert survived, and the retry landed the late row
         indexed.commit()
         values = sorted(r[0] for r in indexed.query("SELECT v FROM t"))
-        assert "early" in values and "late" not in values
+        assert "early" in values and "late" in values
+        # the degraded index never saw either maintenance call complete
+        assert indexed.catalog.get_index(
+            "t_idx").domain.state is IndexState.UNUSABLE
 
     def test_consistency_after_mixed_failures(self, indexed):
+        # with skip_unusable_indexes off, each injected failure aborts
+        # its own statement and the index stays VALID and consistent
+        indexed.skip_unusable_indexes = False
         for __ in range(3):
             FlakyIndexMethods.fail_on = "insert"
             with pytest.raises(ODCIError):
                 indexed.execute("INSERT INTO t VALUES ('x')")
             FlakyIndexMethods.fail_on = ""
             indexed.execute("INSERT INTO t VALUES ('y')")
+        assert indexed.catalog.get_index(
+            "t_idx").domain.state is IndexState.VALID
         # index answers equal functional answers
         indexed_rows = indexed.query(
             "SELECT rowid FROM t WHERE Eq_Val(v, 'y')")
         assert len(indexed_rows) == 3
         base = indexed.query("SELECT COUNT(*) FROM t")
         assert base == [(5,)]
+
+    def test_rebuild_restores_index_after_degradation(self, indexed):
+        FlakyIndexMethods.fail_on = "insert"
+        indexed.execute("INSERT INTO t VALUES ('gamma')")
+        FlakyIndexMethods.fail_on = ""
+        assert indexed.catalog.get_index(
+            "t_idx").domain.state is IndexState.UNUSABLE
+        indexed.execute("ALTER INDEX t_idx REBUILD")
+        index = indexed.catalog.get_index("t_idx")
+        assert index.domain.state is IndexState.VALID
+        # the rebuilt index includes the row inserted while degraded
+        plan = indexed.explain("SELECT v FROM t WHERE Eq_Val(v, 'gamma')")
+        assert any("DOMAIN INDEX SCAN" in line for line in plan)
+        assert indexed.query(
+            "SELECT v FROM t WHERE Eq_Val(v, 'gamma')") == [("gamma",)]
 
 
 class TestScanFailure:

@@ -57,12 +57,14 @@ class TestPaperExample:
         assert len(rows) == 1
 
     def test_invalid_domain_index_skipped(self, docs_db):
-        index = docs_db.catalog.get_index("docs_text")
-        index.domain.valid = False
+        from repro.core.domain_index import IndexState
+        docs_db.catalog.set_index_state("docs_text", IndexState.UNUSABLE)
         word = docs_db.corpus.rare_word()
         plan = docs_db.explain(
             f"SELECT * FROM docs WHERE Contains(body, '{word}')")
         assert not any("DOMAIN INDEX SCAN" in line for line in plan)
+        assert any("FUNCTIONAL (index docs_text UNUSABLE)" in line
+                   for line in plan)
 
     def test_non_constant_query_arg_disables_index(self, docs_db):
         # Contains(body, body) cannot be index-evaluated

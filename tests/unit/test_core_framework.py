@@ -222,6 +222,31 @@ class TestCallbackRestrictions:
             with pytest.raises(CallbackViolation):
                 session.execute("ROLLBACK")
 
+    @pytest.mark.parametrize("phase", list(CallbackPhase),
+                             ids=lambda p: p.value)
+    @pytest.mark.parametrize("tcl", [
+        "COMMIT", "ROLLBACK", "ROLLBACK TO sp1", "SAVEPOINT sp1",
+        "BEGIN TRANSACTION"])
+    def test_every_tcl_form_rejected_in_every_phase(self, setup_db,
+                                                    phase, tcl):
+        # TCL is checked before the DEFINITION phase's "no restrictions"
+        # early-out: a callback commits or rolls back the *server's*
+        # transaction, so no phase may ever issue it (§2.5)
+        session = CallbackSession(setup_db, phase, base_table="base")
+        with pytest.raises(CallbackViolation):
+            session.execute(tcl)
+
+    def test_rejected_tcl_leaves_open_transaction_intact(self, setup_db):
+        setup_db.begin()
+        setup_db.execute("INSERT INTO idxdata VALUES (1)")
+        session = CallbackSession(setup_db, CallbackPhase.MAINTENANCE,
+                                  base_table="base")
+        with pytest.raises(CallbackViolation):
+            session.execute("COMMIT")
+        # the violation did not disturb the surrounding transaction
+        setup_db.rollback()
+        assert setup_db.query("SELECT COUNT(*) FROM idxdata") == [(0,)]
+
     def test_fetch_helpers(self, setup_db):
         setup_db.execute("INSERT INTO idxdata VALUES (42)")
         rid = setup_db.query("SELECT rowid FROM idxdata")[0][0]

@@ -1,0 +1,300 @@
+"""Unit tests for the ODCI callback dispatcher and fault-injection plan.
+
+These exercise the dispatch seam in isolation: the exception taxonomy,
+bounded transient retry, wall-clock budgets (with synthetic latency —
+no real sleeping), per-routine metrics, degraded calls, and the
+:class:`~repro.testing.FaultPlan` ledger semantics.
+"""
+
+import pytest
+
+from repro.core.dispatch import CallbackDispatcher, MAX_TRANSIENT_RETRIES
+from repro.errors import (
+    CallbackError, CallbackTimeoutError, DatabaseError, FatalCallbackError,
+    ODCIError, TransientCallbackError)
+from repro.testing import FaultPlan
+
+pytestmark = pytest.mark.faults
+
+
+class StubDb:
+    """The minimal surface the dispatcher needs from a database."""
+
+    def __init__(self):
+        self.trace_log = []
+        self.dispatcher = CallbackDispatcher(self)
+
+
+@pytest.fixture
+def db():
+    return StubDb()
+
+
+class TestTaxonomy:
+    def test_success_passes_result_through(self, db):
+        result = db.dispatcher.call("ODCIIndexStart", lambda a, b: a + b,
+                                    2, 3)
+        assert result == 5
+
+    def test_database_error_becomes_callback_error(self, db):
+        def broken():
+            raise DatabaseError("table vanished")
+
+        with pytest.raises(CallbackError) as info:
+            db.dispatcher.call("ODCIIndexInsert", broken,
+                              index_name="t_idx", phase="maintenance")
+        error = info.value
+        assert error.routine == "ODCIIndexInsert"
+        assert error.index_name == "t_idx"
+        assert error.phase == "maintenance"
+        assert isinstance(error.cause, DatabaseError)
+        # CallbackError is an ODCIError, so pre-dispatcher callers
+        # catching ODCIError keep working
+        assert isinstance(error, ODCIError)
+
+    def test_non_database_exception_is_fatal(self, db):
+        def crashed():
+            raise TypeError("cartridge bug")
+
+        with pytest.raises(FatalCallbackError) as info:
+            db.dispatcher.call("ODCIIndexFetch", crashed, index_name="x")
+        assert isinstance(info.value.cause, TypeError)
+        assert "TypeError" in str(info.value)
+
+    def test_already_classified_error_not_rewrapped(self, db):
+        inner = CallbackError("ODCIIndexInsert", "inner failure",
+                              index_name="inner_idx", phase="maintenance")
+
+        def nested():
+            raise inner  # e.g. a nested dispatch inside a callback
+
+        with pytest.raises(CallbackError) as info:
+            db.dispatcher.call("ODCIIndexCreate", nested,
+                              index_name="outer_idx", phase="definition")
+        # the inner attribution survives — it names the real failure
+        assert info.value is inner
+        assert info.value.index_name == "inner_idx"
+
+    def test_fatal_errors_are_not_retried(self, db):
+        calls = []
+
+        def crashed():
+            calls.append(1)
+            raise ZeroDivisionError("boom")
+
+        with pytest.raises(FatalCallbackError):
+            db.dispatcher.call("ODCIIndexStart", crashed)
+        assert len(calls) == 1
+
+
+class TestTransientRetry:
+    def test_success_after_transient_failures(self, db):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) <= 2:
+                raise TransientCallbackError("ODCIIndexInsert")
+            return "done"
+
+        result = db.dispatcher.call("ODCIIndexInsert", flaky)
+        assert result == "done"
+        metrics = db.dispatcher.metrics_for("ODCIIndexInsert")
+        assert metrics.invocations == 3
+        assert metrics.retries == 2
+        assert metrics.failures == 0
+
+    def test_retry_budget_is_bounded(self, db):
+        def always_transient():
+            raise TransientCallbackError("ODCIIndexInsert")
+
+        with pytest.raises(CallbackError) as info:
+            db.dispatcher.call("ODCIIndexInsert", always_transient,
+                              index_name="t_idx")
+        assert "retries" in str(info.value)
+        assert isinstance(info.value.cause, TransientCallbackError)
+        metrics = db.dispatcher.metrics_for("ODCIIndexInsert")
+        # initial attempt + MAX retries, then gave up
+        assert metrics.invocations == MAX_TRANSIENT_RETRIES + 1
+        assert metrics.retries == MAX_TRANSIENT_RETRIES
+        assert metrics.failures == 1
+
+    def test_retries_are_traced(self, db):
+        with FaultPlan(db) as plan:
+            plan.fail_transient("ODCIIndexInsert", times=1)
+            db.dispatcher.call("ODCIIndexInsert", lambda: "ok",
+                              index_name="t_idx")
+        assert any("dispatch:retry ODCIIndexInsert(t_idx)" in line
+                   for line in db.trace_log)
+
+    def test_custom_retry_limit(self):
+        db = StubDb()
+        db.dispatcher.max_transient_retries = 1
+        with FaultPlan(db) as plan:
+            plan.fail_transient("ODCIIndexInsert", times=5)
+            with pytest.raises(CallbackError):
+                db.dispatcher.call("ODCIIndexInsert", lambda: "ok")
+        assert plan.calls("ODCIIndexInsert") == 2  # attempt + one retry
+
+
+class TestTimeouts:
+    def test_synthetic_delay_trips_the_budget(self, db):
+        db.dispatcher.set_timeout("ODCIIndexFetch", 0.050)
+        with FaultPlan(db) as plan:
+            plan.delay("ODCIIndexFetch", ms=200)
+            with pytest.raises(CallbackTimeoutError) as info:
+                db.dispatcher.call("ODCIIndexFetch", lambda: "rows",
+                                  index_name="t_idx", phase="scan")
+        error = info.value
+        assert error.budget == pytest.approx(0.050)
+        assert error.elapsed >= 0.200
+        assert error.index_name == "t_idx"
+        assert db.dispatcher.metrics_for("ODCIIndexFetch").failures == 1
+
+    def test_budget_checked_after_the_call_returns(self, db):
+        # the routine's result is discarded once the budget is blown —
+        # exactly as if it had raised (no threads, no interruption)
+        db.dispatcher.set_timeout("ODCIIndexStart", 0.010)
+        with FaultPlan(db) as plan:
+            plan.delay("ODCIIndexStart", ms=50)
+            with pytest.raises(CallbackTimeoutError):
+                db.dispatcher.call("ODCIIndexStart", lambda: "context")
+        assert plan.outcomes("ODCIIndexStart") == ["delay"]
+
+    def test_within_budget_passes(self, db):
+        db.dispatcher.set_timeout("ODCIIndexFetch", 10.0)
+        assert db.dispatcher.call("ODCIIndexFetch", lambda: "ok") == "ok"
+
+    def test_default_timeout_applies_without_specific_entry(self, db):
+        db.dispatcher.default_timeout = 0.020
+        with FaultPlan(db) as plan:
+            plan.delay("ODCIIndexInsert", ms=100)
+            with pytest.raises(CallbackTimeoutError):
+                db.dispatcher.call("ODCIIndexInsert", lambda: None)
+
+    def test_specific_timeout_overrides_default(self, db):
+        db.dispatcher.default_timeout = 0.010
+        db.dispatcher.set_timeout("ODCIIndexCreate", 60.0)
+        with FaultPlan(db) as plan:
+            plan.delay("ODCIIndexCreate", ms=100)
+            assert db.dispatcher.call("ODCIIndexCreate",
+                                      lambda: "built") == "built"
+
+    def test_clearing_a_timeout(self, db):
+        db.dispatcher.set_timeout("ODCIIndexFetch", 0.001)
+        db.dispatcher.set_timeout("ODCIIndexFetch", None)
+        with FaultPlan(db) as plan:
+            plan.delay("ODCIIndexFetch", ms=100)
+            assert db.dispatcher.call("ODCIIndexFetch", lambda: "ok") == "ok"
+
+
+class TestMetrics:
+    def test_latency_is_accumulated(self, db):
+        with FaultPlan(db) as plan:
+            plan.delay("ODCIIndexFetch", ms=30)
+            db.dispatcher.call("ODCIIndexFetch", lambda: None)
+            db.dispatcher.call("ODCIIndexFetch", lambda: None)
+        metrics = db.dispatcher.metrics_for("ODCIIndexFetch")
+        assert metrics.invocations == 2
+        assert metrics.total_seconds >= 0.060
+
+    def test_snapshot_covers_all_routines(self, db):
+        db.dispatcher.call("ODCIIndexStart", lambda: None)
+        with pytest.raises(CallbackError):
+            db.dispatcher.call(
+                "ODCIIndexInsert",
+                lambda: (_ for _ in ()).throw(DatabaseError("x")))
+        snap = db.dispatcher.snapshot()
+        assert snap["ODCIIndexStart"]["invocations"] == 1
+        assert snap["ODCIIndexInsert"]["failures"] == 1
+        # snapshots are plain dicts, detached from the live counters
+        snap["ODCIIndexStart"]["invocations"] = 99
+        assert db.dispatcher.metrics_for("ODCIIndexStart").invocations == 1
+
+
+class TestCallDegraded:
+    def test_failure_degrades_to_default(self, db):
+        def broken():
+            raise DatabaseError("stats table missing")
+
+        result = db.dispatcher.call_degraded(
+            "ODCIStatsSelectivity", broken, index_name="t_idx",
+            phase="plan", default=None)
+        assert result is None
+        assert any("dispatch:degrade ODCIStatsSelectivity(t_idx)" in line
+                   for line in db.trace_log)
+
+    def test_success_returns_real_value(self, db):
+        assert db.dispatcher.call_degraded(
+            "ODCIStatsIndexCost", lambda: 0.25, default=None) == 0.25
+
+    def test_fatal_errors_still_degrade(self, db):
+        def crashed():
+            raise ValueError("bad stats type")
+
+        assert db.dispatcher.call_degraded(
+            "ODCIStatsSelectivity", crashed, default=0.01) == 0.01
+
+
+class TestFaultPlanLedger:
+    def test_every_invocation_is_recorded(self, db):
+        with FaultPlan(db) as plan:
+            db.dispatcher.call("ODCIIndexInsert", lambda: None,
+                              index_name="a_idx")
+            db.dispatcher.call("ODCIIndexInsert", lambda: None,
+                              index_name="b_idx")
+            db.dispatcher.call("ODCIIndexDelete", lambda: None,
+                              index_name="a_idx")
+        assert plan.calls("ODCIIndexInsert") == 2
+        assert plan.calls("ODCIIndexInsert", index="a_idx") == 1
+        assert plan.calls("ODCIIndexDelete") == 1
+        assert plan.outcomes("ODCIIndexInsert") == ["ok", "ok"]
+
+    def test_ordinals_count_per_routine_and_index(self, db):
+        with FaultPlan(db) as plan:
+            for __ in range(2):
+                db.dispatcher.call("ODCIIndexInsert", lambda: None,
+                                  index_name="a_idx")
+            db.dispatcher.call("ODCIIndexInsert", lambda: None,
+                              index_name="b_idx")
+        ordinals = [(e.index_name, e.ordinal) for e in plan.ledger]
+        assert ordinals == [("a_idx", 1), ("a_idx", 2), ("b_idx", 1)]
+
+    def test_fail_on_call_hits_exact_ordinal(self, db):
+        with FaultPlan(db) as plan:
+            plan.fail_on_call("ODCIIndexInsert", nth=3)
+            for __ in range(2):
+                db.dispatcher.call("ODCIIndexInsert", lambda: None)
+            with pytest.raises(CallbackError):
+                db.dispatcher.call("ODCIIndexInsert", lambda: None)
+            # past the ordinal, the rule is spent
+            db.dispatcher.call("ODCIIndexInsert", lambda: None)
+        assert plan.outcomes("ODCIIndexInsert") == \
+            ["ok", "ok", "fault", "ok"]
+
+    def test_index_filter_scopes_the_rule(self, db):
+        with FaultPlan(db) as plan:
+            plan.fail_on_call("ODCIIndexInsert", nth=1, index="b_idx")
+            db.dispatcher.call("ODCIIndexInsert", lambda: None,
+                              index_name="a_idx")
+            with pytest.raises(CallbackError):
+                db.dispatcher.call("ODCIIndexInsert", lambda: None,
+                                  index_name="b_idx")
+
+    def test_exit_restores_previous_plan(self, db):
+        outer = FaultPlan(db)
+        with outer:
+            with FaultPlan(db) as inner:
+                assert db.dispatcher.fault_plan is inner
+            assert db.dispatcher.fault_plan is outer
+        assert db.dispatcher.fault_plan is None
+
+    def test_faulted_call_does_not_reach_the_routine(self, db):
+        calls = []
+        with FaultPlan(db) as plan:
+            plan.fail_on_call("ODCIIndexInsert", nth=1)
+            with pytest.raises(CallbackError):
+                db.dispatcher.call("ODCIIndexInsert",
+                                  lambda: calls.append(1))
+        assert calls == []
+        assert db.dispatcher.metrics_for("ODCIIndexInsert").failures == 1
