@@ -1,0 +1,166 @@
+"""Multi-session throughput + lock-wait benchmark (plain script).
+
+Runs a mixed DML/query workload from N concurrent sessions against one
+shared :class:`~repro.sql.engine.Engine` — a table with a text domain
+index, writers in autocommit statements, readers in short explicit
+transactions — and reports per-session-count throughput plus the lock
+manager's wait statistics and wait-time histogram.
+
+Not a pytest module: run it directly.
+
+    PYTHONPATH=src python benchmarks/bench_concurrency.py          # full
+    PYTHONPATH=src python benchmarks/bench_concurrency.py --smoke  # CI
+
+Results are written to ``benchmarks/results/concurrency.txt``.
+"""
+
+import argparse
+import os
+import random
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.harness import ReportTable  # noqa: E402
+from repro.sql.engine import Engine  # noqa: E402
+
+WORDS = ["alpha", "bravo", "carbon", "delta", "ember",
+         "falcon", "granite", "harbor"]
+RESULTS = os.path.join(os.path.dirname(__file__), "results",
+                       "concurrency.txt")
+
+
+def build_engine():
+    engine = Engine(lock_timeout=30.0)
+    setup = engine.connect()
+    from repro.cartridges.text import install
+    install(setup)
+    setup.execute("CREATE TABLE items (id INTEGER, val INTEGER,"
+                  " note VARCHAR2(120))")
+    rng = random.Random(7)
+    setup.insert_row("items", [0, 0, "counter"])
+    for seed_id in range(1, 33):
+        setup.insert_row("items",
+                         [seed_id, 0, " ".join(rng.sample(WORDS, 2))])
+    setup.execute("CREATE INDEX items_tidx ON items(note)"
+                  " INDEXTYPE IS TextIndexType")
+    return engine
+
+
+class Worker:
+    """One session's deterministic statement mix."""
+
+    def __init__(self, engine, tid, statements):
+        self.session = engine.connect()
+        self.rng = random.Random(1000 + tid)
+        self.tid = tid
+        self.statements = statements
+        self.next_id = 1
+        self.live = []
+        self.error = None
+
+    def run(self):
+        try:
+            for __ in range(self.statements):
+                self._one()
+        except BaseException as exc:
+            self.error = exc
+
+    def _one(self):
+        r = self.rng.random()
+        if r < 0.40:
+            self.session.execute(
+                "UPDATE items SET val = val + 1 WHERE id = 0")
+        elif r < 0.65:
+            row_id = (self.tid + 1) * 100_000 + self.next_id
+            self.next_id += 1
+            self.session.execute(
+                "INSERT INTO items VALUES (:1, 0, :2)",
+                [row_id, " ".join(self.rng.sample(WORDS, 2))])
+            self.live.append(row_id)
+        elif r < 0.75 and self.live:
+            row_id = self.live.pop(self.rng.randrange(len(self.live)))
+            self.session.execute(
+                "DELETE FROM items WHERE id = :1", [row_id])
+        else:
+            self.session.begin()
+            try:
+                self.session.execute(
+                    "SELECT id FROM items WHERE Contains(note, :1)",
+                    [self.rng.choice(WORDS)]).fetchall()
+            finally:
+                self.session.commit()
+
+
+def run_config(n_sessions, per_session):
+    engine = build_engine()
+    workers = [Worker(engine, tid, per_session)
+               for tid in range(n_sessions)]
+    threads = [threading.Thread(target=w.run) for w in workers]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    errors = [w.error for w in workers if w.error is not None]
+    return elapsed, engine.locks.stats.snapshot(), errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--statements", type=int, default=200,
+                        help="statements per session (default 200)")
+    parser.add_argument("--sessions", type=int, nargs="*",
+                        default=[1, 2, 4, 8],
+                        help="session counts to sweep (default 1 2 4 8)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI configuration (2 sessions x 50)")
+    parser.add_argument("--output", default=RESULTS,
+                        help="report file (default benchmarks/results/)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.sessions = [1, 2]
+        args.statements = 50
+
+    throughput = ReportTable(
+        "concurrency — mixed DML/query workload on a shared engine "
+        f"({args.statements} statements/session, text domain index)",
+        ["sessions", "statements", "elapsed_s", "stmts_per_s",
+         "lock_waits", "wait_s", "timeouts", "deadlocks"])
+    histogram = ReportTable(
+        "lock-wait histogram (acquisitions that had to wait)",
+        ["sessions", "<1ms", "<10ms", "<100ms", "<1s", ">=1s"])
+
+    failures = []
+    for n in args.sessions:
+        elapsed, locks, errors = run_config(n, args.statements)
+        failures.extend(errors)
+        total = n * args.statements
+        throughput.add_row(n, total, elapsed, total / elapsed,
+                           locks["waits"], locks["wait_seconds"],
+                           locks["timeouts"], locks["deadlocks"])
+        buckets = locks["histogram"]
+        histogram.add_row(n, buckets["<1ms"], buckets["<10ms"],
+                          buckets["<100ms"], buckets["<1s"],
+                          buckets[">=1s"])
+        print(f"sessions={n}: {total} statements in {elapsed:.2f}s "
+              f"({total / elapsed:.0f}/s), waits={locks['waits']}")
+
+    report = throughput.render() + "\n\n" + histogram.render() + "\n"
+    os.makedirs(os.path.dirname(args.output), exist_ok=True)
+    with open(args.output, "w") as fh:
+        fh.write(report)
+    print()
+    print(report)
+    if failures:
+        print(f"FAILED: {len(failures)} worker error(s): {failures[:3]}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from repro.errors import (
     CatalogError,
     ConstraintError,
     DatabaseError,
+    DeadlockError,
     ExecutionError,
     ExtensibleIndexError,
     FatalCallbackError,
@@ -52,7 +53,8 @@ from repro.errors import (
     TransientCallbackError,
     TypeMismatchError,
 )
-from repro.sql.session import Cursor, Database
+from repro.sql.engine import Engine
+from repro.sql.session import Cursor, Database, Session
 from repro.core import (
     FetchResult,
     IndexMethods,
@@ -72,6 +74,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Database",
+    "Engine",
+    "Session",
     "Cursor",
     "NULL",
     "IndexMethods",
@@ -93,6 +97,7 @@ __all__ = [
     "PrivilegeError",
     "TransactionError",
     "LockTimeoutError",
+    "DeadlockError",
     "StorageError",
     "ExtensibleIndexError",
     "ODCIError",

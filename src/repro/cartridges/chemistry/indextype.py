@@ -20,6 +20,7 @@ verification), ``Chem_Similar`` (Tanimoto threshold; ancillary
 
 from __future__ import annotations
 
+import threading
 import hashlib
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -119,28 +120,37 @@ class ChemIndexMethods(IndexMethods):
     def __init__(self):
         self._factory: Optional[Callable[[], Any]] = None
         self._storage_kind: Optional[str] = None
+        # shared across sessions; keeps the lazily-resolved storage
+        # factory consistent (SQL runs outside the latch)
+        self._latch = threading.Lock()
 
     # -- storage plumbing --------------------------------------------------
 
     def _index_file(self, ia: ODCIIndexInfo,
                     env: ODCIEnv) -> FingerprintIndexFile:
-        if self._factory is None:
+        with self._latch:
+            factory = self._factory
+        if factory is None:
             meta = {key: value for key, value in env.callback.query(
                 f"SELECT key, value FROM {_meta_table(ia)}")}
             kind = meta.get("storage")
             if kind == "LOB":
                 lob_id = int(meta["lob_id"])
                 lobs = env.lobs
-                self._factory = lambda: lobs.open(lob_id)
+                factory = lambda: lobs.open(lob_id)  # noqa: E731
             elif kind == "FILE":
                 name = meta["file"]
                 files = env.files
-                self._factory = lambda: files.open(name)
+                factory = lambda: files.open(name)  # noqa: E731
             else:
                 raise ODCIError("ChemIndexMethods",
                                 f"index {ia.index_name} has no storage meta")
-            self._storage_kind = kind
-        return FingerprintIndexFile(self._factory)
+            with self._latch:
+                if self._factory is None:
+                    self._factory = factory
+                    self._storage_kind = kind
+                factory = self._factory
+        return FingerprintIndexFile(factory)
 
     @staticmethod
     def _record_for(rowid: Any, molecule: Molecule) -> Record:
@@ -165,16 +175,18 @@ class ChemIndexMethods(IndexMethods):
                 f"INSERT INTO {meta} VALUES ('lob_id', :1)",
                 [str(locator.lob_id)])
             lobs = env.lobs
-            self._factory = lambda: lobs.open(locator.lob_id)
+            factory = lambda: lobs.open(locator.lob_id)  # noqa: E731
         else:
             name = f"{ia.index_name.lower()}.cfp"
             env.files.open(name, create=True)
             env.callback.execute(
                 f"INSERT INTO {meta} VALUES ('file', :1)", [name])
             files = env.files
-            self._factory = lambda: files.open(name)
-        self._storage_kind = kind
-        index_file = FingerprintIndexFile(self._factory)
+            factory = lambda: files.open(name)  # noqa: E731
+        with self._latch:
+            self._factory = factory
+            self._storage_kind = kind
+        index_file = FingerprintIndexFile(factory)
         index_file.initialize()
         self._populate(ia, env, index_file)
 
@@ -209,8 +221,9 @@ class ChemIndexMethods(IndexMethods):
             if env.files.exists(meta["file"]):
                 env.files.delete(meta["file"])
         env.callback.execute(f"DROP TABLE {_meta_table(ia)}")
-        self._factory = None
-        self._storage_kind = None
+        with self._latch:
+            self._factory = None
+            self._storage_kind = None
 
     def index_truncate(self, ia: ODCIIndexInfo, env: ODCIEnv) -> None:
         self._index_file(ia, env).initialize()

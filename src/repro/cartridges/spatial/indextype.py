@@ -17,6 +17,7 @@ never exact-tests the whole candidate set.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.cartridges.spatial.geometry import (
@@ -221,26 +222,33 @@ class RtreeIndexMethods(IndexMethods):
     def __init__(self):
         self._tree = RTree(max_entries=8)
         self._rect_of: Dict[Any, Rect] = {}
+        # the in-memory tree is shared by every session using the index;
+        # R-tree split/condense is far from atomic, so all structure
+        # access is latch-held (searches materialize their result list
+        # before releasing)
+        self._latch = threading.RLock()
 
     # -- definition ---------------------------------------------------------
 
     def index_create(self, ia: ODCIIndexInfo, parameters: str,
                      env: ODCIEnv) -> None:
-        self._tree = RTree(max_entries=8)
-        self._rect_of = {}
         column = ia.column_names[0]
         rows = env.callback.query(
             f"SELECT rowid, {column} FROM {ia.table_name}")
-        for rid, geometry in rows:
-            if is_null(geometry):
-                continue
-            rect = Rect.from_box(bounding_box(geometry))
-            self._tree.insert(rect, rid)
-            self._rect_of[rid] = rect
+        with self._latch:
+            self._tree = RTree(max_entries=8)
+            self._rect_of = {}
+            for rid, geometry in rows:
+                if is_null(geometry):
+                    continue
+                rect = Rect.from_box(bounding_box(geometry))
+                self._tree.insert(rect, rid)
+                self._rect_of[rid] = rect
 
     def index_drop(self, ia: ODCIIndexInfo, env: ODCIEnv) -> None:
-        self._tree = RTree(max_entries=8)
-        self._rect_of = {}
+        with self._latch:
+            self._tree = RTree(max_entries=8)
+            self._rect_of = {}
 
     def index_truncate(self, ia: ODCIIndexInfo, env: ODCIEnv) -> None:
         self.index_drop(ia, env)
@@ -253,14 +261,16 @@ class RtreeIndexMethods(IndexMethods):
         if is_null(geometry):
             return
         rect = Rect.from_box(bounding_box(geometry))
-        self._tree.insert(rect, rowid)
-        self._rect_of[rowid] = rect
+        with self._latch:
+            self._tree.insert(rect, rowid)
+            self._rect_of[rowid] = rect
 
     def index_delete(self, ia: ODCIIndexInfo, rowid: Any,
                      old_values: Sequence[Any], env: ODCIEnv) -> None:
-        rect = self._rect_of.pop(rowid, None)
-        if rect is not None:
-            self._tree.delete(rect, rowid)
+        with self._latch:
+            rect = self._rect_of.pop(rowid, None)
+            if rect is not None:
+                self._tree.delete(rect, rowid)
 
     # -- scan --------------------------------------------------------------------
 
@@ -274,7 +284,8 @@ class RtreeIndexMethods(IndexMethods):
             return _SpatialScan(env, ia, [], None, "ANYINTERACT")
         mask = parse_mask_param(str(mask_param))
         rect = Rect.from_box(bounding_box(query_geometry))
-        candidates = sorted(self._tree.search(rect))
+        with self._latch:
+            candidates = sorted(self._tree.search(rect))
         env.stats.bump("spatial_primary_candidates", len(candidates))
         return _SpatialScan(env, ia, candidates, query_geometry, mask)
 

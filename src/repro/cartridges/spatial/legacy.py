@@ -93,7 +93,7 @@ class LegacySpatialLayer:
         if not self._created:
             raise ExecutionError(f"layer {self.table}: call build() first")
         self.db.execute(f"DELETE FROM {self.index_table}")
-        rows = self.db.query(
+        rows = self.db.execute(
             f"SELECT {self.gid_column}, {self.geometry_column} "
             f"FROM {self.table}")
         tile_rows: List[List[Any]] = []
@@ -127,4 +127,4 @@ class LegacySpatialLayer:
                       mask: str = "OVERLAPS") -> List[Tuple[Any, Any]]:
         """Run the legacy two-layer query and return (gid_r, gid_p) pairs."""
         sql = LegacySpatialLayer.overlap_query_sql(layer_r, layer_p, mask)
-        return layer_r.db.query(sql)
+        return layer_r.db.execute(sql).fetchall()

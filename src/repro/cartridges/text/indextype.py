@@ -21,6 +21,7 @@ handle (*Precompute All* + *Return Handle*) — both §2.2.3 mechanisms.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cartridges.text.lexer import TextLexer, TextParameters
@@ -86,19 +87,28 @@ class TextIndexMethods(IndexMethods):
 
     def __init__(self):
         self._params_cache: Optional[TextParameters] = None
+        # one methods instance serves every session using the index;
+        # the latch keeps the cached-parameters snapshot consistent
+        # (SQL runs outside it — never hold a cartridge latch across
+        # callback SQL, which takes table locks)
+        self._latch = threading.Lock()
 
     # -- parameters persistence ---------------------------------------------
 
     def _load_params(self, ia: ODCIIndexInfo, env: ODCIEnv) -> TextParameters:
-        if self._params_cache is not None:
-            return self._params_cache
+        with self._latch:
+            if self._params_cache is not None:
+                return self._params_cache
         row = env.callback.query_one(
             f"SELECT value FROM {_settings_table(ia)} WHERE key = 'params'")
         if row is None:
             raise ODCIError("TextIndexMethods",
                             f"index {ia.index_name} has no persisted settings")
-        self._params_cache = TextParameters.parse(row[0])
-        return self._params_cache
+        params = TextParameters.parse(row[0])
+        with self._latch:
+            if self._params_cache is None:
+                self._params_cache = params
+            return self._params_cache
 
     def _save_params(self, ia: ODCIIndexInfo, env: ODCIEnv,
                      params: TextParameters) -> None:
@@ -107,7 +117,8 @@ class TextIndexMethods(IndexMethods):
         env.callback.execute(
             f"INSERT INTO {settings} VALUES ('params', :1)",
             [params.render()])
-        self._params_cache = params
+        with self._latch:
+            self._params_cache = params
 
     # -- definition routines ---------------------------------------------------
 
@@ -145,7 +156,8 @@ class TextIndexMethods(IndexMethods):
     def index_drop(self, ia: ODCIIndexInfo, env: ODCIEnv) -> None:
         env.callback.execute(f"DROP TABLE {_terms_table(ia)}")
         env.callback.execute(f"DROP TABLE {_settings_table(ia)}")
-        self._params_cache = None
+        with self._latch:
+            self._params_cache = None
 
     def index_truncate(self, ia: ODCIIndexInfo, env: ODCIEnv) -> None:
         env.callback.execute(f"TRUNCATE TABLE {_terms_table(ia)}")

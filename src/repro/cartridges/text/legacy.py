@@ -64,7 +64,7 @@ class LegacyTextIndex:
         implicit maintenance here.
         """
         self.db.execute(f"DELETE FROM {self.terms_table}")
-        rows = self.db.query(
+        rows = self.db.execute(
             f"SELECT rowid, {self.column} FROM {self.table}")
         postings: List[List[Any]] = []
         for rid, text in rows:
@@ -79,7 +79,7 @@ class LegacyTextIndex:
     # -- step 1: evaluate the text predicate into a temp table ----------------
 
     def _postings(self, term: str) -> Dict[Any, int]:
-        rows = self.db.query(
+        rows = self.db.execute(
             f"SELECT rid, freq FROM {self.terms_table} WHERE token = :1",
             [term])
         return {rid: freq for rid, freq in rows}

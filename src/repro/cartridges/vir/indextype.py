@@ -66,7 +66,16 @@ def _coarse_table(ia: ODCIIndexInfo) -> str:
 
 
 class VirIndexMethods(IndexMethods):
-    """ODCIIndex routines of VirIndexType."""
+    """ODCIIndex routines of VirIndexType.
+
+    Deliberately stateless: every routine works purely through the
+    session-scoped :class:`~repro.core.odci.ODCIEnv` it is handed (its
+    callback SQL, workspace, stats), and all index data lives in the
+    feature table.  One methods instance therefore serves concurrent
+    sessions without any latch of its own — the table locks taken by
+    its callback SQL are the whole concurrency story, which is exactly
+    the §2.5 "index data in database objects" argument.
+    """
 
     # -- definition ---------------------------------------------------------
 

@@ -51,11 +51,17 @@ class CallbackSession:
     """A phase-restricted SQL session handed to ODCI routines via ODCIEnv."""
 
     def __init__(self, database: Any, phase: CallbackPhase,
-                 base_table: Optional[str] = None, definer: str = "main"):
+                 base_table: Optional[str] = None, definer: str = "main",
+                 locking: bool = True):
         self._db = database
         self.phase = phase
         self.base_table = (base_table or "").lower()
         self.definer = definer
+        #: False for optimizer-statistics callbacks: plan-time reads of
+        #: index tables take no table locks (they run before the
+        #: statement locks its own tables — locking here would invert
+        #: the base-table → index-table order writers follow)
+        self.locking = locking
 
     def execute(self, sql: str, params: Optional[Any] = None):
         """Run a callback statement after phase validation.
@@ -73,6 +79,10 @@ class CallbackSession:
         # §2.5 definer rights: "Indextype routines always execute under
         # the privileges of the owner of the index."
         with self._db.as_user(self.definer):
+            if not self.locking:
+                with self._db._no_table_locks():
+                    return self._db.pipeline.execute(sql, params,
+                                                     check=self._check)
             return self._db.pipeline.execute(sql, params, check=self._check)
 
     # convenience wrappers used heavily by the cartridges ----------------

@@ -40,7 +40,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.errors import (
     CallbackError, CallbackTimeoutError, DatabaseError, FatalCallbackError,
-    TransientCallbackError)
+    TransactionError, TransientCallbackError)
 
 #: How many times a TransientCallbackError is retried before the
 #: dispatcher gives up (bounded and deterministic — no sleeps, no jitter).
@@ -144,6 +144,14 @@ class CallbackDispatcher:
                     f"{self.max_transient_retries} retries: {error}",
                     index_name=index_name, phase=phase,
                     cause=error) from error
+            if isinstance(error, TransactionError):
+                # A deadlock or lock timeout inside callback SQL is the
+                # *statement's* concurrency outcome, not a cartridge
+                # fault: propagate untyped so the degradation policy
+                # (mark index UNUSABLE, retry without maintenance) never
+                # fires for it, and the session sees the real
+                # DeadlockError/LockTimeoutError.
+                raise error
             metrics.failures += 1
             if isinstance(error, CallbackError):
                 raise error  # already classified (nested dispatch)

@@ -18,6 +18,7 @@ two scan-implementation styles the paper names (*Precompute All* vs
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.errors import ODCIError
@@ -39,18 +40,23 @@ class Workspace:
         self._sizes: Dict[int, int] = {}
         self._next_handle = 1
         self._resident_bytes = 0
+        # workspaces are session-scoped, but a cursor's deferred close
+        # can run after the session thread moved on; keep allocate/free
+        # atomic so handle accounting never corrupts
+        self._latch = threading.Lock()
 
     def allocate(self, state: Any) -> int:
         """Park ``state`` and return an opaque integer handle."""
-        handle = self._next_handle
-        self._next_handle += 1
         size = estimate_size(state) if not isinstance(state, (list, tuple)) \
             else sum(estimate_size(v) for v in state)
-        self._entries[handle] = state
-        self._sizes[handle] = size
-        self._resident_bytes += size
-        if self._resident_bytes > self.memory_budget:
+        with self._latch:
+            handle = self._next_handle
+            self._next_handle += 1
+            self._entries[handle] = state
+            self._sizes[handle] = size
+            self._resident_bytes += size
             overflow = self._resident_bytes - self.memory_budget
+        if overflow > 0:
             self.stats.bump("workspace_spills")
             self.stats.bump("workspace_spilled_bytes", overflow)
         return handle
@@ -65,9 +71,10 @@ class Workspace:
 
     def free(self, handle: int) -> None:
         """Release ``handle`` and its state."""
-        if handle in self._entries:
-            self._resident_bytes -= self._sizes.pop(handle)
-            del self._entries[handle]
+        with self._latch:
+            if handle in self._entries:
+                self._resident_bytes -= self._sizes.pop(handle)
+                del self._entries[handle]
 
     @property
     def live_handles(self) -> int:

@@ -1,0 +1,452 @@
+"""DB-API 2.0 (PEP 249) interface to the repro engine.
+
+The paper's framework makes domain indexes behave like built-in indexes
+*through the standard client surface* — applications keep issuing plain
+SQL through a stock driver while ODCI callbacks run underneath.  This
+module is that stock driver: ``connect()`` returns a
+:class:`Connection` wrapping one :class:`~repro.sql.session.Session`,
+and multiple connections against the same
+:class:`~repro.sql.engine.Engine` give real multi-session concurrency::
+
+    from repro import dbapi
+
+    conn = dbapi.connect()                     # fresh in-memory engine
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE t (id INTEGER, name VARCHAR2(40))")
+    cur.execute("INSERT INTO t VALUES (?, ?)", (1, "ada"))
+    conn.commit()
+
+    other = dbapi.connect(engine=conn.engine)  # second session, same data
+    other.cursor().execute("SELECT name FROM t WHERE id = ?", (1,))
+
+Module globals follow PEP 249: ``apilevel = "2.0"``,
+``threadsafety = 1`` (threads may share the module; share connections
+only with your own locking — a session is used by one thread at a
+time), ``paramstyle = "qmark"`` (``?`` placeholders, rewritten
+quote-aware onto the engine's native positional binds).
+
+Transactions are implicit per PEP 249: the first statement on a
+connection (lazily) begins one; ``commit()``/``rollback()`` end it.
+DDL still autocommits, Oracle-style.  Engine errors are re-raised as
+the standard exception hierarchy (:class:`ProgrammingError`,
+:class:`IntegrityError`, :class:`OperationalError`, ...) with the
+original :mod:`repro.errors` exception attached as ``__cause__``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time as _time
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro import errors as _errors
+from repro.sql.engine import Engine
+
+__all__ = [
+    "apilevel", "threadsafety", "paramstyle", "connect",
+    "Connection", "Cursor",
+    "Warning", "Error", "InterfaceError", "DatabaseError", "DataError",
+    "OperationalError", "IntegrityError", "InternalError",
+    "ProgrammingError", "NotSupportedError",
+    "Date", "Time", "Timestamp", "DateFromTicks", "TimeFromTicks",
+    "TimestampFromTicks", "Binary",
+    "STRING", "BINARY", "NUMBER", "DATETIME", "ROWID",
+]
+
+apilevel = "2.0"
+#: threads may share the module; connections/cursors need external locking
+threadsafety = 1
+paramstyle = "qmark"
+
+
+# ----------------------------------------------------------------------
+# exception hierarchy (PEP 249 §Exceptions)
+# ----------------------------------------------------------------------
+
+class Warning(Exception):  # noqa: A001 (PEP 249 mandates the name)
+    """Important warnings (PEP 249)."""
+
+
+class Error(Exception):
+    """Base of all DB-API errors raised by this module."""
+
+
+class InterfaceError(Error):
+    """Error in the interface itself (e.g. operating on a closed cursor)."""
+
+
+class DatabaseError(Error):
+    """Error related to the database."""
+
+
+class DataError(DatabaseError):
+    """Problems with the processed data (bad value for a column type)."""
+
+
+class OperationalError(DatabaseError):
+    """Errors of the database's operation: locks, deadlocks, storage,
+    cartridge callback failures."""
+
+
+class IntegrityError(DatabaseError):
+    """Constraint violations (NOT NULL, unique)."""
+
+
+class InternalError(DatabaseError):
+    """The database hit an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """SQL syntax errors, missing objects, bind mistakes, privileges."""
+
+
+class NotSupportedError(DatabaseError):
+    """A requested feature the engine does not provide."""
+
+
+#: repro exception class → DB-API exception class, most specific first
+_ERROR_MAP: Tuple[Tuple[type, type], ...] = (
+    (_errors.ConstraintError, IntegrityError),
+    (_errors.TypeMismatchError, DataError),
+    (_errors.ParseError, ProgrammingError),
+    (_errors.CatalogError, ProgrammingError),
+    (_errors.PrivilegeError, ProgrammingError),
+    (_errors.ExecutionError, ProgrammingError),
+    (_errors.OperatorBindingError, ProgrammingError),
+    (_errors.IndextypeError, ProgrammingError),
+    (_errors.DeadlockError, OperationalError),
+    (_errors.LockTimeoutError, OperationalError),
+    (_errors.TransactionError, OperationalError),
+    (_errors.StorageError, OperationalError),
+    (_errors.ExtensibleIndexError, OperationalError),
+    (_errors.DatabaseError, DatabaseError),
+)
+
+
+def _map_error(exc: BaseException) -> Error:
+    """Wrap a repro engine error in its DB-API equivalent."""
+    for repro_cls, dbapi_cls in _ERROR_MAP:
+        if isinstance(exc, repro_cls):
+            return dbapi_cls(str(exc))
+    return DatabaseError(str(exc))
+
+
+# ----------------------------------------------------------------------
+# type objects and constructors (PEP 249 §Type Objects)
+# ----------------------------------------------------------------------
+
+Date = datetime.date
+Time = datetime.time
+Timestamp = datetime.datetime
+
+
+def DateFromTicks(ticks: float) -> datetime.date:
+    return Date(*_time.localtime(ticks)[:3])
+
+
+def TimeFromTicks(ticks: float) -> datetime.time:
+    return Time(*_time.localtime(ticks)[3:6])
+
+
+def TimestampFromTicks(ticks: float) -> datetime.datetime:
+    return Timestamp(*_time.localtime(ticks)[:6])
+
+
+def Binary(data) -> bytes:
+    return bytes(data)
+
+
+class _TypeObject:
+    """Equality-group marker for ``description`` type codes."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"<dbapi type {self.name}>"
+
+
+STRING = _TypeObject("STRING")
+BINARY = _TypeObject("BINARY")
+NUMBER = _TypeObject("NUMBER")
+DATETIME = _TypeObject("DATETIME")
+ROWID = _TypeObject("ROWID")
+
+
+# ----------------------------------------------------------------------
+# qmark → native positional binds
+# ----------------------------------------------------------------------
+
+def _qmark_to_native(sql: str) -> Tuple[str, int]:
+    """Rewrite ``?`` placeholders to ``:1, :2, ...``; quote-aware.
+
+    ``?`` inside a ``'...'`` literal or ``"..."`` identifier is left
+    alone (a doubled quote is the SQL escape).  Returns the rewritten
+    text and the number of placeholders replaced.
+    """
+    out: List[str] = []
+    count = 0
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in ("'", '"'):
+            j = i + 1
+            while j < n:
+                if sql[j] == ch:
+                    if j + 1 < n and sql[j + 1] == ch:
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                j += 1
+            out.append(sql[i:j])
+            i = j
+        elif ch == "?":
+            count += 1
+            out.append(f":{count}")
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out), count
+
+
+# ----------------------------------------------------------------------
+# cursor
+# ----------------------------------------------------------------------
+
+class Cursor:
+    """PEP 249 cursor over one session's statement pipeline."""
+
+    def __init__(self, connection: "Connection"):
+        #: the owning connection (PEP 249 optional extension)
+        self.connection = connection
+        self.arraysize = 1
+        self._result: Optional[Any] = None  # native repro Cursor
+        self._closed = False
+
+    # -- attributes --------------------------------------------------------
+
+    @property
+    def description(self) -> Optional[List[Tuple]]:
+        """7-item sequences per result column, or None for non-queries."""
+        if self._result is None or self._result.description is None:
+            return None
+        return [(name, STRING, None, None, None, None, None)
+                for name in self._result.description]
+
+    @property
+    def rowcount(self) -> int:
+        """Rows affected by the last DML (-1 for queries / no statement)."""
+        if self._result is None:
+            return -1
+        return self._result.rowcount
+
+    # -- statement execution ------------------------------------------------
+
+    def execute(self, operation: str,
+                parameters: Optional[Sequence[Any]] = None) -> "Cursor":
+        """Run one statement; ``?`` placeholders bind ``parameters``."""
+        self._check_open()
+        session = self.connection._require_session()
+        sql, placeholders = _qmark_to_native(operation)
+        if placeholders and parameters is None:
+            raise ProgrammingError(
+                f"statement has {placeholders} placeholder(s) "
+                "but no parameters were supplied")
+        self._close_result()
+        self.connection._begin_if_needed()
+        try:
+            self._result = session.execute(
+                sql, list(parameters) if parameters is not None else None)
+        except _errors.DatabaseError as exc:
+            raise _map_error(exc) from exc
+        return self
+
+    def executemany(self, operation: str,
+                    seq_of_parameters: Sequence[Sequence[Any]]) -> "Cursor":
+        """Run ``operation`` once per parameter set (DML batching)."""
+        self._check_open()
+        total = 0
+        counted = False
+        for parameters in seq_of_parameters:
+            self.execute(operation, parameters)
+            if self._result is not None and self._result.rowcount >= 0:
+                total += self._result.rowcount
+                counted = True
+        if counted and self._result is not None:
+            self._result.rowcount = total
+        return self
+
+    # -- fetching ------------------------------------------------------------
+
+    def fetchone(self) -> Optional[Tuple[Any, ...]]:
+        """Next row of the result set, or None when exhausted."""
+        return self._require_result().fetchone()
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple[Any, ...]]:
+        """Next ``size`` rows (default ``arraysize``)."""
+        if size is None:
+            size = self.arraysize
+        return self._require_result().fetchmany(size)
+
+    def fetchall(self) -> List[Tuple[Any, ...]]:
+        """All remaining rows."""
+        return self._require_result().fetchall()
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return self
+
+    def __next__(self) -> Tuple[Any, ...]:
+        row = self._require_result().fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # -- no-ops mandated by PEP 249 -------------------------------------------
+
+    def setinputsizes(self, sizes: Sequence[Any]) -> None:
+        """Accepted and ignored (PEP 249 allows this)."""
+
+    def setoutputsize(self, size: int, column: Optional[int] = None) -> None:
+        """Accepted and ignored (PEP 249 allows this)."""
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the result set; further use raises InterfaceError."""
+        self._close_result()
+        self._closed = True
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- internals ---------------------------------------------------------------
+
+    def _close_result(self) -> None:
+        if self._result is not None:
+            self._result.close()
+            self._result = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self.connection._require_session()
+
+    def _require_result(self) -> Any:
+        self._check_open()
+        if self._result is None:
+            raise InterfaceError("no result set: call execute() first")
+        return self._result
+
+
+# ----------------------------------------------------------------------
+# connection
+# ----------------------------------------------------------------------
+
+class Connection:
+    """PEP 249 connection: one session, implicit transactions."""
+
+    Warning = Warning
+    Error = Error
+    InterfaceError = InterfaceError
+    DatabaseError = DatabaseError
+    DataError = DataError
+    OperationalError = OperationalError
+    IntegrityError = IntegrityError
+    InternalError = InternalError
+    ProgrammingError = ProgrammingError
+    NotSupportedError = NotSupportedError
+
+    def __init__(self, session: Any):
+        self._session: Optional[Any] = session
+        #: the shared engine — pass to ``connect(engine=...)`` for more
+        #: concurrent connections against the same data
+        self.engine: Engine = session.engine
+
+    @property
+    def session(self) -> Any:
+        """The underlying native :class:`~repro.sql.session.Session`."""
+        return self._require_session()
+
+    def cursor(self) -> Cursor:
+        """Open a new cursor on this connection."""
+        self._require_session()
+        return Cursor(self)
+
+    def execute(self, operation: str,
+                parameters: Optional[Sequence[Any]] = None) -> Cursor:
+        """Shortcut: ``cursor().execute(...)`` (sqlite3-style extension)."""
+        return self.cursor().execute(operation, parameters)
+
+    def commit(self) -> None:
+        """Commit the open transaction (no-op when none is open)."""
+        session = self._require_session()
+        try:
+            session.commit()
+        except _errors.DatabaseError as exc:
+            raise _map_error(exc) from exc
+
+    def rollback(self) -> None:
+        """Roll back the open transaction (no-op when none is open)."""
+        session = self._require_session()
+        try:
+            session.rollback()
+        except _errors.DatabaseError as exc:
+            raise _map_error(exc) from exc
+
+    def close(self) -> None:
+        """Roll back any open transaction and detach the session."""
+        session = self._session
+        if session is None:
+            return
+        try:
+            session.rollback()
+        finally:
+            self._session = None
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # sqlite3-style: commit on clean exit, roll back on exception;
+        # the connection stays open for reuse
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+    # -- internals -------------------------------------------------------------
+
+    def _require_session(self) -> Any:
+        if self._session is None:
+            raise InterfaceError("connection is closed")
+        return self._session
+
+    def _begin_if_needed(self) -> None:
+        # PEP 249 implicit transactions: the first statement begins one
+        session = self._require_session()
+        if not session.in_transaction:
+            session.begin()
+
+
+def connect(engine: Optional[Engine] = None, user: str = "main",
+            **engine_options: Any) -> Connection:
+    """Open a DB-API connection.
+
+    With no arguments, creates a fresh in-memory :class:`Engine` (its
+    options can be passed through, e.g. ``buffer_capacity=...``).  Pass
+    ``engine=`` to open another concurrent session against an existing
+    engine — e.g. ``dbapi.connect(engine=conn.engine)``.
+    """
+    if engine is None:
+        engine = Engine(**engine_options)
+    elif engine_options:
+        raise ProgrammingError(
+            "engine options are only valid when creating a new engine")
+    return Connection(engine.connect(user))

@@ -10,6 +10,8 @@ extensible-indexing specific errors the paper's framework defines
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 
 class DatabaseError(Exception):
     """Base class for all errors raised by the repro engine."""
@@ -56,7 +58,26 @@ class TransactionError(DatabaseError):
 
 
 class LockTimeoutError(TransactionError):
-    """A lock could not be acquired."""
+    """A lock could not be acquired within the requested timeout."""
+
+
+class DeadlockError(TransactionError):
+    """A lock wait would never finish: the wait-for graph has a cycle.
+
+    The lock manager breaks the cycle by dooming its youngest
+    transaction (largest txn id); that transaction's pending ``acquire``
+    raises this error.  Oracle semantics (ORA-00060): the *statement* is
+    rolled back, the transaction stays open, and the application is
+    expected to roll back or retry.
+    """
+
+    def __init__(self, message: str, victim: Optional[int] = None,
+                 cycle: Sequence[int] = ()):
+        super().__init__(message)
+        #: txn id chosen as the deadlock victim
+        self.victim = victim
+        #: txn ids on the wait-for cycle that was broken
+        self.cycle = tuple(cycle)
 
 
 class StorageError(DatabaseError):

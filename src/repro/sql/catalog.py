@@ -8,6 +8,7 @@ are case-insensitive (stored lower-cased).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
@@ -149,6 +150,12 @@ class Catalog:
     """
 
     def __init__(self):
+        #: latch serializing schema mutation and dict-iterating reads.
+        #: Point lookups (``tables[key]``) stay latch-free — dict access
+        #: is atomic under the GIL and DDL replaces entries wholesale.
+        #: First in the engine latch order: catalog → plan cache →
+        #: lock-manager internals → buffer cache.
+        self.latch = threading.RLock()
         #: monotonic schema version (plan-cache invalidation signal)
         self.version = 0
         self.tables: Dict[str, TableDef] = {}
@@ -174,24 +181,27 @@ class Catalog:
 
     def bump_version(self) -> int:
         """Advance the schema version (invalidates cached plans)."""
-        self.version += 1
-        return self.version
+        with self.latch:
+            self.version += 1
+            return self.version
 
     # -- privileges ------------------------------------------------------
 
     def grant(self, user: str, table_key: str, privileges) -> None:
         """Add table privileges for ``user``."""
         key = (user.lower(), table_key.lower())
-        self.grants.setdefault(key, set()).update(privileges)
+        with self.latch:
+            self.grants.setdefault(key, set()).update(privileges)
 
     def revoke(self, user: str, table_key: str, privileges) -> None:
         """Remove table privileges for ``user``."""
         key = (user.lower(), table_key.lower())
-        held = self.grants.get(key)
-        if held is not None:
-            held.difference_update(privileges)
-            if not held:
-                del self.grants[key]
+        with self.latch:
+            held = self.grants.get(key)
+            if held is not None:
+                held.difference_update(privileges)
+                if not held:
+                    del self.grants[key]
 
     def has_grant(self, user: str, table_key: str, privilege: str) -> bool:
         """True when ``user`` holds ``privilege`` on the table."""
@@ -201,10 +211,11 @@ class Catalog:
     # -- tables ---------------------------------------------------------
 
     def add_table(self, table: TableDef) -> None:
-        if table.key in self.tables:
-            raise CatalogError(f"table {table.name} already exists")
-        self.tables[table.key] = table
-        self.bump_version()
+        with self.latch:
+            if table.key in self.tables:
+                raise CatalogError(f"table {table.name} already exists")
+            self.tables[table.key] = table
+            self.bump_version()
 
     def get_table(self, name: str) -> TableDef:
         try:
@@ -220,26 +231,29 @@ class Catalog:
         return name.lower() in self.tables
 
     def drop_table(self, name: str) -> TableDef:
-        table = self.get_table(name)
-        del self.tables[table.key]
-        self.bump_version()
-        return table
+        with self.latch:
+            table = self.get_table(name)
+            del self.tables[table.key]
+            self.bump_version()
+            return table
 
     def indexes_on(self, table_name: str) -> List[IndexDef]:
-        """Every index defined on ``table_name``."""
+        """Every index defined on ``table_name`` (snapshot list)."""
         key = table_name.lower()
-        return [idx for idx in self.indexes.values()
-                if idx.table_name.lower() == key]
+        with self.latch:
+            return [idx for idx in self.indexes.values()
+                    if idx.table_name.lower() == key]
 
     # -- indexes ----------------------------------------------------------
 
     def add_index(self, index: IndexDef) -> None:
-        if index.key in self.indexes:
-            raise CatalogError(f"index {index.name} already exists")
-        self.indexes[index.key] = index
-        table = self.get_table(index.table_name)
-        table.index_names.append(index.name)
-        self.bump_version()
+        with self.latch:
+            if index.key in self.indexes:
+                raise CatalogError(f"index {index.name} already exists")
+            self.indexes[index.key] = index
+            table = self.get_table(index.table_name)
+            table.index_names.append(index.name)
+            self.bump_version()
 
     def get_index(self, name: str) -> IndexDef:
         try:
@@ -258,31 +272,36 @@ class Catalog:
         plan compiled against a VALID index must not survive the index
         going UNUSABLE, and vice versa after REBUILD.
         """
-        index = self.get_index(name)
-        if index.domain is None:
-            raise CatalogError(f"index {index.name} is not a domain index")
-        if index.domain.state is not state:
-            index.domain.state = state
-            self.bump_version()
-        return index
+        with self.latch:
+            index = self.get_index(name)
+            if index.domain is None:
+                raise CatalogError(
+                    f"index {index.name} is not a domain index")
+            if index.domain.state is not state:
+                index.domain.state = state
+                self.bump_version()
+            return index
 
     def drop_index(self, name: str) -> IndexDef:
-        index = self.get_index(name)
-        del self.indexes[index.key]
-        table = self.tables.get(index.table_name.lower())
-        if table and index.name in table.index_names:
-            table.index_names.remove(index.name)
-        self.domain_index_stats.pop(index.key, None)
-        self.bump_version()
-        return index
+        with self.latch:
+            index = self.get_index(name)
+            del self.indexes[index.key]
+            table = self.tables.get(index.table_name.lower())
+            if table and index.name in table.index_names:
+                table.index_names.remove(index.name)
+            self.domain_index_stats.pop(index.key, None)
+            self.bump_version()
+            return index
 
     # -- operators -----------------------------------------------------------
 
     def add_operator(self, operator: Operator) -> None:
-        if operator.key in self.operators:
-            raise CatalogError(f"operator {operator.name} already exists")
-        self.operators[operator.key] = operator
-        self.bump_version()
+        with self.latch:
+            if operator.key in self.operators:
+                raise CatalogError(
+                    f"operator {operator.name} already exists")
+            self.operators[operator.key] = operator
+            self.bump_version()
 
     def get_operator(self, name: str) -> Operator:
         try:
@@ -294,18 +313,21 @@ class Catalog:
         return name.lower() in self.operators
 
     def drop_operator(self, name: str) -> Operator:
-        operator = self.get_operator(name)
-        del self.operators[operator.key]
-        self.bump_version()
-        return operator
+        with self.latch:
+            operator = self.get_operator(name)
+            del self.operators[operator.key]
+            self.bump_version()
+            return operator
 
     # -- indextypes -------------------------------------------------------------
 
     def add_indextype(self, indextype: Indextype) -> None:
-        if indextype.key in self.indextypes:
-            raise CatalogError(f"indextype {indextype.name} already exists")
-        self.indextypes[indextype.key] = indextype
-        self.bump_version()
+        with self.latch:
+            if indextype.key in self.indextypes:
+                raise CatalogError(
+                    f"indextype {indextype.name} already exists")
+            self.indextypes[indextype.key] = indextype
+            self.bump_version()
 
     def get_indextype(self, name: str) -> Indextype:
         try:
@@ -317,6 +339,10 @@ class Catalog:
         return name.lower() in self.indextypes
 
     def drop_indextype(self, name: str) -> Indextype:
+        with self.latch:
+            return self._drop_indextype(name)
+
+    def _drop_indextype(self, name: str) -> Indextype:
         indextype = self.get_indextype(name)
         used_by = [idx.name for idx in self.indexes.values()
                    if idx.is_domain and idx.domain
@@ -331,14 +357,16 @@ class Catalog:
 
     def indextypes_supporting(self, operator_name: str) -> List[Indextype]:
         """Every indextype that lists ``operator_name`` as supported."""
-        return [it for it in self.indextypes.values()
-                if it.supports(operator_name)]
+        with self.latch:
+            return [it for it in self.indextypes.values()
+                    if it.supports(operator_name)]
 
     # -- functions -------------------------------------------------------------
 
     def add_function(self, function: SQLFunction) -> None:
-        self.functions[function.key] = function
-        self.bump_version()
+        with self.latch:
+            self.functions[function.key] = function
+            self.bump_version()
 
     def get_function(self, name: str) -> SQLFunction:
         try:
@@ -353,10 +381,12 @@ class Catalog:
 
     def add_object_type(self, object_type: ObjectType) -> None:
         key = object_type.type_name.lower()
-        if key in self.object_types:
-            raise CatalogError(f"type {object_type.type_name} already exists")
-        self.object_types[key] = object_type
-        self.bump_version()
+        with self.latch:
+            if key in self.object_types:
+                raise CatalogError(
+                    f"type {object_type.type_name} already exists")
+            self.object_types[key] = object_type
+            self.bump_version()
 
     def get_object_type(self, name: str) -> ObjectType:
         try:
@@ -375,8 +405,9 @@ class Catalog:
         if not (isinstance(cls, type) and issubclass(cls, IndexMethods)):
             raise CatalogError(
                 f"{name}: implementation must subclass IndexMethods")
-        self.method_types[name.lower()] = cls
-        self.bump_version()
+        with self.latch:
+            self.method_types[name.lower()] = cls
+            self.bump_version()
 
     def get_method_type(self, name: str) -> Type[IndexMethods]:
         try:
@@ -391,8 +422,9 @@ class Catalog:
         if not (isinstance(cls, type) and issubclass(cls, StatsMethods)):
             raise CatalogError(
                 f"{name}: statistics type must subclass StatsMethods")
-        self.stats_types[name.lower()] = cls
-        self.bump_version()
+        with self.latch:
+            self.stats_types[name.lower()] = cls
+            self.bump_version()
 
     def get_stats_type(self, name: str) -> Type[StatsMethods]:
         try:

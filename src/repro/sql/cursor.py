@@ -36,7 +36,13 @@ class Cursor:
         self._closed = False
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
-        return self._rows
+        return self
+
+    def __next__(self) -> Tuple[Any, ...]:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
 
     def __enter__(self) -> "Cursor":
         return self

@@ -96,22 +96,26 @@ class DMLEngine:
     def run_maintained(self, table: TableDef, body: Callable[[Any], Any]):
         """Run one DML statement body under the degradation policy.
 
-        ``body(txn)`` performs the statement's mutations (its inputs —
-        rows to insert, target rowids — must be materialized *before*
-        this call so a retry replays identical work).  On a maintenance
+        The table's X lock is taken *before* ``body(txn)`` runs, so the
+        body may both select its targets and mutate them — UPDATE/DELETE
+        plan their target rows inside the body, under the lock, which is
+        what makes read-modify-write statements from concurrent sessions
+        serialize instead of losing updates.  On a maintenance
         :class:`CallbackError` the statement savepoint has already
         rolled back base table and index undo together; then, when
         ``skip_unusable_indexes`` is on, the failing index degrades to
-        ``UNUSABLE`` and the body runs once more with that index's
-        maintenance skipped.  Any second failure — or any failure with
-        the setting off — propagates.
+        ``UNUSABLE`` and the body runs once more (re-planning its
+        targets against the restored data) with that index's maintenance
+        skipped.  Any second failure — or any failure with the setting
+        off — propagates.
         """
         db = self.db
         for attempt in (0, 1):
             txn, autocommit = self.statement_transaction()
             try:
                 db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                                 LockMode.EXCLUSIVE)
+                                 LockMode.EXCLUSIVE,
+                                 timeout=getattr(db, "lock_timeout", None))
                 result = body(txn)
             except CallbackError as exc:
                 self.finish(autocommit, failed=True)
@@ -367,9 +371,13 @@ class DMLEngine:
             where = binder.bind(db.planner.materialize_subqueries(where))
         assignments = [(table.column_position(col), binder.bind(expr))
                        for col, expr in stmt.assignments]
-        targets = self.plan_target_rows(table, binding, where)
 
         def body(txn) -> int:
+            # target selection runs under the table X lock taken by
+            # run_maintained: SET expressions see current values, and
+            # concurrent read-modify-write UPDATEs serialize (no lost
+            # updates); materialized fully before mutating (Halloween)
+            targets = self.plan_target_rows(table, binding, where)
             count = 0
             for rowid, ctx in targets:
                 old_row = table.storage.fetch_or_none(rowid)
@@ -400,9 +408,10 @@ class DMLEngine:
         where = stmt.where
         if where is not None:
             where = binder.bind(db.planner.materialize_subqueries(where))
-        targets = self.plan_target_rows(table, binding, where)
 
         def body(txn) -> int:
+            # targets planned under the table X lock (see execute_update)
+            targets = self.plan_target_rows(table, binding, where)
             count = 0
             for rowid, __ in targets:
                 old_row = table.storage.fetch_or_none(rowid)

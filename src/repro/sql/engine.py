@@ -1,0 +1,135 @@
+"""The shared database engine: everything sessions have in common.
+
+:class:`Engine` owns the process-wide substrate — catalog, buffer
+cache, plan cache, lock manager, LOB/file stores, event manager, and
+the ODCI callback dispatcher — while per-connection state (transaction,
+current user, tracing, settings) lives in
+:class:`~repro.sql.session.Session` objects created by
+:meth:`Engine.connect`.  This mirrors Oracle's split between the shared
+instance (SGA: shared pool, buffer cache, enqueues) and per-session
+state (UGA), which is what lets ODCIIndex maintenance and scans from
+concurrent sessions hit the same domain indexes under the regular lock
+manager (§2.5).
+
+Thread-safety layers, coarsest to finest:
+
+* **Transaction locks** (:class:`~repro.txn.locks.LockManager`) —
+  logical S/X locks on ``table:<name>`` resources held until
+  commit/rollback, now blocking with timeout + deadlock detection.
+* **Latches** — short-duration mutexes guarding shared in-memory
+  structures for the duration of one operation: the catalog, the plan
+  cache, the buffer cache, the file store, and each cartridge's
+  in-memory index state.  The documented latch *order* (deadlock
+  avoidance — never take an earlier latch while holding a later one)::
+
+      catalog → plan cache → lock-manager internals → buffer cache
+
+  In practice latch scopes never nest across components, so the order
+  is belt-and-braces; it matters only if a future change grows a latch
+  scope.
+* **Thread confinement** — a :class:`Session` (and its transaction) is
+  used by one thread at a time; the engine binds the entering session
+  to the current thread so shared components (the dispatcher's trace
+  hook) can resolve per-session state without plumbing it through
+  every call.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional
+
+from repro.core.dispatch import CallbackDispatcher
+from repro.sql.builtins import register_builtins
+from repro.sql.catalog import Catalog, SQLFunction
+from repro.sql.plan_cache import PlanCache
+from repro.storage.buffer import BufferCache, IOStats
+from repro.storage.filestore import FileStore
+from repro.storage.lob import LobManager
+from repro.txn.events import EventManager
+from repro.txn.locks import LockManager
+
+__all__ = ["Engine"]
+
+#: engine-wide default for how long a session blocks on a lock conflict
+DEFAULT_LOCK_TIMEOUT = 10.0
+
+
+class Engine:
+    """One in-process database instance shared by many sessions."""
+
+    def __init__(self, buffer_capacity: int = 512,
+                 fetch_batch_size: int = 32,
+                 plan_cache_capacity: int = 128,
+                 lock_timeout: float = DEFAULT_LOCK_TIMEOUT):
+        self.stats = IOStats()
+        self.buffer = BufferCache(self.stats, capacity=buffer_capacity)
+        self.catalog = Catalog()
+        self.locks = LockManager(default_timeout=lock_timeout)
+        self.lobs = LobManager(self.buffer, lock_manager=self.locks)
+        self.files = FileStore(self.stats)
+        self.events = EventManager()
+        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        #: fault-isolation seam every ODCI callback routes through;
+        #: shared so routine metrics/timeouts/fault plans are engine-wide
+        self.dispatcher = CallbackDispatcher(self)
+        #: default for Session.lock_timeout
+        self.default_lock_timeout = lock_timeout
+        #: default for Session.fetch_batch_size
+        self.fetch_batch_size = fetch_batch_size
+        self._id_latch = threading.Lock()
+        self._next_txn_id = 1
+        self._next_session_id = 1
+        self._tls = threading.local()
+        register_builtins(self.catalog)
+        self.catalog.add_function(SQLFunction(
+            name="varray", fn=lambda *args: tuple(args), cost=0.0001))
+        from repro.sql.dictionary import dictionary_view
+        self.catalog.view_provider = (
+            lambda name: dictionary_view(self.catalog, name))
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+
+    def connect(self, user: str = "main") -> Any:
+        """Open a new session against this engine."""
+        from repro.sql.session import Session
+        return Session(self, user=user)
+
+    def allocate_txn_id(self) -> int:
+        """Next globally-ordered transaction id (shared by all sessions)."""
+        with self._id_latch:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            return txn_id
+
+    def allocate_session_id(self) -> int:
+        with self._id_latch:
+            session_id = self._next_session_id
+            self._next_session_id += 1
+            return session_id
+
+    # ------------------------------------------------------------------
+    # thread ↔ session binding
+    # ------------------------------------------------------------------
+
+    def bind_session(self, session: Any) -> None:
+        """Mark ``session`` as the one driving the current thread.
+
+        Sessions bind themselves on every public entry point; shared
+        components that need per-session state without an explicit
+        session argument (the dispatcher's trace hook) resolve it here.
+        """
+        self._tls.session = session
+
+    @property
+    def current_session(self) -> Optional[Any]:
+        """The session bound to the current thread (or None)."""
+        return getattr(self._tls, "session", None)
+
+    @property
+    def trace_log(self) -> Optional[List[str]]:
+        """The bound session's trace log — the dispatcher's trace sink."""
+        session = getattr(self._tls, "session", None)
+        return session.trace_log if session is not None else None

@@ -100,9 +100,13 @@ class PlanArtifact:
 class StatementPipeline:
     """Drives statements through Parse → Bind → Plan → Execute."""
 
-    def __init__(self, db: Any, cache_capacity: int = 128):
+    def __init__(self, db: Any, cache_capacity: int = 128,
+                 cache: Optional[PlanCache] = None):
         self.db = db
-        self.cache = PlanCache(capacity=cache_capacity)
+        #: the plan cache; sessions pass the engine's shared instance so
+        #: a statement compiled by one connection soft-parses on all
+        self.cache = cache if cache is not None else \
+            PlanCache(capacity=cache_capacity)
 
     # ------------------------------------------------------------------
     # stages
@@ -254,10 +258,12 @@ class StatementPipeline:
             db._check_table_privilege(db.catalog.get_table(tref.name),
                                       "select")
         txn = db.txns.current
-        if txn is not None and txn.active:
+        if (txn is not None and txn.active
+                and not getattr(db, "_suppress_table_locks", False)):
             for tref in select.tables:
                 db.locks.acquire(txn.txn_id, f"table:{tref.name.lower()}",
-                                 LockMode.SHARED)
+                                 LockMode.SHARED,
+                                 timeout=getattr(db, "lock_timeout", None))
         plan = db.planner.plan_select(select)
         tracker = ScanTracker()
         rows = Executor(db, tracker=tracker).run(plan)
@@ -337,10 +343,12 @@ class StatementPipeline:
         for table in tables:
             db._check_table_privilege(table, "select")
         txn = db.txns.current
-        if txn is not None and txn.active:
+        if (txn is not None and txn.active
+                and not getattr(db, "_suppress_table_locks", False)):
             for table in tables:
                 db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                                 LockMode.SHARED)
+                                 LockMode.SHARED,
+                                 timeout=getattr(db, "lock_timeout", None))
         tracker = ScanTracker()
         rows = Executor(db, values, tracker).run(plan)
         return Cursor(columns=plan.column_names, rows=rows, tracker=tracker)

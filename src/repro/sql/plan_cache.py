@@ -22,6 +22,7 @@ table has grown or shrunk enough to move cost estimates.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
@@ -112,9 +113,13 @@ class PlanCache:
         self._entries: "OrderedDict[Tuple[str, Tuple[str, ...]], CachedPlan]" \
             = OrderedDict()
         self.stats = PlanCacheStats()
+        #: latch: the cache is engine-wide, probed by every session; the
+        #: LRU OrderedDict and the counters mutate on every lookup
+        self._latch = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._latch:
+            return len(self._entries)
 
     # -- key helpers -----------------------------------------------------
 
@@ -133,38 +138,41 @@ class PlanCache:
         non-analyzed table changed size bucket) is dropped and counted
         as an invalidation + miss.
         """
-        self.stats.lookups += 1
-        key = self.key_for(normalized_sql, bind_signature)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if not self._is_valid(entry, catalog):
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        entry.hits += 1
-        self.stats.hits += 1
-        return entry
+        with self._latch:
+            self.stats.lookups += 1
+            key = self.key_for(normalized_sql, bind_signature)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if not self._is_valid(entry, catalog):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            return entry
 
     def store(self, normalized_sql: str, bind_signature: Tuple[str, ...],
               entry: CachedPlan) -> None:
         """Insert ``entry``, evicting the least-recently-used if full."""
         key = self.key_for(normalized_sql, bind_signature)
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        self.stats.stores += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._latch:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        return dropped
+        with self._latch:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
 
     # -- validation ------------------------------------------------------
 

@@ -1,13 +1,17 @@
-"""The database session facade.
+"""Sessions: per-connection state over a shared engine.
 
-:class:`Database` ties the substrates together and fronts the staged
-statement pipeline (:mod:`repro.sql.pipeline`).  The facade itself owns
-only cross-cutting session state — users and privileges, tracing, ODCI
-environments, and transaction control; statement processing is
+:class:`Session` fronts the staged statement pipeline
+(:mod:`repro.sql.pipeline`) for one connection.  The session owns only
+per-connection state — the open transaction, current user and
+privileges, tracing, ODCI environments, and settings such as
+``skip_unusable_indexes`` and ``lock_timeout``; everything shared
+between connections (catalog, buffer cache, plan cache, lock manager,
+dispatcher) lives in the :class:`~repro.sql.engine.Engine` and is
+reached through delegating properties.  Statement processing is
 delegated:
 
-* **Parse → Bind → Plan → Execute** with the shared plan cache lives in
-  :class:`~repro.sql.pipeline.StatementPipeline`;
+* **Parse → Bind → Plan → Execute** with the engine's shared plan cache
+  lives in :class:`~repro.sql.pipeline.StatementPipeline`;
 * **DML + implicit domain-index maintenance**
   (``ODCIIndexInsert/Update/Delete`` fan-out, §2.4.1) lives in
   :class:`~repro.sql.dml.DMLEngine`;
@@ -19,87 +23,134 @@ Transactions: DML runs inside a transaction (autocommit when none is
 open); index data written through server callbacks shares the same
 undo, so rollback restores base table and in-database index state
 together (§2.5).  Commit/rollback fire registered database events (§5).
+Transaction ids come from the engine so they are globally ordered —
+deadlock victim selection compares them across sessions.
+
+:class:`Database` is the historical single-session facade: an engine
+plus one default session, kept as a thin wrapper so existing code and
+tests run unchanged.  New multi-session code should use
+``Engine().connect()`` or :mod:`repro.dbapi`.  A session (and its
+transaction) is confined to one thread at a time; concurrency comes
+from many sessions, not from sharing one.
 """
 
 from __future__ import annotations
 
 import contextlib
+import warnings
 from typing import (
     Any, Callable, List, Optional, Sequence, Tuple, Type)
 
 from repro.core.callbacks import CallbackPhase, CallbackSession
-from repro.core.dispatch import CallbackDispatcher
 from repro.core.domain_index import DomainIndex
 from repro.core.odci import IndexMethods, ODCIEnv
 from repro.core.scan_context import Workspace
 from repro.core.stats import StatsMethods
 from repro.errors import PrivilegeError, TransactionError
 from repro.sql import ast_nodes as ast
-from repro.sql.builtins import register_builtins
-from repro.sql.catalog import Catalog, SQLFunction, TableDef
+from repro.sql.catalog import SQLFunction, TableDef
 from repro.sql.cursor import Cursor
 from repro.sql.ddl import DDLEngine
 from repro.sql.dml import DMLEngine
+from repro.sql.engine import Engine
 from repro.sql.executor import Executor
 from repro.sql.expressions import Evaluator
 from repro.sql.pipeline import StatementPipeline
 from repro.sql.plan_cache import PlanCache
 from repro.sql.planner import Planner
-from repro.storage.buffer import BufferCache, IOStats
-from repro.storage.filestore import FileStore
 from repro.storage.heap import RowId
-from repro.storage.lob import LobManager
-from repro.txn.events import DatabaseEvent, EventManager
-from repro.txn.locks import LockManager
+from repro.txn.events import DatabaseEvent
 from repro.txn.transaction import TransactionManager
 from repro.types.datatypes import DataType
 from repro.types.objects import ObjectType
 
-__all__ = ["Cursor", "Database"]
+__all__ = ["Cursor", "Database", "Session"]
 
 
-class Database:
-    """One in-process database instance (engine + catalog + framework)."""
+class Session:
+    """One connection: transaction state + settings over a shared engine."""
 
-    def __init__(self, buffer_capacity: int = 512,
-                 fetch_batch_size: int = 32):
-        self.stats = IOStats()
-        self.buffer = BufferCache(self.stats, capacity=buffer_capacity)
-        self.catalog = Catalog()
-        self.locks = LockManager()
-        self.lobs = LobManager(self.buffer, lock_manager=self.locks)
-        self.files = FileStore(self.stats)
-        self.txns = TransactionManager()
-        self.events = EventManager()
-        self.workspace = Workspace(self.stats)
-        self.fetch_batch_size = fetch_batch_size
+    def __init__(self, engine: Engine, user: str = "main"):
+        self.engine = engine
+        self.session_id = engine.allocate_session_id()
+        #: per-session transaction manager drawing engine-global txn ids
+        self.txns = TransactionManager(id_allocator=engine.allocate_txn_id)
+        #: per-session scan workspace (ODCI handles, spill accounting)
+        self.workspace = Workspace(engine.stats)
+        self.fetch_batch_size = engine.fetch_batch_size
         #: current session user; "main" is the superuser/DBA
-        self.session_user = "main"
+        self.session_user = user.lower()
         self.trace_log: Optional[List[str]] = None
-        #: fault-isolation seam every ODCI callback routes through
-        self.dispatcher = CallbackDispatcher(self)
         #: Oracle's SKIP_UNUSABLE_INDEXES session setting (default TRUE):
         #: DML skips maintenance of non-VALID domain indexes, and a
         #: maintenance failure degrades the index to UNUSABLE and retries
         #: the statement once, instead of failing it outright.
         self.skip_unusable_indexes = True
-        self.planner = Planner(self.catalog, db=self)
+        #: seconds a lock request blocks before LockTimeoutError
+        self.lock_timeout = engine.default_lock_timeout
+        #: when True, SELECTs skip table S-locks (plan-time stats reads)
+        self._suppress_table_locks = False
+        self.planner = Planner(engine.catalog, db=self)
         #: default bindless executor (planner subqueries, DML target rows)
         self.executor = Executor(self)
-        self.evaluator = Evaluator(self.catalog)
-        self.pipeline = StatementPipeline(self)
+        self.evaluator = Evaluator(engine.catalog)
+        self.pipeline = StatementPipeline(self, cache=engine.plan_cache)
         self.dml = DMLEngine(self)
         self.ddl = DDLEngine(self)
-        register_builtins(self.catalog)
-        self.catalog.add_function(SQLFunction(
-            name="varray", fn=lambda *args: tuple(args), cost=0.0001))
-        from repro.sql.dictionary import dictionary_view
-        self.catalog.view_provider = (
-            lambda name: dictionary_view(self.catalog, name))
+        engine.bind_session(self)
+
+    def _bind(self) -> None:
+        # thread ↔ session binding: lets shared components (dispatcher
+        # tracing) resolve the driving session without plumbing it through
+        self.engine.bind_session(self)
+
+    # ------------------------------------------------------------------
+    # shared substrate (delegates to the engine)
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Engine-wide I/O statistics."""
+        return self.engine.stats
+
+    @property
+    def buffer(self):
+        """The shared buffer cache."""
+        return self.engine.buffer
+
+    @property
+    def catalog(self):
+        """The shared catalog."""
+        return self.engine.catalog
+
+    @property
+    def locks(self):
+        """The shared lock manager."""
+        return self.engine.locks
+
+    @property
+    def lobs(self):
+        """The shared LOB manager."""
+        return self.engine.lobs
+
+    @property
+    def files(self):
+        """The shared external file store."""
+        return self.engine.files
+
+    @property
+    def events(self):
+        """The shared database-event manager."""
+        return self.engine.events
+
+    @property
+    def dispatcher(self):
+        """The shared ODCI callback dispatcher."""
+        return self.engine.dispatcher
 
     @property
     def plan_cache(self) -> PlanCache:
-        """The shared plan cache fronting the statement pipeline."""
+        """The engine-wide plan cache fronting the statement pipeline."""
         return self.pipeline.cache
 
     # ------------------------------------------------------------------
@@ -196,12 +247,13 @@ class Database:
     # ------------------------------------------------------------------
 
     def make_env(self, phase: CallbackPhase,
-                 domain: Optional[DomainIndex] = None) -> ODCIEnv:
-        """Build the ODCIEnv passed into cartridge routines."""
+                 domain: Optional[DomainIndex] = None,
+                 locking: bool = True) -> ODCIEnv:
+        """Build the session-scoped ODCIEnv passed into cartridge routines."""
         base_table = domain.table_name if domain is not None else None
         definer = domain.owner if domain is not None else self.session_user
         callback = CallbackSession(self, phase, base_table=base_table,
-                                   definer=definer)
+                                   definer=definer, locking=locking)
         return ODCIEnv(callback=callback, workspace=self.workspace,
                        stats=self.stats, trace=self.trace_log,
                        invoker=self.session_user, definer=definer,
@@ -214,8 +266,25 @@ class Database:
         run with the index owner's privileges (definer rights) so cost
         estimation can read the cartridge's index tables regardless of
         who issued the query.
+
+        Statistics callbacks read *without table locks*: costing runs at
+        plan time, before the statement has locked its own tables, so an
+        S-lock on an index data table here would invert the base-table →
+        index-table lock order every writer follows and manufacture
+        deadlocks with concurrent DML.  Plan-time reads are estimates;
+        they tolerate concurrent mutation by design.
         """
-        return self.make_env(CallbackPhase.SCAN, domain)
+        return self.make_env(CallbackPhase.SCAN, domain, locking=False)
+
+    @contextlib.contextmanager
+    def _no_table_locks(self):
+        """Scope in which this session's SELECTs skip table S-locks."""
+        prev = self._suppress_table_locks
+        self._suppress_table_locks = True
+        try:
+            yield
+        finally:
+            self._suppress_table_locks = prev
 
     # ------------------------------------------------------------------
     # transactions
@@ -223,6 +292,7 @@ class Database:
 
     def begin(self) -> None:
         """Open an explicit transaction."""
+        self._bind()
         self.txns.begin()
 
     def commit(self) -> None:
@@ -272,28 +342,45 @@ class Database:
         ``params`` supplies bind-variable values: a sequence for
         positional binds (``:1``, ``:2``, ...) or a mapping for named
         binds (``:rid``).  Repeated cacheable SELECT texts reuse their
-        compiled plan from the shared plan cache.
+        compiled plan from the engine's shared plan cache.
         """
+        self._bind()
         return self.pipeline.execute(sql, params)
 
     def query(self, sql: str,
               params: Optional[Any] = None) -> List[Tuple[Any, ...]]:
-        """Execute a SELECT and return all rows."""
+        """Execute a SELECT and return all rows.
+
+        .. deprecated:: use ``execute(sql, params).fetchall()`` (or
+           iterate the cursor) — one fetch protocol shared with
+           :mod:`repro.dbapi`.
+        """
+        warnings.warn("Database.query is deprecated; use "
+                      "execute(...).fetchall()", DeprecationWarning,
+                      stacklevel=2)
         return self.execute(sql, params).fetchall()
 
     def query_one(self, sql: str,
                   params: Optional[Any] = None) -> Optional[Tuple[Any, ...]]:
-        """Execute a SELECT and return the first row (or None)."""
-        rows = self.execute(sql, params).fetchall()
-        return rows[0] if rows else None
+        """Execute a SELECT and return the first row (or None).
+
+        .. deprecated:: use ``execute(sql, params).fetchone()``.
+        """
+        warnings.warn("Database.query_one is deprecated; use "
+                      "execute(...).fetchone()", DeprecationWarning,
+                      stacklevel=2)
+        with self.execute(sql, params) as cursor:
+            return cursor.fetchone()
 
     def explain(self, sql: str, params: Optional[Any] = None) -> List[str]:
         """Return the EXPLAIN plan lines (plus a plan-cache status line)."""
+        self._bind()
         return self.pipeline.explain_lines(sql, params)
 
     def execute_statement(self, statement: ast.Statement,
                           sql: str = "") -> Cursor:
         """Execute a parsed statement (entry point shared with callbacks)."""
+        self._bind()
         return self.pipeline.execute_statement(statement, sql)
 
     # ------------------------------------------------------------------
@@ -307,9 +394,31 @@ class Database:
         object instances, LOB locators) — e.g. the legacy text baseline
         writing rowids to its temporary result table.
         """
+        self._bind()
         return self.dml.insert_row(table_name, values)
 
     def insert_rows(self, table_name: str,
                     rows: Sequence[Sequence[Any]]) -> int:
         """Bulk :meth:`insert_row`; returns the number of rows inserted."""
+        self._bind()
         return self.dml.insert_rows(table_name, rows)
+
+
+class Database(Session):
+    """The single-session facade: one engine plus its default session.
+
+    Kept as a thin back-compat wrapper over the Engine/Session split —
+    every pre-split attribute (``db.catalog``, ``db.buffer``,
+    ``db.locks``, ...) still resolves, via the session's delegating
+    properties.  Multi-session code connects more sessions to the same
+    engine with :meth:`connect` (or uses :mod:`repro.dbapi`).
+    """
+
+    def __init__(self, buffer_capacity: int = 512,
+                 fetch_batch_size: int = 32):
+        super().__init__(Engine(buffer_capacity=buffer_capacity,
+                                fetch_batch_size=fetch_batch_size))
+
+    def connect(self, user: str = "main") -> Session:
+        """Open another session against this database's engine."""
+        return self.engine.connect(user)

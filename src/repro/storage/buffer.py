@@ -13,6 +13,7 @@ this module is precisely that shared buffering.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -30,6 +31,13 @@ class IOStats:
     (cache misses and dirty-page writebacks).  ``file_reads``/
     ``file_writes`` count external file-store operations, kept separate
     because the chemistry experiment (E4) contrasts the two.
+
+    Thread-safety: counters are plain ints deliberately *not* guarded by
+    a lock of their own — the hot increments happen under the buffer
+    cache / file store latches, and the remaining bare ``bump`` calls
+    from cartridges tolerate benign drift (they are diagnostics, never
+    correctness inputs).  Exact counter assertions belong in
+    single-session tests.
     """
 
     logical_reads: int = 0
@@ -99,79 +107,93 @@ class BufferCache:
         self._cache: "OrderedDict[PageKey, Page]" = OrderedDict()
         self._disk: Dict[PageKey, Page] = {}
         self._next_segment_id = 1
+        #: latch: the cache is engine-wide; even read-only access
+        #: mutates the LRU order (``move_to_end``), so every operation
+        #: takes the latch.  Individual I/O counters are *not* under a
+        #: separate lock — they are only mutated latch-held here (other
+        #: IOStats writers tolerate benign drift, see IOStats docs).
+        self._latch = threading.RLock()
 
     # -- segment management -------------------------------------------------
 
     def allocate_segment(self) -> int:
         """Return a fresh segment id for a new table/LOB."""
-        seg = self._next_segment_id
-        self._next_segment_id += 1
-        return seg
+        with self._latch:
+            seg = self._next_segment_id
+            self._next_segment_id += 1
+            return seg
 
     def drop_segment(self, segment_id: int) -> None:
         """Discard every page of a segment (DROP/TRUNCATE)."""
-        for key in [k for k in self._cache if k[0] == segment_id]:
-            del self._cache[key]
-        for key in [k for k in self._disk if k[0] == segment_id]:
-            del self._disk[key]
+        with self._latch:
+            for key in [k for k in self._cache if k[0] == segment_id]:
+                del self._cache[key]
+            for key in [k for k in self._disk if k[0] == segment_id]:
+                del self._disk[key]
 
     def segment_page_count(self, segment_id: int) -> int:
         """Number of allocated pages in a segment (cached or on disk)."""
-        keys = {k for k in self._disk if k[0] == segment_id}
-        keys |= {k for k in self._cache if k[0] == segment_id}
-        return len(keys)
+        with self._latch:
+            keys = {k for k in self._disk if k[0] == segment_id}
+            keys |= {k for k in self._cache if k[0] == segment_id}
+            return len(keys)
 
     # -- page access --------------------------------------------------------
 
     def new_page(self, segment_id: int, page_no: int) -> Page:
         """Allocate a fresh page in the cache (counts a logical write)."""
         key = (segment_id, page_no)
-        if key in self._disk or key in self._cache:
-            raise StorageError(f"page {key} already exists")
-        page = Page(page_no)
-        page.dirty = True
-        self._put(key, page)
-        self.stats.logical_writes += 1
-        return page
+        with self._latch:
+            if key in self._disk or key in self._cache:
+                raise StorageError(f"page {key} already exists")
+            page = Page(page_no)
+            page.dirty = True
+            self._put(key, page)
+            self.stats.logical_writes += 1
+            return page
 
     def get_page(self, segment_id: int, page_no: int,
                  for_write: bool = False) -> Page:
         """Fetch a page, counting logical (and physical, on miss) I/O."""
         key = (segment_id, page_no)
-        self.stats.logical_reads += 1
-        if for_write:
-            self.stats.logical_writes += 1
-        page = self._cache.get(key)
-        if page is not None:
-            self._cache.move_to_end(key)
+        with self._latch:
+            self.stats.logical_reads += 1
+            if for_write:
+                self.stats.logical_writes += 1
+            page = self._cache.get(key)
+            if page is not None:
+                self._cache.move_to_end(key)
+                if for_write:
+                    page.dirty = True
+                return page
+            page = self._disk.get(key)
+            if page is None:
+                raise StorageError(f"no such page {key}")
+            self.stats.physical_reads += 1
+            self._put(key, page)
             if for_write:
                 page.dirty = True
             return page
-        page = self._disk.get(key)
-        if page is None:
-            raise StorageError(f"no such page {key}")
-        self.stats.physical_reads += 1
-        self._put(key, page)
-        if for_write:
-            page.dirty = True
-        return page
 
     def flush(self) -> None:
         """Write back every dirty cached page (checkpoint)."""
-        for key, page in self._cache.items():
-            if page.dirty:
-                self._disk[key] = page
-                page.dirty = False
-                self.stats.physical_writes += 1
+        with self._latch:
+            for key, page in self._cache.items():
+                if page.dirty:
+                    self._disk[key] = page
+                    page.dirty = False
+                    self.stats.physical_writes += 1
 
     def clear(self) -> None:
         """Flush and empty the cache — simulates a cold restart for E4."""
-        self.flush()
-        self._cache.clear()
+        with self._latch:
+            self.flush()
+            self._cache.clear()
 
     def resident(self, segment_id: int, page_no: int) -> bool:
         """True when the page is currently cached (no I/O counted)."""
-        return (segment_id, page_no) in self._cache
+        with self._latch:
+            return (segment_id, page_no) in self._cache
 
     # -- internals ----------------------------------------------------------
 

@@ -17,6 +17,7 @@ database events (:mod:`repro.txn.events`).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.errors import StorageError
@@ -29,9 +30,17 @@ class FileStore:
     def __init__(self, stats: IOStats):
         self.stats = stats
         self._files: Dict[str, bytearray] = {}
+        #: latch: the store is engine-wide and bytearray splices are not
+        #: atomic; each operation (including the I/O counters it bumps)
+        #: runs latch-held
+        self._latch = threading.RLock()
 
     def create(self, name: str, data: bytes = b"") -> "ExternalFile":
         """Create a file (error if it exists) and return an open handle."""
+        with self._latch:
+            return self._create(name, data)
+
+    def _create(self, name: str, data: bytes) -> "ExternalFile":
         if name in self._files:
             raise StorageError(f"file {name!r} already exists")
         self._files[name] = bytearray(data)
@@ -42,36 +51,45 @@ class FileStore:
 
     def open(self, name: str, create: bool = False) -> "ExternalFile":
         """Open an existing file (or create it when ``create=True``)."""
-        if name not in self._files:
-            if not create:
-                raise StorageError(f"no such file {name!r}")
-            self._files[name] = bytearray()
-        return ExternalFile(self, name)
+        with self._latch:
+            if name not in self._files:
+                if not create:
+                    raise StorageError(f"no such file {name!r}")
+                self._files[name] = bytearray()
+            return ExternalFile(self, name)
 
     def delete(self, name: str) -> None:
         """Remove a file."""
-        if name not in self._files:
-            raise StorageError(f"no such file {name!r}")
-        del self._files[name]
+        with self._latch:
+            if name not in self._files:
+                raise StorageError(f"no such file {name!r}")
+            del self._files[name]
 
     def exists(self, name: str) -> bool:
         """True when ``name`` is a file in the store."""
-        return name in self._files
+        with self._latch:
+            return name in self._files
 
     def listdir(self) -> List[str]:
         """All file names, sorted."""
-        return sorted(self._files)
+        with self._latch:
+            return sorted(self._files)
 
     def size(self, name: str) -> int:
         """Byte length of a file."""
-        try:
-            return len(self._files[name])
-        except KeyError:
-            raise StorageError(f"no such file {name!r}") from None
+        with self._latch:
+            try:
+                return len(self._files[name])
+            except KeyError:
+                raise StorageError(f"no such file {name!r}") from None
 
     # -- raw access used by ExternalFile ---------------------------------
 
     def _read(self, name: str, offset: int, count: int) -> bytes:
+        with self._latch:
+            return self._read_locked(name, offset, count)
+
+    def _read_locked(self, name: str, offset: int, count: int) -> bytes:
         data = self._files.get(name)
         if data is None:
             raise StorageError(f"no such file {name!r}")
@@ -81,6 +99,10 @@ class FileStore:
         return out
 
     def _write(self, name: str, offset: int, payload: bytes) -> int:
+        with self._latch:
+            return self._write_locked(name, offset, payload)
+
+    def _write_locked(self, name: str, offset: int, payload: bytes) -> int:
         data = self._files.get(name)
         if data is None:
             raise StorageError(f"no such file {name!r}")
@@ -94,11 +116,12 @@ class FileStore:
         return len(payload)
 
     def _truncate(self, name: str, size: int) -> None:
-        data = self._files.get(name)
-        if data is None:
-            raise StorageError(f"no such file {name!r}")
-        del data[size:]
-        self.stats.file_writes += 1
+        with self._latch:
+            data = self._files.get(name)
+            if data is None:
+                raise StorageError(f"no such file {name!r}")
+            del data[size:]
+            self.stats.file_writes += 1
 
 
 class ExternalFile:

@@ -83,21 +83,30 @@ class Transaction:
 class TransactionManager:
     """Hands out transactions and tracks the current one.
 
-    The engine is single-session: at most one transaction is current.
-    DML with no explicit transaction runs in autocommit (a transaction is
-    opened and committed around the statement by the session layer).
+    One manager per *session*: at most one transaction is current per
+    session.  DML with no explicit transaction runs in autocommit (a
+    transaction is opened and committed around the statement by the
+    session layer).  Sessions sharing an engine pass the engine's
+    ``id_allocator`` so txn ids are globally unique and ordered —
+    deadlock victim selection ("youngest dies") compares them across
+    sessions.  A bare ``TransactionManager()`` allocates locally.
     """
 
-    def __init__(self):
+    def __init__(self, id_allocator: Optional[Callable[[], int]] = None):
         self._next_id = 1
+        self._allocate = id_allocator or self._allocate_local
         self.current: Optional[Transaction] = None
+
+    def _allocate_local(self) -> int:
+        txn_id = self._next_id
+        self._next_id += 1
+        return txn_id
 
     def begin(self) -> Transaction:
         """Start a transaction; error if one is already open."""
         if self.current is not None and self.current.active:
             raise TransactionError("a transaction is already active")
-        txn = Transaction(self._next_id)
-        self._next_id += 1
+        txn = Transaction(self._allocate())
         self.current = txn
         return txn
 

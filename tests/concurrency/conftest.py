@@ -1,0 +1,11 @@
+"""Fixtures for the multi-session concurrency suite (-m concurrency)."""
+
+import pytest
+
+from repro.sql.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    """A shared engine with a generous lock timeout for threaded tests."""
+    return Engine(lock_timeout=30.0)

@@ -1,0 +1,205 @@
+"""PEP 249 surface of :mod:`repro.dbapi`: every mandated attribute."""
+
+import datetime
+
+import pytest
+
+from repro import dbapi
+from repro.errors import DatabaseError as ReproDatabaseError
+
+pytestmark = pytest.mark.concurrency
+
+
+@pytest.fixture
+def conn():
+    connection = dbapi.connect()
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE t (id INTEGER, name VARCHAR2(40))")
+    cur.executemany("INSERT INTO t VALUES (?, ?)",
+                    [(1, "ada"), (2, "bob"), (3, "cid")])
+    connection.commit()
+    return connection
+
+
+class TestModuleInterface:
+    def test_globals(self):
+        assert dbapi.apilevel == "2.0"
+        assert dbapi.threadsafety == 1
+        assert dbapi.paramstyle == "qmark"
+        assert callable(dbapi.connect)
+
+    def test_exception_hierarchy(self):
+        assert issubclass(dbapi.Warning, Exception)
+        assert issubclass(dbapi.Error, Exception)
+        assert issubclass(dbapi.InterfaceError, dbapi.Error)
+        assert issubclass(dbapi.DatabaseError, dbapi.Error)
+        for cls in (dbapi.DataError, dbapi.OperationalError,
+                    dbapi.IntegrityError, dbapi.InternalError,
+                    dbapi.ProgrammingError, dbapi.NotSupportedError):
+            assert issubclass(cls, dbapi.DatabaseError)
+
+    def test_exceptions_exposed_on_connection(self, conn):
+        # PEP 249 optional extension: Connection.Error etc.
+        assert conn.Error is dbapi.Error
+        assert conn.ProgrammingError is dbapi.ProgrammingError
+        assert conn.OperationalError is dbapi.OperationalError
+
+    def test_type_objects_and_constructors(self):
+        assert dbapi.Date(2026, 8, 6) == datetime.date(2026, 8, 6)
+        assert dbapi.Time(12, 30, 1) == datetime.time(12, 30, 1)
+        assert dbapi.Timestamp(2026, 8, 6, 12, 30, 1) == \
+            datetime.datetime(2026, 8, 6, 12, 30, 1)
+        assert isinstance(dbapi.DateFromTicks(0), datetime.date)
+        assert isinstance(dbapi.TimeFromTicks(0), datetime.time)
+        assert isinstance(dbapi.TimestampFromTicks(0), datetime.datetime)
+        assert dbapi.Binary(b"abc") == b"abc"
+        for marker in (dbapi.STRING, dbapi.BINARY, dbapi.NUMBER,
+                       dbapi.DATETIME, dbapi.ROWID):
+            assert marker is not None
+
+
+class TestConnection:
+    def test_commit_rollback(self, conn):
+        cur = conn.cursor()
+        cur.execute("INSERT INTO t VALUES (?, ?)", (4, "dee"))
+        conn.rollback()
+        cur.execute("SELECT COUNT(*) FROM t")
+        assert cur.fetchone() == (3,)
+        cur.execute("INSERT INTO t VALUES (?, ?)", (4, "dee"))
+        conn.commit()
+        cur.execute("SELECT COUNT(*) FROM t")
+        assert cur.fetchone() == (4,)
+        conn.commit()
+
+    def test_context_manager_commits_or_rolls_back(self, conn):
+        with conn:
+            conn.execute("INSERT INTO t VALUES (?, ?)", (5, "eve"))
+        with pytest.raises(RuntimeError):
+            with conn:
+                conn.execute("DELETE FROM t")
+                raise RuntimeError("boom")
+        cur = conn.execute("SELECT COUNT(*) FROM t")
+        assert cur.fetchone() == (4,)  # insert kept, delete rolled back
+        conn.commit()
+
+    def test_close_then_use_raises_interface_error(self, conn):
+        conn.close()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.cursor()
+        with pytest.raises(dbapi.InterfaceError):
+            conn.commit()
+        conn.close()  # idempotent
+
+    def test_connect_shares_engine(self, conn):
+        other = dbapi.connect(engine=conn.engine)
+        cur = other.cursor()
+        cur.execute("SELECT name FROM t WHERE id = ?", (1,))
+        assert cur.fetchone() == ("ada",)
+        other.commit()
+        other.close()
+
+    def test_session_and_engine_exposed(self, conn):
+        assert conn.session.engine is conn.engine
+
+
+class TestCursor:
+    def test_description_and_rowcount(self, conn):
+        cur = conn.cursor()
+        assert cur.rowcount == -1
+        cur.execute("SELECT id, name FROM t")
+        assert [d[0] for d in cur.description] == ["id", "name"]
+        assert all(len(d) == 7 for d in cur.description)
+        assert cur.rowcount == -1  # queries don't report a count
+        cur.execute("UPDATE t SET name = name WHERE id = 1")
+        assert cur.description is None
+        assert cur.rowcount == 1
+        conn.rollback()
+
+    def test_fetch_interfaces(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id FROM t ORDER BY id")
+        assert cur.fetchone() == (1,)
+        assert cur.arraysize == 1
+        cur.arraysize = 2
+        assert cur.fetchmany() == [(2,), (3,)]
+        assert cur.fetchall() == []
+        assert cur.fetchone() is None
+        conn.commit()
+
+    def test_iteration(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id FROM t ORDER BY id")
+        assert [row[0] for row in cur] == [1, 2, 3]
+        conn.commit()
+
+    def test_qmark_binding_is_quote_aware(self, conn):
+        cur = conn.cursor()
+        cur.execute("INSERT INTO t VALUES (?, 'what?')", (9,))
+        cur.execute("SELECT name FROM t WHERE id = ?", (9,))
+        assert cur.fetchone() == ("what?",)
+        conn.rollback()
+
+    def test_missing_parameters_raise(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(dbapi.ProgrammingError):
+            cur.execute("SELECT id FROM t WHERE id = ?")
+        conn.rollback()
+
+    def test_executemany_accumulates_rowcount(self, conn):
+        cur = conn.cursor()
+        cur.executemany("INSERT INTO t VALUES (?, ?)",
+                        [(10, "x"), (11, "y"), (12, "z")])
+        assert cur.rowcount == 3
+        conn.rollback()
+
+    def test_setinputsizes_setoutputsize_are_noops(self, conn):
+        cur = conn.cursor()
+        cur.setinputsizes([None, 10])
+        cur.setoutputsize(64)
+        cur.setoutputsize(64, 1)
+        conn.rollback()
+
+    def test_closed_cursor_raises(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT id FROM t")
+        cur.close()
+        with pytest.raises(dbapi.InterfaceError):
+            cur.fetchone()
+        with pytest.raises(dbapi.InterfaceError):
+            cur.execute("SELECT id FROM t")
+        conn.rollback()
+
+    def test_fetch_without_result_raises(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(dbapi.InterfaceError):
+            cur.fetchall()
+
+
+class TestErrorMapping:
+    def test_syntax_error(self, conn):
+        with pytest.raises(dbapi.ProgrammingError) as excinfo:
+            conn.cursor().execute("SELEC nonsense")
+        assert isinstance(excinfo.value.__cause__, ReproDatabaseError)
+        conn.rollback()
+
+    def test_missing_table(self, conn):
+        with pytest.raises(dbapi.ProgrammingError):
+            conn.cursor().execute("SELECT * FROM nope")
+        conn.rollback()
+
+    def test_constraint_violation_maps_to_integrity_error(self, conn):
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE c (id INTEGER NOT NULL)")
+        with pytest.raises(dbapi.IntegrityError):
+            cur.execute("INSERT INTO c VALUES (?)", (None,))
+        conn.rollback()
+
+    def test_lock_timeout_maps_to_operational_error(self):
+        first = dbapi.connect(lock_timeout=0.1)
+        first.execute("CREATE TABLE r (id INTEGER)")
+        first.commit()
+        first.execute("INSERT INTO r VALUES (?)", (1,))  # txn holds X
+        second = dbapi.connect(engine=first.engine)
+        with pytest.raises(dbapi.OperationalError):
+            second.execute("INSERT INTO r VALUES (?)", (2,))
+        first.rollback()

@@ -1,0 +1,115 @@
+"""Induced two-session deadlocks, resolved by the wait-for-graph detector.
+
+Both tests build the classic cross-update deadlock: session 1 updates
+table ``a`` then ``b``; session 2 updates ``b`` then ``a``.  The victim
+must deterministically be the *youngest* transaction (session 2's, begun
+second), which receives :class:`~repro.errors.DeadlockError` — an
+ORA-00060 analogue: the statement is rolled back, the transaction stays
+open, and the application rolls back and could retry.  The survivor
+completes normally.  Nothing hangs.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError
+
+pytestmark = pytest.mark.concurrency
+
+
+def _setup(engine):
+    s1 = engine.connect()
+    s2 = engine.connect()
+    s1.execute("CREATE TABLE a (id INTEGER, v INTEGER)")
+    s1.execute("CREATE TABLE b (id INTEGER, v INTEGER)")
+    s1.execute("INSERT INTO a VALUES (1, 0)")
+    s1.execute("INSERT INTO b VALUES (1, 0)")
+    return s1, s2
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+class TestDeadlockDetection:
+    def test_closing_waiter_is_victim(self, engine):
+        """S2 issues the edge that closes the cycle → S2 self-detects."""
+        s1, s2 = _setup(engine)
+        s1.begin()
+        s1.execute("UPDATE a SET v = 1 WHERE id = 1")
+        txn1 = s1.txns.current.txn_id
+        s2.begin()
+        s2.execute("UPDATE b SET v = 2 WHERE id = 1")
+        txn2 = s2.txns.current.txn_id
+        assert txn2 > txn1  # begun second → younger → the victim
+
+        s1_done = threading.Event()
+
+        def s1_closes():
+            s1.execute("UPDATE b SET v = 1 WHERE id = 1")  # blocks on s2
+            s1_done.set()
+
+        t = threading.Thread(target=s1_closes)
+        t.start()
+        assert _wait_until(lambda: txn1 in engine.locks._waits)
+
+        with pytest.raises(DeadlockError) as excinfo:
+            s2.execute("UPDATE a SET v = 2 WHERE id = 1")  # closes the cycle
+        assert excinfo.value.victim == txn2
+        assert set(excinfo.value.cycle) == {txn1, txn2}
+
+        # ORA-00060 semantics: statement rolled back, txn still open
+        assert s2.in_transaction
+        s2.rollback()  # releases b → s1's blocked update proceeds
+        t.join(timeout=10)
+        assert s1_done.is_set()
+        s1.commit()
+
+        rows = s1.execute("SELECT v FROM a").fetchall() + \
+            s1.execute("SELECT v FROM b").fetchall()
+        assert rows == [(1,), (1,)]  # survivor's updates, victim's undone
+        assert engine.locks.stats.deadlocks == 1
+
+    def test_sleeping_waiter_doomed_by_survivor(self, engine):
+        """S1 issues the closing edge; the detector dooms the *sleeping*
+        younger waiter, which wakes up with DeadlockError."""
+        s1, s2 = _setup(engine)
+        s1.begin()
+        s1.execute("UPDATE a SET v = 1 WHERE id = 1")
+        s2.begin()
+        s2.execute("UPDATE b SET v = 2 WHERE id = 1")
+        txn2 = s2.txns.current.txn_id
+
+        caught = []
+        s2_done = threading.Event()
+
+        def s2_blocks_then_dies():
+            try:
+                s2.execute("UPDATE a SET v = 2 WHERE id = 1")
+            except DeadlockError as exc:
+                caught.append(exc)
+                s2.rollback()
+            s2_done.set()
+
+        t = threading.Thread(target=s2_blocks_then_dies)
+        t.start()
+        assert _wait_until(lambda: txn2 in engine.locks._waits)
+
+        # closing edge from the older txn: detector picks s2 (youngest)
+        s1.execute("UPDATE b SET v = 1 WHERE id = 1")
+        t.join(timeout=10)
+        assert s2_done.is_set()
+        assert len(caught) == 1 and caught[0].victim == txn2
+        s1.commit()
+
+        rows = s1.execute("SELECT v FROM a").fetchall() + \
+            s1.execute("SELECT v FROM b").fetchall()
+        assert rows == [(1,), (1,)]
+        assert engine.locks.stats.deadlocks == 1
