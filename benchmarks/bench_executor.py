@@ -1,0 +1,267 @@
+"""Executor benchmark: compiled-vs-interpreted, cold-vs-warm, batch sweep.
+
+Measures the compile-and-batch execution pipeline against the
+tree-walking interpreter on the same engine build (the
+``compile_expressions`` toggle), and emits a machine-readable
+``benchmarks/results/BENCH_executor.json`` so the perf trajectory is
+tracked across PRs.
+
+Run directly::
+
+    python benchmarks/bench_executor.py            # record: JSON + table
+    python benchmarks/bench_executor.py --smoke --check   # CI perf gate
+
+``--check`` compares *speedup ratios* (not absolute seconds, which vary
+by machine) against the committed baseline JSON and fails on a >20%
+regression; it also enforces the >= 2x floor on the filter-heavy
+full-scan case.  The same entry points run under pytest via
+:func:`test_executor_benchmark` so the suite keeps them healthy.
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+if __name__ == "__main__":  # runnable without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(os.path.dirname(
+        os.path.abspath(__file__)), "..", "src"))
+
+from repro import Database
+from repro.bench.harness import ReportTable
+from repro.bench.workloads import make_corpus
+
+REPORT_FILE = "executor.txt"
+JSON_FILE = "BENCH_executor.json"
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: several compiled-friendly predicates over one full scan — the
+#: expression-evaluation-dominated workload the compiler targets
+FILTER_SQL = ("SELECT id FROM t WHERE val < :1 AND grp LIKE 'g1%'"
+              " AND id BETWEEN :2 AND :3 AND NOT (val * 2 > 1.9)")
+
+#: regression tolerance for --check: a speedup ratio may not drop below
+#: 80% of the committed baseline's
+CHECK_TOLERANCE = 0.8
+#: acceptance floor: compiled+batched must beat the interpreter by >= 2x
+#: on the filter-heavy full scan
+FILTER_SPEEDUP_FLOOR = 2.0
+
+
+def build_scan_db(n_rows):
+    db = Database(buffer_capacity=4096)
+    db.execute("CREATE TABLE t (id INTEGER, grp VARCHAR2(8), val NUMBER)")
+    rng = random.Random(91)
+    db.insert_rows("t", [[i, f"g{i % 16}", rng.random()]
+                         for i in range(n_rows)])
+    db.execute("CREATE INDEX t_id ON t(id)")
+    db.execute("ANALYZE TABLE t COMPUTE STATISTICS")
+    return db
+
+
+def build_text_db(n_docs):
+    from repro.cartridges.text import install
+    corpus = make_corpus(n_docs, words_per_doc=40, vocabulary_size=400,
+                         seed=17)
+    db = Database(buffer_capacity=4096)
+    install(db)
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(4000))")
+    db.insert_rows("docs", [[i, d] for i, d in enumerate(corpus.documents)])
+    db.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    db.execute("ANALYZE TABLE docs COMPUTE STATISTICS")
+    return db, corpus
+
+
+def _timed(db, sql, binds, repeats, compiled=True):
+    """Warm the plan cache, then time ``repeats`` executions."""
+    db.compile_expressions = compiled
+    db.plan_cache.clear()
+    rows = db.execute(sql, binds).fetchall()
+    start = time.perf_counter()
+    for __ in range(repeats):
+        db.execute(sql, binds).fetchall()
+    return time.perf_counter() - start, len(rows)
+
+
+def bench_filter_full_scan(n_rows, repeats):
+    """Filter-heavy full scan: compiled+batched vs interpreter."""
+    db = build_scan_db(n_rows)
+    binds = [0.9, 100, n_rows - 100]
+    interpreted, n1 = _timed(db, FILTER_SQL, binds, repeats, compiled=False)
+    compiled, n2 = _timed(db, FILTER_SQL, binds, repeats, compiled=True)
+    assert n1 == n2 and n1 > 0, (n1, n2)
+    return {"interpreted_s": round(interpreted, 4),
+            "compiled_s": round(compiled, 4),
+            "rows": n1,
+            "speedup": round(interpreted / compiled, 3)}
+
+
+def bench_cold_vs_warm(n_rows, repeats):
+    """Hard parse+plan+compile each execution vs the shared cached plan.
+
+    Uses an indexed point query so per-execution work is small and the
+    plan-time cost (now including expression compilation) is what gets
+    measured; many repeats per mode keep the ratio stable.
+    """
+    db = build_scan_db(n_rows)
+    sql = "SELECT grp FROM t WHERE id = :1"
+    rounds = repeats * 20
+    db.execute(sql, [1]).fetchall()
+    start = time.perf_counter()
+    for i in range(rounds):
+        db.plan_cache.clear()
+        db.execute(sql, [(i * 37) % n_rows]).fetchall()
+    cold = time.perf_counter() - start
+    start = time.perf_counter()
+    for i in range(rounds):
+        db.execute(sql, [(i * 37) % n_rows]).fetchall()
+    warm = time.perf_counter() - start
+    return {"cold_s": round(cold, 4), "warm_s": round(warm, 4),
+            "speedup": round(cold / warm, 3)}
+
+
+def bench_domain_scan(n_docs, repeats):
+    """Text-cartridge Contains scan: compiled vs interpreted pipeline."""
+    db, corpus = build_text_db(n_docs)
+    sql = "SELECT id FROM docs WHERE Contains(body, :1)"
+    binds = [corpus.common_word(5)]
+    interpreted, n1 = _timed(db, sql, binds, repeats, compiled=False)
+    compiled, n2 = _timed(db, sql, binds, repeats, compiled=True)
+    assert n1 == n2 and n1 > 0, (n1, n2)
+    return {"interpreted_s": round(interpreted, 4),
+            "compiled_s": round(compiled, 4),
+            "rows": n1,
+            "speedup": round(interpreted / compiled, 3)}
+
+
+def bench_batch_sweep(n_docs, repeats, sizes=(8, 32, 128)):
+    """ODCIIndexFetch batch-size sweep over the same domain scan."""
+    db, corpus = build_text_db(n_docs)
+    sql = "SELECT id FROM docs WHERE Contains(body, :1)"
+    binds = [corpus.common_word(2)]
+    sweep = {}
+    for size in sizes:
+        db.fetch_batch_size = size
+        elapsed, __ = _timed(db, sql, binds, repeats, compiled=True)
+        sweep[str(size)] = round(elapsed, 4)
+    return sweep
+
+
+def run_benchmarks(smoke=False):
+    n_rows = 6000 if smoke else 20000
+    n_docs = 300 if smoke else 1000
+    repeats = 8 if smoke else 30
+    return {
+        "meta": {"n_rows": n_rows, "n_docs": n_docs, "repeats": repeats,
+                 "smoke": smoke},
+        "cases": {
+            "filter_full_scan": bench_filter_full_scan(n_rows, repeats),
+            "plan_cache": bench_cold_vs_warm(n_rows, repeats),
+            "domain_scan": bench_domain_scan(n_docs, repeats),
+            "batch_sweep": bench_batch_sweep(n_docs, repeats),
+        },
+    }
+
+
+def render_table(results):
+    cases = results["cases"]
+    table = ReportTable(
+        "executor — compiled+batched pipeline vs interpreter "
+        f"(rows={results['meta']['n_rows']}, "
+        f"repeats={results['meta']['repeats']})",
+        ["case", "baseline_s", "optimized_s", "speedup"])
+    fs = cases["filter_full_scan"]
+    table.add_row("filter-heavy full scan (interp -> compiled)",
+                  fs["interpreted_s"], fs["compiled_s"], fs["speedup"])
+    pc = cases["plan_cache"]
+    table.add_row("plan cache (cold -> warm)",
+                  pc["cold_s"], pc["warm_s"], pc["speedup"])
+    ds = cases["domain_scan"]
+    table.add_row("text domain scan (interp -> compiled)",
+                  ds["interpreted_s"], ds["compiled_s"], ds["speedup"])
+    for size, elapsed in cases["batch_sweep"].items():
+        table.add_row(f"domain scan, fetch batch {size}", elapsed, "-", "-")
+    return table
+
+
+def check_against_baseline(results, baseline_path):
+    """Ratio-based regression gate; returns a list of failure strings."""
+    failures = []
+    filter_speedup = results["cases"]["filter_full_scan"]["speedup"]
+    if filter_speedup < FILTER_SPEEDUP_FLOOR:
+        failures.append(
+            f"filter_full_scan speedup {filter_speedup} is below the "
+            f"{FILTER_SPEEDUP_FLOOR}x acceptance floor")
+    # The domain scan at smoke scale is ODCI-dispatch dominated, so its
+    # ratio is not stable across corpus sizes; gate it with an absolute
+    # "compiled must not be slower" floor instead of the baseline ratio.
+    domain_speedup = results["cases"]["domain_scan"]["speedup"]
+    if domain_speedup < 0.9:
+        failures.append(
+            f"domain_scan: compiled pipeline slower than the interpreter "
+            f"({domain_speedup}x)")
+    if not os.path.exists(baseline_path):
+        failures.append(f"no committed baseline at {baseline_path}")
+        return failures
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    for case in ("filter_full_scan", "plan_cache"):
+        base = baseline["cases"].get(case, {}).get("speedup")
+        now = results["cases"][case]["speedup"]
+        if base is None:
+            continue
+        if now < base * CHECK_TOLERANCE:
+            failures.append(
+                f"{case}: speedup regressed >20% "
+                f"(baseline {base}x, now {now}x)")
+    return failures
+
+
+def write_results(results):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, JSON_FILE)
+    with open(json_path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    render_table(results).emit(os.path.join(RESULTS_DIR, REPORT_FILE))
+    return json_path
+
+
+# -- pytest entry point (keeps the script healthy inside the suite) --------
+
+def test_executor_benchmark():
+    """Smoke-size run: results must satisfy the acceptance floor."""
+    results = run_benchmarks(smoke=True)
+    speedup = results["cases"]["filter_full_scan"]["speedup"]
+    assert speedup >= FILTER_SPEEDUP_FLOOR, (
+        f"compiled+batched only {speedup}x over the interpreter")
+    assert results["cases"]["plan_cache"]["speedup"] > 1.0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="compare speedup ratios against the committed "
+                             "baseline instead of overwriting it")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(smoke=args.smoke)
+    if args.check:
+        render_table(results).emit()
+        failures = check_against_baseline(
+            results, os.path.join(RESULTS_DIR, JSON_FILE))
+        for failure in failures:
+            print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    path = write_results(results)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

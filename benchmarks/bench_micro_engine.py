@@ -151,6 +151,34 @@ def test_micro_cold_plan_cache_point_sql(benchmark, loaded_db):
     assert rows
 
 
+def test_micro_filter_heavy_full_scan(benchmark, loaded_db):
+    """The compile-and-batch target workload: several predicates over a
+    full scan, warm plan cache (expression evaluation dominates)."""
+    sql = ("SELECT id FROM t WHERE val < :1 AND grp LIKE 'g1%'"
+           " AND id BETWEEN :2 AND :3")
+    loaded_db.query(sql, [0.9, 100, N - 100])  # warm the cache
+    rows = benchmark(lambda: loaded_db.query(sql, [0.9, 100, N - 100]))
+    assert rows
+
+
+def test_micro_domain_scan_text(benchmark):
+    """Warm domain-index scan through the batched ODCI fetch loop."""
+    from repro.bench.workloads import make_corpus
+    from repro.cartridges.text import install
+    corpus = make_corpus(400, words_per_doc=40, vocabulary_size=400, seed=17)
+    db = Database(buffer_capacity=2048)
+    install(db)
+    db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(4000))")
+    db.insert_rows("docs", [[i, d] for i, d in enumerate(corpus.documents)])
+    db.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    sql = "SELECT id FROM docs WHERE Contains(body, :1)"
+    word = corpus.common_word(5)
+    db.query(sql, [word])  # warm the cache
+    rows = benchmark(lambda: db.query(sql, [word]))
+    assert rows
+
+
 def test_micro_hash_join_sql(benchmark, loaded_db):
     loaded_db.execute("CREATE TABLE g (grp VARCHAR2(8), label VARCHAR2(8))")
     for i in range(16):

@@ -12,6 +12,7 @@ no waiting for the garbage collector.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Iterator, List, Optional, Tuple
 
 
@@ -56,14 +57,15 @@ class Cursor:
         return next(self._rows, None)
 
     def fetchmany(self, size: int = 10) -> List[Tuple[Any, ...]]:
-        """Return up to ``size`` next rows ([] once exhausted or closed)."""
-        out = []
-        for __ in range(size):
-            row = self.fetchone()
-            if row is None:
-                break
-            out.append(row)
-        return out
+        """Return up to ``size`` next rows ([] once exhausted or closed).
+
+        Drains the generator pipeline in one ``islice`` pass, so a batch
+        fetch re-enters the executor once per batch rather than once per
+        row.
+        """
+        if size <= 0:
+            return []
+        return list(islice(self._rows, size))
 
     def fetchall(self) -> List[Tuple[Any, ...]]:
         """Return all remaining rows."""

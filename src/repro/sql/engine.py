@@ -61,7 +61,8 @@ class Engine:
     def __init__(self, buffer_capacity: int = 512,
                  fetch_batch_size: int = 32,
                  plan_cache_capacity: int = 128,
-                 lock_timeout: float = DEFAULT_LOCK_TIMEOUT):
+                 lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
+                 compile_expressions: bool = True):
         self.stats = IOStats()
         self.buffer = BufferCache(self.stats, capacity=buffer_capacity)
         self.catalog = Catalog()
@@ -77,6 +78,10 @@ class Engine:
         self.default_lock_timeout = lock_timeout
         #: default for Session.fetch_batch_size
         self.fetch_batch_size = fetch_batch_size
+        #: default for Session.compile_expressions — lower row
+        #: expressions to closures at plan time (see repro.sql.compile);
+        #: off means every expression goes through the interpreter
+        self.compile_expressions = compile_expressions
         self._id_latch = threading.Lock()
         self._next_txn_id = 1
         self._next_session_id = 1

@@ -1,24 +1,38 @@
-"""The iterator executor.
+"""The batch-pipelined executor.
 
-Interprets :class:`~repro.sql.planner.QueryPlan` trees as Python
-generators over :class:`~repro.sql.expressions.RowContext`.  Everything
+Runs :class:`~repro.sql.planner.QueryPlan` trees over
+:class:`~repro.sql.expressions.RowContext` values.  Everything still
 streams: a LIMIT or a consumer that stops early never pulls the rest of
 the pipeline — which is precisely the §3.2.1 "pipelined fashion ... all
 rows that satisfy the text predicate do not have to be identified before
 the first result row can be returned" behaviour the E1 benchmark
-measures via time-to-first-row.
+measures via time-to-first-row.  The unit of streaming, however, is a
+*batch* of rows where the producer is naturally batched: full scans move
+page-at-a-time (:meth:`~repro.storage.heap.HeapTable.scan_batches`), and
+domain scans materialize each ODCIIndexFetch result — which the protocol
+already returns in batches — into one row batch.
 
-The :meth:`Executor._iter_domain_scan` method is the server side of the
-ODCI scan protocol: it builds the ODCIPredInfo/ODCIQueryInfo descriptors,
-invokes ``index_start``, re-enters ``index_fetch`` batch by batch until
-the cartridge reports the null-terminator, fetches the streamed rowids
-from the base table, and finally calls ``index_close``.
+Row expressions come pre-compiled on the plan: the planner runs
+:func:`repro.sql.compile.compile_plan` once, at plan time, so the
+closures ride the shared plan cache across sessions.  The executor
+resolves each slot through :meth:`Executor._truth_fn` /
+:meth:`Executor._value_fns`, falling back to the tree-walking
+:class:`~repro.sql.expressions.Evaluator` for any expression the
+compiler declined (per-expression, so one OperatorCall in a filter does
+not deoptimize its neighbours).
+
+The :meth:`Executor._batches_domain_scan` method is the server side of
+the ODCI scan protocol: it builds the ODCIPredInfo/ODCIQueryInfo
+descriptors, invokes ``index_start``, re-enters ``index_fetch`` batch by
+batch until the cartridge reports the null-terminator, fetches the
+streamed rowids from the base table, and finally calls ``index_close``.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, \
+    Tuple
 
 from repro.core.callbacks import CallbackPhase
 from repro.core.odci import ODCIPredInfo, ODCIQueryInfo
@@ -30,13 +44,38 @@ from repro.sql.expressions import (
     AggregateCall, Evaluator, RowContext, aggregate_key)
 from repro.types.values import NULL, is_null, sql_compare
 
+#: cap on the per-executor constant-expression memo (safety valve for
+#: the session's long-lived bindless executor)
+_CONST_CACHE_LIMIT = 1024
+
+
+def _chunked(rows: Iterable[RowContext], size: int
+             ) -> Iterator[List[RowContext]]:
+    """Regroup a row stream into batches of at most ``size`` rows."""
+    size = max(1, size)
+    batch: List[RowContext] = []
+    for ctx in rows:
+        batch.append(ctx)
+        if len(batch) >= size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+def _flatten(batches: Iterable[List[RowContext]]) -> Iterator[RowContext]:
+    for batch in batches:
+        yield from batch
+
 
 class Executor:
     """Runs query plans against the database's storage and framework.
 
     One instance is created per statement execution: ``binds`` carries
     that execution's bind-variable values (cached plans keep BindParam
-    nodes in the tree), and ``tracker`` (a
+    nodes in the tree — and compiled closures take the bind set as an
+    argument — so the shared plan is never specialized to one
+    execution's values), and ``tracker`` (a
     :class:`~repro.core.scan_context.ScanTracker`) collects closers for
     any domain-index scans opened, so an abandoned cursor can release
     them deterministically.
@@ -46,8 +85,14 @@ class Executor:
                  tracker: Optional[Any] = None):
         self.db = db
         self.catalog = db.catalog
+        self.binds = binds or {}
         self.evaluator = Evaluator(db.catalog, binds)
         self.tracker = tracker
+        self.use_compiled = getattr(db, "compile_expressions", True)
+        self.batch_size = getattr(db, "fetch_batch_size", 32)
+        #: id(expr) -> (expr, value); the expr reference keeps the id
+        #: from being recycled while the entry lives
+        self._const_cache: Dict[int, Tuple[ast.Expr, Any]] = {}
 
     # -- public entry points -----------------------------------------------
 
@@ -84,16 +129,60 @@ class Executor:
         if not isinstance(node, pl.ProjectNode):
             raise ExecutionError(f"expected projection at plan top, got "
                                  f"{node.label()}")
-        for ctx in self.iter_node(node.child):
-            yield tuple(self.evaluator.evaluate(expr, ctx)
-                        for expr, _ in node.items)
+        fns = self._value_fns(node, "items", [e for e, _ in node.items])
+        for batch in self.iter_batches(node.child):
+            for ctx in batch:
+                yield tuple(fn(ctx) for fn in fns)
+
+    # -- compiled-slot resolution ------------------------------------------
+
+    def _truth_fn(self, node: pl.PlanNode, slot: str,
+                  predicate: Optional[ast.Expr]
+                  ) -> Optional[Callable[[RowContext], bool]]:
+        """Per-row predicate callable (strict True test), or None."""
+        if predicate is None:
+            return None
+        fn = node.compiled.get(slot) if self.use_compiled else None
+        if fn is not None:
+            binds = self.binds
+            return lambda ctx: fn(ctx, binds) is True
+        evaluator = self.evaluator
+        return lambda ctx: evaluator.truth(predicate, ctx) is True
+
+    def _value_fn(self, node: pl.PlanNode, slot: str, expr: ast.Expr
+                  ) -> Callable[[RowContext], Any]:
+        """Per-row value callable for a single expression slot."""
+        fn = node.compiled.get(slot) if self.use_compiled else None
+        if fn is not None:
+            binds = self.binds
+            return lambda ctx: fn(ctx, binds)
+        evaluator = self.evaluator
+        return lambda ctx: evaluator.evaluate(expr, ctx)
+
+    def _value_fns(self, node: pl.PlanNode, slot: str,
+                   exprs: List[ast.Expr]
+                   ) -> List[Callable[[RowContext], Any]]:
+        """Per-row value callables for a list slot, with per-index
+        interpreter fallback where compilation declined."""
+        compiled = node.compiled.get(slot) if self.use_compiled else None
+        evaluator = self.evaluator
+        binds = self.binds
+        fns: List[Callable[[RowContext], Any]] = []
+        for i, expr in enumerate(exprs):
+            fn = compiled[i] if compiled is not None and i < len(compiled) \
+                else None
+            if fn is not None:
+                fns.append(lambda ctx, f=fn: f(ctx, binds))
+            else:
+                fns.append(lambda ctx, e=expr: evaluator.evaluate(e, ctx))
+        return fns
 
     # -- node dispatch ----------------------------------------------------------
 
     def iter_node(self, node: pl.PlanNode) -> Iterator[RowContext]:
         """Yield row contexts for any relational plan node."""
-        if isinstance(node, pl.FullScan):
-            return self._iter_full_scan(node)
+        if isinstance(node, (pl.FullScan, pl.DomainScan, pl.FilterNode)):
+            return _flatten(self.iter_batches(node))
         if isinstance(node, pl.BTreeScan):
             return self._iter_btree_scan(node)
         if isinstance(node, pl.HashScan):
@@ -102,10 +191,6 @@ class Executor:
             return self._iter_bitmap_scan(node)
         if isinstance(node, pl.IOTPrefixScan):
             return self._iter_iot_prefix_scan(node)
-        if isinstance(node, pl.DomainScan):
-            return self._iter_domain_scan(node)
-        if isinstance(node, pl.FilterNode):
-            return self._iter_filter(node)
         if isinstance(node, pl.NestedLoopJoin):
             return self._iter_nl_join(node)
         if isinstance(node, pl.IndexedNLJoin):
@@ -120,33 +205,90 @@ class Executor:
             return self._iter_group_by(node)
         raise ExecutionError(f"cannot execute plan node {node.label()}")
 
+    def iter_batches(self, node: pl.PlanNode
+                     ) -> Iterator[List[RowContext]]:
+        """Yield row contexts in batches.
+
+        Scans whose producers are naturally batched (heap pages, ODCI
+        fetch results) keep their batch shape through the pipeline;
+        other nodes are regrouped into ``fetch_batch_size`` chunks so
+        batch consumers (filter, project) always run their tight loop.
+        """
+        if isinstance(node, pl.FullScan):
+            return self._batches_full_scan(node)
+        if isinstance(node, pl.DomainScan):
+            return self._batches_domain_scan(node)
+        if isinstance(node, pl.FilterNode):
+            return self._batches_filter(node)
+        return _chunked(self.iter_node(node), self.batch_size)
+
     # -- scans ---------------------------------------------------------------
 
     def _make_ctx(self, table: TableDef, binding: str, rowid: Any,
                   row: List[Any]) -> RowContext:
-        values: Dict[Tuple[str, str], Any] = {}
-        for col, value in zip(table.columns, row):
-            values[(binding, col.name.lower())] = value
-        ctx = RowContext(values=values)
-        ctx.rowids[binding] = rowid
-        ctx.values[(binding, "rowid")] = rowid
-        return ctx
+        return self._ctx_factory(table, binding)(rowid, row)
+
+    def _ctx_factory(self, table: TableDef, binding: str
+                     ) -> Callable[[Any, List[Any]], RowContext]:
+        """A (rowid, row) -> RowContext constructor with the column keys
+        precomputed once per scan instead of once per row."""
+        cols = [(binding, col.name.lower()) for col in table.columns]
+        rowid_key = (binding, "rowid")
+
+        def make(rowid: Any, row: List[Any]) -> RowContext:
+            values = dict(zip(cols, row))
+            values[rowid_key] = rowid
+            ctx = RowContext(values=values)
+            ctx.rowids[binding] = rowid
+            return ctx
+        return make
 
     def _passes(self, predicate: Optional[ast.Expr], ctx: RowContext) -> bool:
         if predicate is None:
             return True
         return self.evaluator.truth(predicate, ctx) is True
 
-    def _iter_full_scan(self, node: pl.FullScan) -> Iterator[RowContext]:
-        for rowid, row in node.table.storage.scan():
-            ctx = self._make_ctx(node.table, node.binding_name, rowid, row)
-            if self._passes(node.filter, ctx):
-                yield ctx
+    def _batches_full_scan(self, node: pl.FullScan
+                           ) -> Iterator[List[RowContext]]:
+        make = self._ctx_factory(node.table, node.binding_name)
+        passes = self._truth_fn(node, "filter", node.filter)
+        storage = node.table.storage
+        scan_batches = getattr(storage, "scan_batches", None)
+        if scan_batches is not None:
+            pages = scan_batches()
+        else:
+            pages = _chunked(storage.scan(), self.batch_size)
+        if passes is None:
+            for page in pages:
+                yield [make(rowid, row) for rowid, row in page]
+            return
+        for page in pages:
+            batch = []
+            for rowid, row in page:
+                ctx = make(rowid, row)
+                if passes(ctx):
+                    batch.append(ctx)
+            if batch:
+                yield batch
 
     def _const(self, expr: Optional[ast.Expr]) -> Any:
+        """Evaluate a constant expression, once per statement.
+
+        The same expression object often appears at several call sites
+        of one plan (an equality sarg feeds both the low and high bound
+        of a B-tree scan); memoize by object identity, holding the expr
+        so its id cannot be recycled while the entry lives.
+        """
         if expr is None:
             return None
-        return self.evaluator.evaluate(expr, RowContext())
+        hit = self._const_cache.get(id(expr))
+        if hit is not None and hit[0] is expr:
+            return hit[1]
+        value = self.evaluator.evaluate(expr, RowContext())
+        if len(self._const_cache) >= _CONST_CACHE_LIMIT:
+            self._const_cache.clear()
+        self._const_cache[id(expr)] = (expr, value)
+        return value
 
     def _fetch_ctx(self, node, rowid: Any) -> Optional[RowContext]:
         row = node.table.storage.fetch_or_none(rowid)
@@ -159,39 +301,60 @@ class Executor:
         key = self._const(node.key)
         if is_null(key):
             return
+        make = self._ctx_factory(node.table, node.binding_name)
+        passes = self._truth_fn(node, "filter", node.filter)
         for rowid, row in node.table.storage.key_prefix_scan([key]):
-            ctx = self._make_ctx(node.table, node.binding_name, rowid, row)
-            if self._passes(node.filter, ctx):
+            ctx = make(rowid, row)
+            if passes is None or passes(ctx):
                 yield ctx
 
     def _iter_btree_scan(self, node: pl.BTreeScan) -> Iterator[RowContext]:
         low = self._const(node.low)
         high = self._const(node.high)
         structure = node.index.structure
+        make = self._ctx_factory(node.table, node.binding_name)
+        passes = self._truth_fn(node, "filter", node.filter)
+        fetch = node.table.storage.fetch_or_none
         for __, rowid in structure.range_scan(low, high,
                                               node.low_inclusive,
                                               node.high_inclusive):
-            ctx = self._fetch_ctx(node, rowid)
-            if ctx is not None and self._passes(node.filter, ctx):
+            row = fetch(rowid)
+            if row is None:
+                continue
+            ctx = make(rowid, row)
+            if passes is None or passes(ctx):
                 yield ctx
 
     def _iter_hash_scan(self, node: pl.HashScan) -> Iterator[RowContext]:
         key = self._const(node.key)
+        make = self._ctx_factory(node.table, node.binding_name)
+        passes = self._truth_fn(node, "filter", node.filter)
+        fetch = node.table.storage.fetch_or_none
         for rowid in node.index.structure.search(key):
-            ctx = self._fetch_ctx(node, rowid)
-            if ctx is not None and self._passes(node.filter, ctx):
+            row = fetch(rowid)
+            if row is None:
+                continue
+            ctx = make(rowid, row)
+            if passes is None or passes(ctx):
                 yield ctx
 
     def _iter_bitmap_scan(self, node: pl.BitmapScan) -> Iterator[RowContext]:
         keys = [self._const(k) for k in node.keys]
+        make = self._ctx_factory(node.table, node.binding_name)
+        passes = self._truth_fn(node, "filter", node.filter)
+        fetch = node.table.storage.fetch_or_none
         for rowid in node.index.structure.search_any_of(keys):
-            ctx = self._fetch_ctx(node, rowid)
-            if ctx is not None and self._passes(node.filter, ctx):
+            row = fetch(rowid)
+            if row is None:
+                continue
+            ctx = make(rowid, row)
+            if passes is None or passes(ctx):
                 yield ctx
 
     # -- the domain index scan (ODCI orchestration) ----------------------------
 
-    def _iter_domain_scan(self, node: pl.DomainScan) -> Iterator[RowContext]:
+    def _batches_domain_scan(self, node: pl.DomainScan
+                             ) -> Iterator[List[RowContext]]:
         domain = node.index.domain
         if domain is None or domain.methods is None:
             raise ODCIError("DomainScan", f"index {node.index.name} has no "
@@ -222,7 +385,11 @@ class Executor:
             index_name=node.index.name, phase="scan")
         closer = self._make_closer(methods, context, env,
                                    index_name=node.index.name)
-        batch_size = self.db.fetch_batch_size
+        batch_size = self.batch_size
+        make = self._ctx_factory(node.table, node.binding_name)
+        passes = self._truth_fn(node, "filter", node.filter)
+        fetch = node.table.storage.fetch_or_none
+        label = call.label
         try:
             while True:
                 env.trace(f"exec:ODCIIndexFetch(n={batch_size})")
@@ -231,14 +398,19 @@ class Executor:
                     context, batch_size, env,
                     index_name=node.index.name, phase="scan")
                 aux = result.aux or []
+                # materialize the whole fetch batch into a row batch
+                batch = []
                 for i, rowid in enumerate(result.rowids):
-                    ctx = self._fetch_ctx(node, rowid)
-                    if ctx is None:
+                    row = fetch(rowid)
+                    if row is None:
                         continue
-                    if call.label is not None and i < len(aux):
-                        ctx.aux[call.label] = aux[i]
-                    if self._passes(node.filter, ctx):
-                        yield ctx
+                    ctx = make(rowid, row)
+                    if label is not None and i < len(aux):
+                        ctx.aux[label] = aux[i]
+                    if passes is None or passes(ctx):
+                        batch.append(ctx)
+                if batch:
+                    yield batch
                 if result.done or not result.rowids:
                     break
         finally:
@@ -266,36 +438,47 @@ class Executor:
 
     # -- composite nodes ------------------------------------------------------
 
-    def _iter_filter(self, node: pl.FilterNode) -> Iterator[RowContext]:
-        for ctx in self.iter_node(node.child):
-            if self._passes(node.predicate, ctx):
-                yield ctx
+    def _batches_filter(self, node: pl.FilterNode
+                        ) -> Iterator[List[RowContext]]:
+        passes = self._truth_fn(node, "predicate", node.predicate)
+        if passes is None:
+            yield from self.iter_batches(node.child)
+            return
+        for batch in self.iter_batches(node.child):
+            out = [ctx for ctx in batch if passes(ctx)]
+            if out:
+                yield out
 
     def _iter_nl_join(self, node: pl.NestedLoopJoin) -> Iterator[RowContext]:
         inner_rows = list(self.iter_node(node.inner))
+        accepts = self._truth_fn(node, "condition", node.condition)
         for outer_ctx in self.iter_node(node.outer):
             for inner_ctx in inner_rows:
                 merged = outer_ctx.merged_with(inner_ctx)
-                if self._passes(node.condition, merged):
+                if accepts is None or accepts(merged):
                     yield merged
 
     def _iter_indexed_nl_join(self, node: pl.IndexedNLJoin
                               ) -> Iterator[RowContext]:
         structure = node.index.structure
+        outer_key = self._value_fn(node, "outer_key", node.outer_key)
+        inner_passes = self._truth_fn(node, "inner_filter", node.inner_filter)
+        accepts = self._truth_fn(node, "condition", node.condition)
+        make = self._ctx_factory(node.inner_table, node.inner_binding)
+        fetch = node.inner_table.storage.fetch_or_none
         for outer_ctx in self.iter_node(node.outer):
-            key = self.evaluator.evaluate(node.outer_key, outer_ctx)
+            key = outer_key(outer_ctx)
             if is_null(key):
                 continue
             for rowid in structure.search(key):
-                row = node.inner_table.storage.fetch_or_none(rowid)
+                row = fetch(rowid)
                 if row is None:
                     continue
-                inner_ctx = self._make_ctx(node.inner_table,
-                                           node.inner_binding, rowid, row)
-                if not self._passes(node.inner_filter, inner_ctx):
+                inner_ctx = make(rowid, row)
+                if inner_passes is not None and not inner_passes(inner_ctx):
                     continue
                 merged = outer_ctx.merged_with(inner_ctx)
-                if self._passes(node.condition, merged):
+                if accepts is None or accepts(merged):
                     yield merged
 
     def _iter_domain_nl_join(self, node: pl.DomainNLJoin
@@ -314,13 +497,17 @@ class Executor:
         value_args = call.args[1:]
         if call.label is not None:
             value_args = value_args[:-1]
+        arg_fns = self._value_fns(node, "value_args", value_args)
+        inner_passes = self._truth_fn(node, "inner_filter", node.inner_filter)
+        accepts = self._truth_fn(node, "condition", node.condition)
+        make = self._ctx_factory(node.inner_table, node.inner_binding)
+        fetch = node.inner_table.storage.fetch_or_none
         env = self.db.make_env(CallbackPhase.SCAN, domain)
         ia = domain.index_info()
         methods = domain.methods
-        batch_size = self.db.fetch_batch_size
+        batch_size = self.batch_size
         for outer_ctx in self.iter_node(node.outer):
-            evaluated = tuple(self.evaluator.evaluate(a, outer_ctx)
-                              for a in value_args)
+            evaluated = tuple(fn(outer_ctx) for fn in arg_fns)
             pred_info = ODCIPredInfo(
                 operator_name=call.operator.name,
                 operator_args=evaluated,
@@ -345,17 +532,17 @@ class Executor:
                         index_name=node.index.name, phase="scan")
                     aux = result.aux or []
                     for i, rowid in enumerate(result.rowids):
-                        row = node.inner_table.storage.fetch_or_none(rowid)
+                        row = fetch(rowid)
                         if row is None:
                             continue
-                        inner_ctx = self._make_ctx(
-                            node.inner_table, node.inner_binding, rowid, row)
+                        inner_ctx = make(rowid, row)
                         if call.label is not None and i < len(aux):
                             inner_ctx.aux[call.label] = aux[i]
-                        if not self._passes(node.inner_filter, inner_ctx):
+                        if inner_passes is not None \
+                                and not inner_passes(inner_ctx):
                             continue
                         merged = outer_ctx.merged_with(inner_ctx)
-                        if self._passes(node.condition, merged):
+                        if accepts is None or accepts(merged):
                             yield merged
                     if result.done or not result.rowids:
                         break
@@ -363,31 +550,36 @@ class Executor:
                 closer()
 
     def _iter_hash_join(self, node: pl.HashJoin) -> Iterator[RowContext]:
+        left_keys = self._value_fns(node, "left_keys", node.left_keys)
+        right_keys = self._value_fns(node, "right_keys", node.right_keys)
+        accepts = self._truth_fn(node, "condition", node.condition)
         build: Dict[Tuple[Any, ...], List[RowContext]] = {}
         for right_ctx in self.iter_node(node.right):
-            key = tuple(self.evaluator.evaluate(k, right_ctx)
-                        for k in node.right_keys)
+            key = tuple(fn(right_ctx) for fn in right_keys)
             if any(is_null(v) for v in key):
                 continue
             build.setdefault(key, []).append(right_ctx)
         for left_ctx in self.iter_node(node.left):
-            key = tuple(self.evaluator.evaluate(k, left_ctx)
-                        for k in node.left_keys)
+            key = tuple(fn(left_ctx) for fn in left_keys)
             if any(is_null(v) for v in key):
                 continue
             for right_ctx in build.get(key, ()):
                 merged = left_ctx.merged_with(right_ctx)
-                if self._passes(node.condition, merged):
+                if accepts is None or accepts(merged):
                     yield merged
 
     def _iter_sort(self, node: pl.SortNode) -> Iterator[RowContext]:
-        rows = list(self.iter_node(node.child))
-        items = node.order_items
+        """Decorate–sort–undecorate: ORDER BY expressions are evaluated
+        once per row, not once per comparison."""
+        key_fns = self._value_fns(node, "keys",
+                                  [item.expr for item in node.order_items])
+        descending = [item.descending for item in node.order_items]
+        decorated = [(tuple(fn(ctx) for fn in key_fns), ctx)
+                     for ctx in self.iter_node(node.child)]
 
-        def compare(a: RowContext, b: RowContext) -> int:
-            for item in items:
-                va = self.evaluator.evaluate(item.expr, a)
-                vb = self.evaluator.evaluate(item.expr, b)
+        def compare(a: Tuple[Tuple[Any, ...], RowContext],
+                    b: Tuple[Tuple[Any, ...], RowContext]) -> int:
+            for va, vb, desc in zip(a[0], b[0], descending):
                 if is_null(va) and is_null(vb):
                     continue
                 if is_null(va):
@@ -397,40 +589,58 @@ class Executor:
                 cmp = sql_compare(va, vb)
                 if is_null(cmp) or cmp == 0:
                     continue
-                return -cmp if item.descending else cmp
+                return -cmp if desc else cmp
             return 0
 
-        rows.sort(key=functools.cmp_to_key(compare))
-        return iter(rows)
+        decorated.sort(key=functools.cmp_to_key(compare))
+        return iter([ctx for __, ctx in decorated])
 
     def _iter_group_by(self, node: pl.GroupByNode) -> Iterator[RowContext]:
         groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
         order: List[Tuple[Any, ...]] = []
         aggregates = node.aggregates
+        group_fns = self._value_fns(node, "group_exprs", node.group_exprs)
+        having = self._truth_fn(node, "having", node.having)
+        agg_compiled = node.compiled.get("agg_args") \
+            if self.use_compiled else None
+        evaluator = self.evaluator
+        binds = self.binds
+        arg_fns: List[Optional[Callable[[RowContext], Any]]] = []
+        for agg in aggregates:
+            if agg.arg is None:
+                arg_fns.append(None)
+                continue
+            fn = (agg_compiled or {}).get(aggregate_key(agg))
+            if fn is not None:
+                arg_fns.append(lambda ctx, f=fn: f(ctx, binds))
+            else:
+                arg_fns.append(
+                    lambda ctx, e=agg.arg: evaluator.evaluate(e, ctx))
 
         for ctx in self.iter_node(node.child):
             key = tuple(
                 ("\x00NULL" if is_null(v) else v)
-                for v in (self.evaluator.evaluate(e, ctx)
-                          for e in node.group_exprs))
+                for v in (fn(ctx) for fn in group_fns))
             try:
                 hash(key)
             except TypeError:
                 key = tuple(repr(k) for k in key)
             state = groups.get(key)
             if state is None:
-                state = {"ctx": ctx, "accs": [_Accumulator(a) for a in aggregates]}
+                state = {"ctx": ctx,
+                         "accs": [_Accumulator(a, fn)
+                                  for a, fn in zip(aggregates, arg_fns)]}
                 groups[key] = state
                 order.append(key)
             for acc in state["accs"]:
-                acc.add(self.evaluator, ctx)
+                acc.add(ctx)
 
         if not groups and not node.group_exprs:
             # global aggregate over an empty input still yields one row
             empty = RowContext()
             for agg in aggregates:
                 empty.agg[aggregate_key(agg)] = _Accumulator(agg).result()
-            if node.having is None or self._passes(node.having, empty):
+            if having is None or having(empty):
                 yield empty
             return
 
@@ -439,27 +649,32 @@ class Executor:
             out: RowContext = state["ctx"]
             for agg, acc in zip(aggregates, state["accs"]):
                 out.agg[aggregate_key(agg)] = acc.result()
-            if node.having is None or self._passes(node.having, out):
+            if having is None or having(out):
                 yield out
 
 
 class _Accumulator:
-    """Streaming state for one aggregate call."""
+    """Streaming state for one aggregate call.
 
-    def __init__(self, call: AggregateCall):
+    ``arg_fn`` is the (possibly compiled) per-row argument callable;
+    None for COUNT(*)."""
+
+    def __init__(self, call: AggregateCall,
+                 arg_fn: Optional[Callable[[RowContext], Any]] = None):
         self.call = call
+        self.arg_fn = arg_fn
         self.count = 0
         self.total: Any = 0
         self.min_value: Any = None
         self.max_value: Any = None
         self.distinct_seen = set() if call.distinct else None
 
-    def add(self, evaluator: Evaluator, ctx: RowContext) -> None:
+    def add(self, ctx: RowContext) -> None:
         call = self.call
         if call.arg is None:  # COUNT(*)
             self.count += 1
             return
-        value = evaluator.evaluate(call.arg, ctx)
+        value = self.arg_fn(ctx)
         if is_null(value):
             return
         if self.distinct_seen is not None:

@@ -26,7 +26,8 @@ from repro.types.datatypes import (
     ANY, BOOLEAN, DataType, INTEGER, NUMBER, VARCHAR2)
 from repro.types.objects import ObjectValue
 from repro.types.values import (
-    NULL, is_null, sql_and, sql_compare, sql_eq, sql_like, sql_not, sql_or)
+    NULL, is_null, sql_and, sql_compare, sql_eq, sql_like, sql_not, sql_or,
+    sql_truth)
 
 AGGREGATE_NAMES = frozenset({"count", "sum", "avg", "min", "max"})
 
@@ -402,14 +403,7 @@ class Evaluator:
         paper's relaxed ``Contains(...)`` notation for
         ``Contains(...) = 1``.
         """
-        value = self.evaluate(expr, ctx)
-        if is_null(value):
-            return NULL
-        if isinstance(value, bool):
-            return value
-        if isinstance(value, (int, float)):
-            return value != 0
-        return bool(value)
+        return sql_truth(self.evaluate(expr, ctx))
 
     # -- node kinds ----------------------------------------------------------
 

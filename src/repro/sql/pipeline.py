@@ -328,7 +328,8 @@ class StatementPipeline:
             if not table.stats.analyzed)
         return CachedPlan(plan=plan, catalog_version=catalog.version,
                           table_sig=table_sig,
-                          bind_names=parsed.bind_names, sql=parsed.sql)
+                          bind_names=parsed.bind_names, sql=parsed.sql,
+                          compiled_nodes=getattr(plan, "compiled_nodes", 0))
 
     @staticmethod
     def _require_binds(parsed: ParseArtifact, bound: BindArtifact) -> None:

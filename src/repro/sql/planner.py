@@ -15,7 +15,7 @@ per-call cost of registered functions are expressed in the same unit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.odci import ODCIPredInfo
 from repro.errors import CatalogError, DatabaseError, ExecutionError
@@ -63,6 +63,12 @@ class PlanNode:
     #: functional-evaluation fallback notice when a matching domain
     #: index was skipped because it is not VALID
     annotations: List[str] = field(default_factory=list, init=False)
+    #: compiled expression closures keyed by slot name, filled by
+    #: :func:`repro.sql.compile.compile_plan` (None = interpreter fallback)
+    compiled: Dict[str, Any] = field(default_factory=dict, init=False)
+    #: "COMPILED" when every row expression on this node compiled,
+    #: "INTERPRETED" when any fell back, None when the node has none
+    exec_mode: Optional[str] = field(default=None, init=False)
 
     def label(self) -> str:
         """One-line description used by EXPLAIN."""
@@ -73,8 +79,9 @@ class PlanNode:
 
     def explain(self, depth: int = 0) -> List[str]:
         """Indented EXPLAIN lines for this subtree."""
+        mode = f" [{self.exec_mode}]" if self.exec_mode else ""
         line = (f"{'  ' * depth}{self.label()} "
-                f"(rows={self.est_rows:.0f} cost={self.est_cost:.2f})")
+                f"(rows={self.est_rows:.0f} cost={self.est_cost:.2f}){mode}")
         lines = [line]
         for note in self.annotations:
             lines.append(f"{'  ' * (depth + 1)}{note}")
@@ -329,6 +336,9 @@ class QueryPlan:
     root: PlanNode
     column_names: List[str]
     scope: Scope
+    #: number of plan nodes whose row expressions all compiled to
+    #: closures (see :mod:`repro.sql.compile`)
+    compiled_nodes: int = 0
 
     def explain(self) -> List[str]:
         return self.root.explain()
@@ -628,6 +638,11 @@ class Planner:
 
         plan = QueryPlan(root=root, column_names=[n for _, n in items],
                          scope=scope)
+        # lower row expressions to closures once, at plan time, so the
+        # artifacts ride the shared plan cache across sessions
+        if getattr(self.db, "compile_expressions", True):
+            from repro.sql.compile import compile_plan
+            plan.compiled_nodes = compile_plan(plan, self.catalog)
         self._peeked_binds = {}
         return plan
 

@@ -117,6 +117,22 @@ class HeapTable:
                 if row is not None:
                     yield RowId(self.segment_id, page_no, slot), row
 
+    def scan_batches(self) -> Iterator[List[Tuple[RowId, List[Any]]]]:
+        """Full scan, one page per batch.
+
+        The batched executor pipeline consumes pages whole, so the
+        buffer cache is latched once per page instead of once per row;
+        empty pages produce no batch.
+        """
+        segment_id = self.segment_id
+        for page_no in range(self._page_count):
+            page = self.buffer.get_page(segment_id, page_no)
+            batch = [(RowId(segment_id, page_no, slot), row)
+                     for slot, row in enumerate(page.slots)
+                     if row is not None]
+            if batch:
+                yield batch
+
     # -- statistics -------------------------------------------------------
 
     @property

@@ -111,6 +111,24 @@ def sql_not(value: TriBool) -> TriBool:
     return not value
 
 
+def sql_truth(value: Any) -> TriBool:
+    """Predicate truth of a SQL value (TRUE/FALSE/NULL).
+
+    A number in boolean position is true when non-zero — the paper's
+    relaxed ``Contains(...)`` notation for ``Contains(...) = 1``.  The
+    single definition is shared by the interpreter
+    (:meth:`~repro.sql.expressions.Evaluator.truth`) and the expression
+    compiler (:mod:`repro.sql.compile`) so both paths agree.
+    """
+    if is_null(value):
+        return NULL
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)
+
+
 def sql_like(value: Any, pattern: Any) -> TriBool:
     """SQL LIKE with ``%`` (any run) and ``_`` (single char) wildcards."""
     if is_null(value) or is_null(pattern):
