@@ -242,6 +242,39 @@ class ChemIndexMethods(IndexMethods):
                      old_values: Sequence[Any], env: ODCIEnv) -> None:
         self._index_file(ia, env).tombstone(rowid)
 
+    # -- array maintenance --------------------------------------------------
+
+    def index_insert_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        """Fingerprint every molecule, then OR the records in one append."""
+        records: List[Record] = []
+        for rowid, new_values in entries:
+            text = new_values[0]
+            if is_null(text):
+                continue
+            records.append(self._record_for(rowid, parse_smiles(str(text))))
+        if records:
+            self._index_file(ia, env).append_many(records)
+
+    def index_delete_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        index_file = self._index_file(ia, env)
+        for rowid, __ in entries:
+            index_file.tombstone(rowid)
+
+    def index_update_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        index_file = self._index_file(ia, env)
+        records: List[Record] = []
+        for rowid, __, new_values in entries:
+            index_file.tombstone(rowid)
+            text = new_values[0]
+            if is_null(text):
+                continue
+            records.append(self._record_for(rowid, parse_smiles(str(text))))
+        if records:
+            index_file.append_many(records)
+
     # -- scans -----------------------------------------------------------------------
 
     def index_start(self, ia: ODCIIndexInfo, op_info: ODCIPredInfo,

@@ -143,6 +143,43 @@ class SpatialIndexMethods(IndexMethods):
         env.callback.execute(
             f"DELETE FROM {_tiles_table(ia)} WHERE rid = :1", [rowid])
 
+    # -- array maintenance --------------------------------------------------
+
+    def index_insert_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        """Tessellate every new geometry, then insert all tiles at once."""
+        tile_rows: List[List[Any]] = []
+        for rowid, new_values in entries:
+            geometry = new_values[0]
+            if is_null(geometry):
+                continue
+            for tile in tessellate(geometry):
+                tile_rows.append([rowid, tile.grpcode, tile.code,
+                                  tile.maxcode])
+        if tile_rows:
+            env.callback.insert_rows(_tiles_table(ia), tile_rows)
+
+    def index_delete_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        tiles = _tiles_table(ia)
+        for rowid, __ in entries:
+            env.callback.execute(
+                f"DELETE FROM {tiles} WHERE rid = :1", [rowid])
+
+    def index_update_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        tiles = _tiles_table(ia)
+        for rowid, __, new_values in entries:
+            env.callback.execute(
+                f"DELETE FROM {tiles} WHERE rid = :1", [rowid])
+            geometry = new_values[0]
+            if is_null(geometry):
+                continue
+            rows = [[rowid, t.grpcode, t.code, t.maxcode]
+                    for t in tessellate(geometry)]
+            if rows:
+                env.callback.insert_rows(tiles, rows)
+
     # -- scan --------------------------------------------------------------------
 
     def index_start(self, ia: ODCIIndexInfo, op_info: ODCIPredInfo,
@@ -235,15 +272,24 @@ class RtreeIndexMethods(IndexMethods):
         column = ia.column_names[0]
         rows = env.callback.query(
             f"SELECT rowid, {column} FROM {ia.table_name}")
+        pairs: List[Any] = []
+        rect_of: Dict[Any, Rect] = {}
+        for rid, geometry in rows:
+            if is_null(geometry):
+                continue
+            rect = Rect.from_box(bounding_box(geometry))
+            pairs.append((rect, rid))
+            rect_of[rid] = rect
         with self._latch:
             self._tree = RTree(max_entries=8)
-            self._rect_of = {}
-            for rid, geometry in rows:
-                if is_null(geometry):
-                    continue
-                rect = Rect.from_box(bounding_box(geometry))
-                self._tree.insert(rect, rid)
-                self._rect_of[rid] = rect
+            self._rect_of = rect_of
+            if getattr(env, "bulk_build", True):
+                # Sort-Tile-Recursive packing: one sorted pass per level
+                # instead of a quadratic-split descent per geometry
+                self._tree.bulk_load(pairs)
+            else:
+                for rect, rid in pairs:
+                    self._tree.insert(rect, rid)
 
     def index_drop(self, ia: ODCIIndexInfo, env: ODCIEnv) -> None:
         with self._latch:
@@ -271,6 +317,44 @@ class RtreeIndexMethods(IndexMethods):
             rect = self._rect_of.pop(rowid, None)
             if rect is not None:
                 self._tree.delete(rect, rowid)
+
+    # -- array maintenance --------------------------------------------------
+
+    def index_insert_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        """Compute every bbox outside the latch, insert under one hold."""
+        prepared = []
+        for rowid, new_values in entries:
+            geometry = new_values[0]
+            if is_null(geometry):
+                continue
+            prepared.append((rowid, Rect.from_box(bounding_box(geometry))))
+        with self._latch:
+            for rowid, rect in prepared:
+                self._tree.insert(rect, rowid)
+                self._rect_of[rowid] = rect
+
+    def index_delete_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        with self._latch:
+            for rowid, __ in entries:
+                rect = self._rect_of.pop(rowid, None)
+                if rect is not None:
+                    self._tree.delete(rect, rowid)
+
+    def index_update_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        with self._latch:
+            for rowid, __, new_values in entries:
+                rect = self._rect_of.pop(rowid, None)
+                if rect is not None:
+                    self._tree.delete(rect, rowid)
+                geometry = new_values[0]
+                if is_null(geometry):
+                    continue
+                new_rect = Rect.from_box(bounding_box(geometry))
+                self._tree.insert(new_rect, rowid)
+                self._rect_of[rowid] = new_rect
 
     # -- scan --------------------------------------------------------------------
 

@@ -34,6 +34,11 @@ from repro.core.stats import IndexCost, StatsMethods
 from repro.errors import ODCIError
 from repro.types.values import is_null
 
+
+def _rid_order(row: List[Any]):
+    """Sort key for one token bucket: the rowid's plain-tuple mirror."""
+    return row[1].sort_key
+
 #: Per-call optimizer cost of the functional TextContains (page units).
 FUNCTIONAL_COST = 0.3
 
@@ -138,14 +143,45 @@ class TextIndexMethods(IndexMethods):
         existing = env.callback.query(
             f"SELECT rowid, {column} FROM {ia.table_name}")
         lexer = TextLexer(params)
-        postings_rows: List[List[Any]] = []
-        for rid, text in existing:
-            if is_null(text):
-                continue
-            for token, freq in lexer.term_frequencies(str(text)).items():
-                postings_rows.append([token, rid, freq])
-        if postings_rows:
-            env.callback.insert_rows(terms, postings_rows)
+        if getattr(env, "bulk_build", True):
+            # sort-group construction: bucket postings per token while
+            # lexing, then emit token buckets in sorted token order —
+            # sorting the (small) vocabulary instead of every posting.
+            # Within a bucket rowids arrive in scan order; the cheap
+            # per-bucket sort makes (token, rid) order a guarantee, so
+            # the direct-path load bulk-builds the IOT bottom-up with
+            # no load-time sort and no per-row re-validation.
+            inverted: dict = {}
+            get_bucket = inverted.get
+            for rid, text in existing:
+                if is_null(text):
+                    continue
+                for token, freq in lexer.term_frequencies(
+                        str(text)).items():
+                    bucket = get_bucket(token)
+                    if bucket is None:
+                        bucket = inverted[token] = []
+                    bucket.append([token, rid, freq])
+            if inverted:
+                postings_rows: List[List[Any]] = []
+                extend = postings_rows.extend
+                for token in sorted(inverted):
+                    bucket = inverted[token]
+                    bucket.sort(key=_rid_order)
+                    extend(bucket)
+                env.callback.direct_load(terms, postings_rows,
+                                         presorted=True)
+        else:
+            # per-row seed path: postings in document scan order
+            postings_rows = []
+            for rid, text in existing:
+                if is_null(text):
+                    continue
+                for token, freq in lexer.term_frequencies(
+                        str(text)).items():
+                    postings_rows.append([token, rid, freq])
+            if postings_rows:
+                env.callback.insert_rows(terms, postings_rows)
 
     def index_alter(self, ia: ODCIIndexInfo, parameters: str,
                     env: ODCIEnv) -> None:
@@ -181,6 +217,49 @@ class TextIndexMethods(IndexMethods):
                      old_values: Sequence[Any], env: ODCIEnv) -> None:
         env.callback.execute(
             f"DELETE FROM {_terms_table(ia)} WHERE rid = :1", [rowid])
+
+    # -- array maintenance routines -------------------------------------------
+
+    def index_insert_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        """Lex every new row once, then insert all postings in one call."""
+        params = self._load_params(ia, env)
+        lexer = TextLexer(params)
+        postings: List[List[Any]] = []
+        for rowid, new_values in entries:
+            text = new_values[0]
+            if is_null(text):
+                continue
+            for token, freq in lexer.term_frequencies(str(text)).items():
+                postings.append([token, rowid, freq])
+        if postings:
+            postings.sort(key=lambda r: (r[0], r[1].sort_key))
+            env.callback.insert_rows(_terms_table(ia), postings)
+
+    def index_delete_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        terms = _terms_table(ia)
+        for rowid, __ in entries:
+            env.callback.execute(
+                f"DELETE FROM {terms} WHERE rid = :1", [rowid])
+
+    def index_update_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        """Delete-old + insert-new per entry, lexer state loaded once."""
+        terms = _terms_table(ia)
+        params = self._load_params(ia, env)
+        lexer = TextLexer(params)
+        for rowid, __, new_values in entries:
+            env.callback.execute(
+                f"DELETE FROM {terms} WHERE rid = :1", [rowid])
+            text = new_values[0]
+            if is_null(text):
+                continue
+            freqs = lexer.term_frequencies(str(text))
+            if freqs:
+                env.callback.insert_rows(
+                    terms,
+                    [[token, rowid, freq] for token, freq in freqs.items()])
 
     # -- scan routines ---------------------------------------------------------------
 

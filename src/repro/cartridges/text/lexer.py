@@ -15,6 +15,7 @@ INDEX with ``':Ignore COBOL'`` extends the stop list.
 from __future__ import annotations
 
 import re
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set
 
@@ -98,19 +99,21 @@ class TextLexer:
         self.params = params
 
     def tokens(self, text: str) -> List[str]:
-        """All non-stopword tokens of ``text``, lower-cased, in order."""
+        """All non-stopword tokens of ``text``, lower-cased, in order.
+
+        Lower-cases the document once and extracts matches with
+        ``findall`` (one C call) rather than lowering match objects one
+        by one — the word class is case-closed, so pre-lowering cannot
+        change token boundaries.
+        """
         if not text:
             return []
         stop = self.params.stopwords
-        return [w for w in (m.group(0).lower() for m in _WORD.finditer(text))
-                if w not in stop]
+        return [w for w in _WORD.findall(text.lower()) if w not in stop]
 
     def term_frequencies(self, text: str) -> Dict[str, int]:
         """token → occurrence count for ``text``."""
-        freqs: Dict[str, int] = {}
-        for token in self.tokens(text):
-            freqs[token] = freqs.get(token, 0) + 1
-        return freqs
+        return Counter(self.tokens(text))
 
 
 def tokenize(text: str, stopwords: Iterable[str] = ()) -> List[str]:

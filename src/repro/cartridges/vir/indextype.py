@@ -120,6 +120,39 @@ class VirIndexMethods(IndexMethods):
         env.callback.execute(
             f"DELETE FROM {_coarse_table(ia)} WHERE rid = :1", [rowid])
 
+    # -- array maintenance --------------------------------------------------
+
+    def index_insert_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        """Extract every coarse vector, then insert all rows in one call."""
+        coarse_rows: List[List[Any]] = []
+        for rowid, new_values in entries:
+            sig = _signature_of(new_values[0])
+            if sig is None:
+                continue
+            coarse_rows.append([rowid] + list(coarse_vector(sig)))
+        if coarse_rows:
+            env.callback.insert_rows(_coarse_table(ia), coarse_rows)
+
+    def index_delete_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        coarse = _coarse_table(ia)
+        for rowid, __ in entries:
+            env.callback.execute(
+                f"DELETE FROM {coarse} WHERE rid = :1", [rowid])
+
+    def index_update_batch(self, ia: ODCIIndexInfo, entries: Sequence[Any],
+                           env: ODCIEnv) -> None:
+        coarse = _coarse_table(ia)
+        for rowid, __, new_values in entries:
+            env.callback.execute(
+                f"DELETE FROM {coarse} WHERE rid = :1", [rowid])
+            sig = _signature_of(new_values[0])
+            if sig is None:
+                continue
+            env.callback.insert_row(
+                coarse, [rowid] + list(coarse_vector(sig)))
+
     # -- scan: the three phases ---------------------------------------------------
 
     def index_start(self, ia: ODCIIndexInfo, op_info: ODCIPredInfo,

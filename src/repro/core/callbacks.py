@@ -128,6 +128,23 @@ class CallbackSession:
         with self._db.as_user(self.definer):
             return self._db.insert_rows(table_name, rows)
 
+    def direct_load(self, table_name: str, rows: Any,
+                    presorted: bool = False):
+        """Direct-path load of cartridge-built rows into an index table.
+
+        The analogue of a direct-path insert: skips per-row type
+        validation because the rows were derived from already-validated
+        base-table values by the calling routine.  Only valid shapes
+        (empty table, empty native indexes) take the fast path; anything
+        else degrades to :meth:`insert_rows`.  ``presorted`` promises
+        strictly increasing key order (verified by the storage layer).
+        """
+        fake = ast.Insert(table=table_name, columns=None, rows=[])
+        self._check(fake, f"INSERT INTO {table_name} (direct path)")
+        with self._db.as_user(self.definer):
+            return self._db.direct_load(table_name, rows,
+                                        presorted=presorted)
+
     # -- validation ---------------------------------------------------------
 
     def _check(self, statement: ast.Statement, sql: str) -> None:

@@ -61,6 +61,58 @@ class RoutineMetrics:
                 "retries": self.retries, "total_seconds": self.total_seconds}
 
 
+def _batch_size_bucket(size: int) -> str:
+    """Power-of-two histogram bucket label for a batch size."""
+    if size <= 1:
+        return "1"
+    low = 1 << (size.bit_length() - 1)
+    return f"{low}-{low * 2 - 1}"
+
+
+@dataclass
+class IndexMaintenanceStats:
+    """Per-index array-maintenance accounting.
+
+    ``entries_queued`` counts maintenance entries the DML layer placed
+    in a statement/transaction queue for this index;
+    ``entries_flushed`` counts entries that reached a dispatched batch
+    (the difference is entries discarded by rollback or degradation).
+    ``native_batches`` vs ``shim_batches`` splits batches by whether the
+    cartridge implements the array routine or the dispatcher looped its
+    scalar one.  ``histogram`` buckets flushed batch sizes by powers of
+    two, so the batching win per statement shape is visible.
+    """
+
+    entries_queued: int = 0
+    entries_flushed: int = 0
+    batches_flushed: int = 0
+    native_batches: int = 0
+    shim_batches: int = 0
+    max_batch: int = 0
+    histogram: Dict[str, int] = field(default_factory=dict)
+
+    def record_batch(self, size: int, native: bool) -> None:
+        self.entries_flushed += size
+        self.batches_flushed += 1
+        if native:
+            self.native_batches += 1
+        else:
+            self.shim_batches += 1
+        if size > self.max_batch:
+            self.max_batch = size
+        bucket = _batch_size_bucket(size)
+        self.histogram[bucket] = self.histogram.get(bucket, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"entries_queued": self.entries_queued,
+                "entries_flushed": self.entries_flushed,
+                "batches_flushed": self.batches_flushed,
+                "native_batches": self.native_batches,
+                "shim_batches": self.shim_batches,
+                "max_batch": self.max_batch,
+                "histogram": dict(self.histogram)}
+
+
 @dataclass
 class _Attempt:
     """Outcome of one attempted invocation (internal)."""
@@ -79,6 +131,8 @@ class CallbackDispatcher:
         self.max_transient_retries = max_transient_retries
         #: routine name -> RoutineMetrics
         self.metrics: Dict[str, RoutineMetrics] = {}
+        #: index name -> IndexMaintenanceStats (array-maintenance seam)
+        self.maintenance: Dict[str, IndexMaintenanceStats] = {}
         #: routine name -> wall-clock budget in seconds
         self.timeouts: Dict[str, float] = {}
         #: budget applied to routines with no specific entry (None = off)
@@ -107,6 +161,17 @@ class CallbackDispatcher:
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """All per-routine counters, for monitoring/tests."""
         return {name: m.snapshot() for name, m in self.metrics.items()}
+
+    def maintenance_for(self, index_name: str) -> IndexMaintenanceStats:
+        """The (auto-created) maintenance stats record for an index."""
+        record = self.maintenance.get(index_name)
+        if record is None:
+            record = self.maintenance[index_name] = IndexMaintenanceStats()
+        return record
+
+    def maintenance_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All per-index maintenance counters, for monitoring/tests."""
+        return {name: m.snapshot() for name, m in self.maintenance.items()}
 
     # ------------------------------------------------------------------
     # dispatch
@@ -165,6 +230,49 @@ class CallbackDispatcher:
                 index_name=index_name, phase=phase,
                 cause=error) from error
 
+    def call_batch(self, routine: str, scalar_routine: str,
+                   fn: Callable[..., Any], ia: Any, entries: list, env: Any,
+                   *, native: bool, index_name: str = "",
+                   phase: str = "") -> int:
+        """Dispatch one array-maintenance call covering ``entries``.
+
+        ``entries`` is one index's slice of a statement's maintenance
+        queue (row order preserved).  With ``native=True`` ``fn`` is the
+        cartridge's array routine, invoked once as ``fn(ia, entries,
+        env)``; with ``native=False`` ``fn`` is the scalar routine and
+        the dispatcher loops it per entry (the compatibility shim), with
+        per-entry classification and bounded transient retry.
+
+        Fault-seam compatibility: the injection seam sees one event per
+        entry under the *scalar* routine name in both modes, so fault
+        plans written against per-row dispatch keep their ordinals and
+        ledgers.  In native mode every per-entry event fires *before*
+        the single array call — an injected fault at entry N fails the
+        batch before the cartridge does any work, which composes with
+        statement-savepoint rollback exactly like a per-row fault.  In
+        shim mode the events interleave with application, so entries
+        before the faulting one are genuinely applied (and rolled back
+        with the statement).
+
+        Returns the number of entries dispatched.  An empty batch is a
+        no-op: no invocation, no metrics.
+        """
+        if not entries:
+            return 0
+        if native:
+            if self.fault_plan is not None:
+                self._entry_faults(scalar_routine, len(entries), routine,
+                                   index_name, phase)
+            self.call(routine, fn, ia, list(entries), env,
+                      index_name=index_name, phase=phase)
+        else:
+            for entry in entries:
+                self.call(scalar_routine, fn, ia, *entry, env,
+                          index_name=index_name, phase=phase)
+        stats = self.maintenance_for(index_name or ia.index_name)
+        stats.record_batch(len(entries), native=native)
+        return len(entries)
+
     def call_degraded(self, routine: str, fn: Callable[..., Any], *args: Any,
                       index_name: str = "", phase: str = "",
                       default: Any = None) -> Any:
@@ -203,6 +311,59 @@ class CallbackDispatcher:
         elapsed = time.perf_counter() - start + injected
         metrics.total_seconds += elapsed
         return _Attempt(result=result, elapsed=elapsed)
+
+    def _entry_faults(self, scalar_routine: str, count: int,
+                      batch_routine: str, index_name: str,
+                      phase: str) -> None:
+        """Fire one fault-seam event per batch entry (native mode).
+
+        Mirrors :meth:`call`'s classification: transient injections get
+        bounded per-entry retry (each retry is another seam event, as it
+        would be under scalar dispatch), database-class injections
+        surface as :class:`CallbackError` attributed to the batch
+        routine, and transaction errors pass through untyped.
+        """
+        metrics = self.metrics_for(batch_routine)
+        done = 0
+        attempts = 0
+        while done < count:
+            try:
+                self.fault_plan.on_call(scalar_routine, index_name)
+            except TransientCallbackError as exc:
+                attempts += 1
+                if attempts <= self.max_transient_retries:
+                    metrics.retries += 1
+                    self._trace(f"dispatch:retry {batch_routine}"
+                                f"({index_name}) entry={done + 1} "
+                                f"attempt={attempts}")
+                    continue
+                metrics.failures += 1
+                raise CallbackError(
+                    batch_routine,
+                    f"transient failure persisted after "
+                    f"{self.max_transient_retries} retries: {exc}",
+                    index_name=index_name, phase=phase,
+                    cause=exc) from exc
+            except TransactionError:
+                raise
+            except CallbackError:
+                metrics.failures += 1
+                raise
+            except DatabaseError as exc:
+                metrics.failures += 1
+                raise CallbackError(
+                    batch_routine,
+                    f"entry {done + 1}/{count}: {exc}",
+                    index_name=index_name, phase=phase, cause=exc) from exc
+            except BaseException as exc:
+                metrics.failures += 1
+                raise FatalCallbackError(
+                    batch_routine,
+                    f"crashed with {type(exc).__name__}: {exc}",
+                    index_name=index_name, phase=phase, cause=exc) from exc
+            else:
+                attempts = 0
+                done += 1
 
     def _check_budget(self, routine: str, elapsed: float, index_name: str,
                       phase: str, metrics: RoutineMetrics) -> None:

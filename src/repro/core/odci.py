@@ -124,7 +124,7 @@ class ODCIEnv:
     def __init__(self, callback: Any, workspace: Any, stats: Any,
                  trace: Optional[Any] = None, invoker: str = "",
                  definer: str = "", lobs: Any = None, files: Any = None,
-                 events: Any = None):
+                 events: Any = None, bulk_build: bool = True):
         self.callback = callback
         self.workspace = workspace
         self.stats = stats
@@ -137,6 +137,20 @@ class ODCIEnv:
         self.files = files
         #: database-event manager (§5's commit/rollback hooks)
         self.events = events
+        #: whether CREATE/REBUILD may use the cartridge's bulk-build path
+        #: (the ``bulk_index_build`` session setting); cartridges that
+        #: support sorted/packed construction consult this and fall back
+        #: to row-at-a-time loading when it is off
+        self.bulk_build = bulk_build
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether trace lines are being recorded.
+
+        Hot paths check this before *building* a trace message, so the
+        per-row f-string cost disappears entirely when tracing is off.
+        """
+        return self._trace is not None
 
     def trace(self, message: str) -> None:
         """Record a framework-trace line (architecture figure F1)."""
@@ -199,6 +213,38 @@ class IndexMethods(abc.ABC):
         """ODCIIndexUpdate: default is delete-old + insert-new (§2.2.3)."""
         self.index_delete(ia, rowid, old_values, env)
         self.index_insert(ia, rowid, new_values, env)
+
+    # -- array maintenance routines ----------------------------------------
+    #
+    # One call per index per *statement* instead of per row.  ``entries``
+    # carries the statement's maintenance queue for this index, in row
+    # order.  The defaults loop the scalar routines, so scalar-only
+    # indextypes keep working unchanged; when a cartridge overrides one
+    # of these, the dispatcher routes the whole batch through it in a
+    # single callback crossing (per-entry fault attribution is preserved
+    # by the dispatch seam, not by the cartridge).
+
+    def index_insert_batch(self, ia: ODCIIndexInfo,
+                           entries: Sequence[Tuple[Any, Sequence[Any]]],
+                           env: ODCIEnv) -> None:
+        """ODCIIndexInsertBatch: add entries for ``(rowid, new_values)`` pairs."""
+        for rowid, new_values in entries:
+            self.index_insert(ia, rowid, new_values, env)
+
+    def index_delete_batch(self, ia: ODCIIndexInfo,
+                           entries: Sequence[Tuple[Any, Sequence[Any]]],
+                           env: ODCIEnv) -> None:
+        """ODCIIndexDeleteBatch: remove entries for ``(rowid, old_values)`` pairs."""
+        for rowid, old_values in entries:
+            self.index_delete(ia, rowid, old_values, env)
+
+    def index_update_batch(
+            self, ia: ODCIIndexInfo,
+            entries: Sequence[Tuple[Any, Sequence[Any], Sequence[Any]]],
+            env: ODCIEnv) -> None:
+        """ODCIIndexUpdateBatch: apply ``(rowid, old_values, new_values)`` tuples."""
+        for rowid, old_values, new_values in entries:
+            self.index_update(ia, rowid, old_values, new_values, env)
 
     # -- index scan routines -------------------------------------------------
 

@@ -265,17 +265,27 @@ class Cursor:
 
     def executemany(self, operation: str,
                     seq_of_parameters: Sequence[Sequence[Any]]) -> "Cursor":
-        """Run ``operation`` once per parameter set (DML batching)."""
+        """Run ``operation`` once per parameter set (array DML).
+
+        The statement is parsed once; plain ``INSERT ... VALUES``
+        batches stream every parameter set through a single maintained
+        statement (one index-maintenance flush for the whole batch).
+        ``rowcount`` is the exact total across all sets.
+        """
         self._check_open()
-        total = 0
-        counted = False
-        for parameters in seq_of_parameters:
-            self.execute(operation, parameters)
-            if self._result is not None and self._result.rowcount >= 0:
-                total += self._result.rowcount
-                counted = True
-        if counted and self._result is not None:
-            self._result.rowcount = total
+        session = self.connection._require_session()
+        sql, placeholders = _qmark_to_native(operation)
+        param_sets = [list(parameters) for parameters in seq_of_parameters]
+        if placeholders and any(not parameters for parameters in param_sets):
+            raise ProgrammingError(
+                f"statement has {placeholders} placeholder(s) "
+                "but a parameter set was empty")
+        self._close_result()
+        self.connection._begin_if_needed()
+        try:
+            self._result = session.executemany(sql, param_sets)
+        except _errors.DatabaseError as exc:
+            raise _map_error(exc) from exc
         return self
 
     # -- fetching ------------------------------------------------------------

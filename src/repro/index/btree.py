@@ -15,9 +15,14 @@ counters as heap traffic.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from itertools import islice
+from operator import itemgetter, lt
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConstraintError, StorageError
+
+#: fast first-element key extractor for bulk-load sorting
+_first = itemgetter(0)
 
 #: Maximum entries per node before a split.
 DEFAULT_ORDER = 64
@@ -127,6 +132,88 @@ class BTree:
         self._root = _Node(leaf=True)
         self._height = 1
         self._count = 0
+
+    def bulk_load(self, pairs: Iterable[Tuple[Any, Any]]) -> None:
+        """Replace the tree's contents with ``pairs``, built bottom-up.
+
+        The classic sorted bulk build: sort once, pack full leaves in
+        key order chaining ``next_leaf``, then build each interior
+        level from the subtree minima of the level below — no per-entry
+        descent, no splits.  Duplicate keys collapse into one payload
+        list preserving input order (or raise for a unique tree, before
+        any existing contents are discarded).
+        """
+        entries = sorted(pairs, key=_first)
+        keys: List[Any] = []
+        values: List[List[Any]] = []
+        n_entries = len(entries)
+        for key, value in entries:
+            if keys and keys[-1] == key:
+                if self.unique:
+                    raise ConstraintError(
+                        f"duplicate key {key!r} in unique index")
+                values[-1].append(value)
+            else:
+                keys.append(key)
+                values.append([value])
+        self._build_sorted(keys, values, n_entries)
+
+    def bulk_load_sorted(self, keys: List[Any],
+                         payloads: List[Any]) -> None:
+        """Replace the tree with pre-sorted unique entries, built bottom-up.
+
+        The zero-sort fast path for loaders that produce entries in key
+        order (sort-group inverted-list construction): ``keys`` must be
+        strictly increasing — verified in one C-level pass — and
+        ``payloads[i]`` is the single payload stored under ``keys[i]``.
+        """
+        n_entries = len(keys)
+        if len(payloads) != n_entries:
+            raise StorageError(
+                "bulk_load_sorted: keys and payloads differ in length")
+        if n_entries > 1 and not all(map(lt, keys, islice(keys, 1, None))):
+            raise StorageError(
+                "bulk_load_sorted: keys are not strictly increasing")
+        self._build_sorted(list(keys), [[p] for p in payloads], n_entries)
+
+    def _build_sorted(self, keys: List[Any], values: List[List[Any]],
+                      n_entries: int) -> None:
+        """Pack sorted unique ``keys``/``values`` into leaves bottom-up."""
+        if not keys:
+            self.clear()
+            return
+        # pack leaves at full occupancy
+        cap = self.order
+        leaves: List[_Node] = []
+        for start in range(0, len(keys), cap):
+            leaf = _Node(leaf=True)
+            leaf.keys = keys[start:start + cap]
+            leaf.values = values[start:start + cap]
+            if leaves:
+                leaves[-1].next_leaf = leaf
+            leaves.append(leaf)
+        self._visit(len(leaves))
+        # build interior levels until one root remains; separators are
+        # the minimum key of each right-hand subtree
+        level = leaves
+        mins = [leaf.keys[0] for leaf in leaves]
+        height = 1
+        while len(level) > 1:
+            parents: List[_Node] = []
+            parent_mins: List[Any] = []
+            for start in range(0, len(level), cap + 1):
+                node = _Node(leaf=False)
+                node.children = level[start:start + cap + 1]
+                node.keys = mins[start + 1:start + len(node.children)]
+                parents.append(node)
+                parent_mins.append(mins[start])
+            self._visit(len(parents))
+            level = parents
+            mins = parent_mins
+            height += 1
+        self._root = level[0]
+        self._height = height
+        self._count = n_entries
 
     # -- lookup -------------------------------------------------------------
 

@@ -193,12 +193,31 @@ class DDLEngine:
                          column_names=columns, kind=stmt.kind,
                          unique=stmt.unique, structure=structure)
         positions = [table.column_position(c) for c in columns]
+        self._populate_native(table, structure, positions)
+        db.catalog.add_index(index)
+        return Cursor(rowcount=0)
+
+    def _populate_native(self, table: TableDef, structure: Any,
+                         positions: List[int]) -> None:
+        """Load a native index structure from the table's current rows.
+
+        Sorted bulk build when the structure supports it (B-trees) and
+        ``bulk_index_build`` is on; per-row insertion otherwise.
+        """
+        db = self.db
+        if (getattr(db, "bulk_index_build", True)
+                and hasattr(structure, "bulk_load")):
+            pairs = []
+            for rowid, row in table.storage.scan():
+                key = index_key(row, positions)
+                if key is not None:
+                    pairs.append((key, rowid))
+            structure.bulk_load(pairs)
+            return
         for rowid, row in table.storage.scan():
             key = index_key(row, positions)
             if key is not None:
                 structure.insert(key, rowid)
-        db.catalog.add_index(index)
-        return Cursor(rowcount=0)
 
     def _create_domain_index(self, stmt: ast.CreateIndex, table: TableDef,
                              columns: Tuple[str, ...]) -> Cursor:
@@ -267,10 +286,7 @@ class DDLEngine:
             index.structure.clear()
             positions = [table.column_position(c)
                          for c in index.column_names]
-            for rowid, row in table.storage.scan():
-                key = index_key(row, positions)
-                if key is not None:
-                    index.structure.insert(key, rowid)
+            self._populate_native(table, index.structure, positions)
             db.catalog.bump_version()
             return Cursor(rowcount=0)
         raise CatalogError(

@@ -18,7 +18,7 @@ from repro.types.datatypes import BOOLEAN, INTEGER, VARCHAR2
 
 #: Names served by :func:`dictionary_view`.
 VIEW_NAMES = ("user_tables", "user_indexes", "user_operators",
-              "user_indextypes")
+              "user_indextypes", "user_index_maintenance")
 
 
 class _SnapshotStorage:
@@ -56,7 +56,8 @@ class _SnapshotStorage:
     insert = update = delete = truncate = undelete = _read_only
 
 
-def dictionary_view(catalog: Catalog, name: str) -> Optional[TableDef]:
+def dictionary_view(catalog: Catalog, name: str,
+                    engine: Any = None) -> Optional[TableDef]:
     """Build the named dictionary view, or None for unknown names."""
     key = name.lower()
     if key == "user_tables":
@@ -67,6 +68,8 @@ def dictionary_view(catalog: Catalog, name: str) -> Optional[TableDef]:
         return _user_operators(catalog)
     if key == "user_indextypes":
         return _user_indextypes(catalog)
+    if key == "user_index_maintenance" and engine is not None:
+        return _user_index_maintenance(engine)
     return None
 
 
@@ -117,6 +120,32 @@ def _user_operators(catalog: Catalog) -> TableDef:
     return _view("user_operators",
                  [("operator_name", VARCHAR2), ("binding_count", INTEGER),
                   ("bindings", VARCHAR2), ("ancillary_to", VARCHAR2)],
+                 rows)
+
+
+def _user_index_maintenance(engine: Any) -> TableDef:
+    """Per-index array-maintenance counters from the shared dispatcher.
+
+    One row per index that has received maintenance through the batch
+    queue since engine start; ``histogram`` renders the batch-size
+    distribution as ``bucket:count`` pairs.
+    """
+    rows = []
+    for name, stats in sorted(engine.dispatcher.maintenance.items()):
+        snap = stats.snapshot()
+        histogram = " ".join(
+            f"{bucket}:{count}"
+            for bucket, count in sorted(
+                snap["histogram"].items(),
+                key=lambda kv: int(kv[0].split("-")[0].rstrip("+"))))
+        rows.append([name, snap["entries_queued"], snap["entries_flushed"],
+                     snap["batches_flushed"], snap["native_batches"],
+                     snap["shim_batches"], snap["max_batch"], histogram])
+    return _view("user_index_maintenance",
+                 [("index_name", VARCHAR2), ("entries_queued", INTEGER),
+                  ("entries_flushed", INTEGER), ("batches_flushed", INTEGER),
+                  ("native_batches", INTEGER), ("shim_batches", INTEGER),
+                  ("max_batch", INTEGER), ("histogram", VARCHAR2)],
                  rows)
 
 

@@ -17,6 +17,19 @@ index is marked ``UNUSABLE`` (bumping the catalog version, which drops
 cached plans pinned to it) and the statement is retried once, this time
 skipping maintenance of the now-UNUSABLE index.  With the setting off
 the statement simply fails, mirroring ORA-01502.
+
+Maintenance is *batched per statement*: instead of one dispatcher
+crossing per row per index, each statement accumulates its domain-index
+entries in a :class:`MaintenanceQueue` and flushes once per index via
+``ODCIIndex{Insert,Delete,Update}Batch`` (scalar-only cartridges are
+served by the dispatcher's looping shim).  A mid-batch fault therefore
+fails the statement exactly as a per-row fault did — the savepoint has
+everything.  The opt-in ``deferred_index_maintenance`` session setting
+extends the queue to transaction scope: entries flush at commit, or
+earlier when a scan touches a table with pending entries
+(read-your-writes).  ``batch_index_maintenance = False`` restores the
+historical per-row dispatch, which the differential tests use to prove
+both paths build identical indexes.
 """
 
 from __future__ import annotations
@@ -25,10 +38,12 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.core.callbacks import CallbackPhase
 from repro.core.domain_index import DomainIndex, IndexState
+from repro.core.odci import IndexMethods
 from repro.errors import (
     CallbackError, ConstraintError, ExecutionError, IndexUnusableError)
 from repro.sql import ast_nodes as ast
 from repro.sql import planner as pl
+from repro.sql.binds import normalize_params
 from repro.sql.catalog import TableDef
 from repro.sql.cursor import Cursor
 from repro.sql.expressions import Binder, RowContext, Scope
@@ -49,12 +64,80 @@ def index_key(row: List[Any], positions: List[int]) -> Any:
     return values[0] if len(values) == 1 else tuple(values)
 
 
+#: queued-op list layout: [kind, rowid, old_vals, new_vals, alive]
+_OP_ALIVE = 4
+
+#: kind -> (batch routine, scalar routine, batch method, scalar method)
+_BATCH_SPECS = {
+    "insert": ("ODCIIndexInsertBatch", "ODCIIndexInsert",
+               "index_insert_batch", "index_insert"),
+    "delete": ("ODCIIndexDeleteBatch", "ODCIIndexDelete",
+               "index_delete_batch", "index_delete"),
+    "update": ("ODCIIndexUpdateBatch", "ODCIIndexUpdate",
+               "index_update_batch", "index_update"),
+}
+
+
+class _IndexBatch:
+    """One index's slice of a maintenance queue (FIFO, kind-tagged)."""
+
+    __slots__ = ("index", "domain", "table_name", "ops")
+
+    def __init__(self, index: Any, domain: DomainIndex, table_name: str):
+        self.index = index
+        self.domain = domain
+        self.table_name = table_name
+        #: [kind, rowid, old_vals, new_vals, alive] in arrival order
+        self.ops: List[list] = []
+
+
+class MaintenanceQueue:
+    """Domain-index maintenance entries awaiting a batched flush.
+
+    One queue per statement scope (nested callback DML gets its own
+    level), or per transaction under ``deferred_index_maintenance``.
+    Entries keep arrival order per index; the flush dispatches each
+    contiguous same-kind run as one batch, so cross-kind ordering on a
+    rowid (insert before delete, etc.) is preserved.
+    """
+
+    def __init__(self) -> None:
+        #: index key -> _IndexBatch, in first-touch order
+        self.batches: dict = {}
+
+    def batch_for(self, index: Any, domain: DomainIndex,
+                  table_name: str) -> _IndexBatch:
+        batch = self.batches.get(index.key)
+        if batch is None:
+            batch = self.batches[index.key] = _IndexBatch(
+                index, domain, table_name)
+        return batch
+
+    def add(self, index: Any, domain: DomainIndex, table_name: str,
+            kind: str, rowid: Any, old_vals: Optional[list],
+            new_vals: Optional[list]) -> list:
+        op = [kind, rowid, old_vals, new_vals, True]
+        self.batch_for(index, domain, table_name).ops.append(op)
+        return op
+
+    def pending_tables(self) -> set:
+        """Lower-cased base-table names with at least one live entry."""
+        return {batch.table_name.lower()
+                for batch in self.batches.values()
+                if any(op[_OP_ALIVE] for op in batch.ops)}
+
+
 class DMLEngine:
     """Executes DML statements and maintains every index implicitly."""
 
     def __init__(self, db: Any):
         self.db = db
         self._stmt_depth = 0
+        #: statement-scoped maintenance queues (a stack: callback DML
+        #: issued from inside a flush gets its own level)
+        self._queue_stack: List[MaintenanceQueue] = []
+        #: transaction-scoped queue (``deferred_index_maintenance``)
+        self._deferred: Optional[MaintenanceQueue] = None
 
     # ------------------------------------------------------------------
     # statement scope
@@ -112,11 +195,26 @@ class DMLEngine:
         db = self.db
         for attempt in (0, 1):
             txn, autocommit = self.statement_transaction()
+            queue = MaintenanceQueue()
+            self._queue_stack.append(queue)
             try:
-                db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                                 LockMode.EXCLUSIVE,
-                                 timeout=getattr(db, "lock_timeout", None))
-                result = body(txn)
+                try:
+                    db.locks.acquire(txn.txn_id, f"table:{table.key}",
+                                     LockMode.EXCLUSIVE,
+                                     timeout=getattr(db, "lock_timeout",
+                                                     None))
+                    # write-after-deferred-write: pending deferred
+                    # entries for this table flush before new DML so the
+                    # queue never interleaves two statements' entries
+                    self.flush_deferred_for((table.name,))
+                    result = body(txn)
+                    if (getattr(db, "deferred_index_maintenance", False)
+                            and not autocommit):
+                        self._defer_queue(queue, txn)
+                    else:
+                        self._flush(queue)
+                finally:
+                    self._queue_stack.pop()
             except CallbackError as exc:
                 self.finish(autocommit, failed=True)
                 if (attempt == 0 and exc.phase == "maintenance"
@@ -148,6 +246,166 @@ class DMLEngine:
             raise IndexUnusableError(index_name, domain.state.value)
         self.db._trace(f"dml:skip({index_name}) state={domain.state.value}")
         return False
+
+    # ------------------------------------------------------------------
+    # maintenance queue (array ODCI dispatch)
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, index: Any, domain: DomainIndex, table: TableDef,
+                 kind: str, rowid: Any, old_vals: Optional[list],
+                 new_vals: Optional[list]) -> bool:
+        """Queue one maintenance entry; False -> caller dispatches per-row.
+
+        Per-row dispatch remains when ``batch_index_maintenance`` is off
+        (the differential-test seed path) or no statement scope is open
+        (direct ``maintain_*`` calls from outside ``run_maintained``).
+        """
+        if not getattr(self.db, "batch_index_maintenance", True):
+            return False
+        if not self._queue_stack:
+            return False
+        self._queue_stack[-1].add(index, domain, table.name, kind, rowid,
+                                  old_vals, new_vals)
+        self.db.dispatcher.maintenance_for(index.name).entries_queued += 1
+        return True
+
+    def _flush(self, queue: MaintenanceQueue) -> None:
+        """Dispatch every queued entry, one batch per index per kind-run.
+
+        Raises the first :class:`CallbackError` — the caller (statement
+        scope or deferred-flush policy) owns rollback and degradation.
+        Indexes that degraded (or were dropped) after their entries were
+        queued are skipped: their entries are moot once the index is no
+        longer VALID.
+        """
+        if not queue.batches:
+            return
+        db = self.db
+        for key in list(queue.batches):
+            batch = queue.batches[key]
+            ops = [op for op in batch.ops if op[_OP_ALIVE]]
+            if ops:
+                domain = batch.domain
+                if not domain.valid or not db.catalog.has_index(
+                        batch.index.name):
+                    db._trace(f"dml:skip({batch.index.name}) "
+                              f"state={domain.state.value}")
+                else:
+                    self._flush_index(batch.index, domain, ops)
+            del queue.batches[key]
+
+    def _flush_index(self, index: Any, domain: DomainIndex,
+                     ops: List[list]) -> None:
+        db = self.db
+        env = db.make_env(CallbackPhase.MAINTENANCE, domain)
+        methods = domain.methods
+        ia = domain.index_info()
+        methods_type = type(methods)
+        n = len(ops)
+        start = 0
+        while start < n:
+            kind = ops[start][0]
+            end = start
+            while end < n and ops[end][0] == kind:
+                end += 1
+            run = ops[start:end]
+            start = end
+            batch_routine, scalar_routine, batch_attr, scalar_attr = \
+                _BATCH_SPECS[kind]
+            native = (getattr(methods_type, batch_attr)
+                      is not getattr(IndexMethods, batch_attr))
+            if kind == "insert":
+                entries = [(op[1], op[3]) for op in run]
+            elif kind == "delete":
+                entries = [(op[1], op[2]) for op in run]
+            else:
+                entries = [(op[1], op[2], op[3]) for op in run]
+            if env.trace_enabled:
+                # per-entry lines record the logical maintenance events
+                # (the architecture-figure trace); the batch marker
+                # records the physical dispatch
+                for __ in entries:
+                    env.trace(f"dml:{scalar_routine}({index.name})")
+                env.trace(f"dml:{batch_routine}({index.name})"
+                          f"[n={len(entries)}, "
+                          f"{'native' if native else 'shim'}]")
+            fn = getattr(methods, batch_attr if native else scalar_attr)
+            db.dispatcher.call_batch(
+                batch_routine, scalar_routine, fn, ia, entries, env,
+                native=native, index_name=index.name, phase="maintenance")
+
+    # -- transaction-scoped (deferred) maintenance ----------------------
+
+    def _defer_queue(self, queue: MaintenanceQueue, txn: Any) -> None:
+        """Move a finished statement's entries to the transaction queue.
+
+        Each migrated op records an undo action that marks it dead, so
+        ``ROLLBACK`` / ``ROLLBACK TO SAVEPOINT`` discards exactly the
+        entries whose base-row changes it undoes.
+        """
+        deferred = self._deferred
+        if deferred is None:
+            deferred = self._deferred = MaintenanceQueue()
+        for batch in queue.batches.values():
+            target = deferred.batch_for(batch.index, batch.domain,
+                                        batch.table_name)
+            for op in batch.ops:
+                if not op[_OP_ALIVE]:
+                    continue
+                target.ops.append(op)
+                txn.record_undo(lambda o=op: o.__setitem__(_OP_ALIVE,
+                                                           False))
+        queue.batches.clear()
+
+    def has_deferred(self) -> bool:
+        """Whether transaction-scoped maintenance entries are pending."""
+        return (self._deferred is not None
+                and bool(self._deferred.pending_tables()))
+
+    def flush_deferred_for(self, table_names) -> None:
+        """Read-your-writes: flush before a scan of an affected table.
+
+        A scan that could use a domain index with queued (unapplied)
+        entries would miss this transaction's own writes; flushing the
+        whole transaction queue first preserves cross-index ordering.
+        """
+        deferred = self._deferred
+        if deferred is None:
+            return
+        pending = deferred.pending_tables()
+        if pending and any(str(name).lower() in pending
+                           for name in table_names):
+            self.flush_deferred()
+
+    def flush_deferred(self) -> None:
+        """Flush the transaction queue (commit time or read-your-writes).
+
+        The queue is detached before dispatch (reentrancy: callbacks
+        issue their own SQL).  A failing flush marks every index that
+        still had pending entries UNUSABLE before re-raising — the
+        transaction stays open for the caller to roll back, and even a
+        commit-anyway cannot leave a silently stale index behind.
+        """
+        deferred = self._deferred
+        self._deferred = None
+        if deferred is None or not deferred.batches:
+            return
+        db = self.db
+        try:
+            self._flush(deferred)
+        except CallbackError:
+            for batch in deferred.batches.values():
+                name = batch.index.name
+                if (any(op[_OP_ALIVE] for op in batch.ops)
+                        and db.catalog.has_index(name)):
+                    db.catalog.set_index_state(name, IndexState.UNUSABLE)
+                    db._trace(f"dml:degrade index {name} -> UNUSABLE; "
+                              f"deferred flush failed")
+            raise
+
+    def discard_deferred(self) -> None:
+        """Drop pending entries (transaction rollback discards them)."""
+        self._deferred = None
 
     # ------------------------------------------------------------------
     # row validation / physical insert
@@ -189,6 +447,9 @@ class DMLEngine:
         db._check_table_privilege(table, "insert")
 
         def body(txn) -> int:
+            bulk = self._bulk_load_plan(table, len(rows))
+            if bulk is not None:
+                return self._insert_bulk(table, rows, bulk, txn)
             for values in rows:
                 if len(values) != len(table.columns):
                     raise ExecutionError(
@@ -198,6 +459,119 @@ class DMLEngine:
             return len(rows)
 
         return self.run_maintained(table, body)
+
+    def direct_load(self, table_name: str,
+                    rows: Sequence[Sequence[Any]],
+                    presorted: bool = False) -> int:
+        """Direct-path load: bulk-append ``rows`` without row validation.
+
+        The analogue of Oracle's direct-path insert for index data
+        tables: the caller (a cartridge's ``ODCIIndexCreate``/REBUILD
+        routine) constructed the rows itself from already-validated
+        base-table values, so the per-row type-coercion pass of the
+        conventional path is skipped.  Only applies when the bulk-load
+        plan does (empty storage, empty bulk-loadable native indexes);
+        any other shape falls back to :meth:`insert_rows`, which
+        validates normally.
+        """
+        db = self.db
+        table = db.catalog.get_table(table_name)
+        if self._bulk_load_plan(table, len(rows)) is None:
+            return self.insert_rows(table_name, rows)
+        db._check_table_privilege(table, "insert")
+
+        def body(txn) -> int:
+            bulk = self._bulk_load_plan(table, len(rows))
+            if bulk is None:  # raced with another writer: conventional path
+                for values in rows:
+                    self.insert_physical(table, list(values), txn)
+                return len(rows)
+            return self._insert_bulk(table, rows, bulk, txn,
+                                     validate=False, presorted=presorted)
+
+        return self.run_maintained(table, body)
+
+    def _bulk_load_plan(self, table: TableDef, n_rows: int):
+        """The bulk-append plan for loading ``table``, or None.
+
+        Bulk loading applies to empty storage whose indexes are all
+        empty bulk-loadable native structures — the shape of a freshly
+        created index data table (text IOT, spatial tiles, VIR coarse
+        table) being populated by ``ODCIIndexCreate``/REBUILD.  Domain
+        indexes, populated tables, and the ``bulk_index_build = False``
+        seed path all take the per-row route.
+        """
+        db = self.db
+        if n_rows < 2 or not getattr(db, "bulk_index_build", True):
+            return None
+        storage = table.storage
+        if not hasattr(storage, "insert_bulk") or storage.row_count != 0:
+            return None
+        native = []
+        for index in db.catalog.indexes_on(table.name):
+            structure = index.structure
+            if (index.is_domain or structure is None
+                    or not hasattr(structure, "bulk_load")
+                    or structure.entry_count != 0):
+                return None
+            positions = [table.column_position(c)
+                         for c in index.column_names]
+            native.append((structure, positions))
+        return native
+
+    def _insert_bulk(self, table: TableDef, rows: Sequence[Sequence[Any]],
+                     native: list, txn, validate: bool = True,
+                     presorted: bool = False) -> int:
+        """Bulk-append ``rows`` and bottom-up-build the native indexes.
+
+        One undo record per structure instead of one per row; rollback
+        restores the empty pre-load state (the plan above guarantees
+        storage and indexes started empty).  ``validate=False`` is the
+        direct-path contract: rows were built by a cartridge from
+        already-validated values, so only the column arity is checked.
+        """
+        n_cols = len(table.columns)
+        if validate:
+            # column-major validator hoist: one attribute-lookup pass over
+            # the schema instead of one per value
+            validators = [(col.datatype.validate, col.not_null, col.name)
+                          for col in table.columns]
+            validated = []
+            for values in rows:
+                if len(values) != n_cols:
+                    raise ExecutionError(
+                        f"{table.name} has {n_cols} columns, "
+                        f"got {len(values)} values")
+                row = []
+                for (check, not_null, cname), value in zip(validators,
+                                                           values):
+                    value = check(value)
+                    if not_null and is_null(value):
+                        raise ConstraintError(
+                            f"column {table.name}.{cname} is NOT NULL")
+                    row.append(value)
+                validated.append(row)
+        else:
+            # no per-row copy: both storages copy on write (heap pages
+            # copy the row, the IOT splits it into fresh key/payload)
+            validated = rows if isinstance(rows, list) else list(rows)
+            if set(map(len, validated)) - {n_cols}:
+                raise ExecutionError(
+                    f"{table.name} direct load: rows must all have "
+                    f"{n_cols} values")
+        storage = table.storage
+        rowids = storage.insert_bulk(validated, with_rowids=bool(native),
+                                     presorted=presorted)
+        txn.record_undo(lambda s=storage: s.truncate())
+        for structure, positions in native:
+            pairs = []
+            for rowid, row in zip(rowids, validated):
+                key = index_key(row, positions)
+                if key is not None:
+                    pairs.append((key, rowid))
+            structure.bulk_load(pairs)
+            txn.record_undo(lambda s=structure: s.clear())
+        return len(validated)
 
     def insert_physical(self, table: TableDef, row: List[Any], txn) -> RowId:
         row = self.validate_row(table, row)
@@ -219,10 +593,14 @@ class DMLEngine:
                 domain = index.domain
                 if not self._maintainable(index.name, domain):
                     continue
-                env = db.make_env(CallbackPhase.MAINTENANCE, domain)
-                env.trace(f"dml:ODCIIndexInsert({index.name})")
                 values = [row[table.column_position(c)]
                           for c in index.column_names]
+                if self._enqueue(index, domain, table, "insert", rowid,
+                                 None, values):
+                    continue
+                env = db.make_env(CallbackPhase.MAINTENANCE, domain)
+                if env.trace_enabled:
+                    env.trace(f"dml:ODCIIndexInsert({index.name})")
                 db.dispatcher.call(
                     "ODCIIndexInsert", domain.methods.index_insert,
                     domain.index_info(), rowid, values, env,
@@ -246,10 +624,14 @@ class DMLEngine:
                 domain = index.domain
                 if not self._maintainable(index.name, domain):
                     continue
-                env = db.make_env(CallbackPhase.MAINTENANCE, domain)
-                env.trace(f"dml:ODCIIndexDelete({index.name})")
                 values = [row[table.column_position(c)]
                           for c in index.column_names]
+                if self._enqueue(index, domain, table, "delete", rowid,
+                                 values, None):
+                    continue
+                env = db.make_env(CallbackPhase.MAINTENANCE, domain)
+                if env.trace_enabled:
+                    env.trace(f"dml:ODCIIndexDelete({index.name})")
                 db.dispatcher.call(
                     "ODCIIndexDelete", domain.methods.index_delete,
                     domain.index_info(), rowid, values, env,
@@ -280,8 +662,12 @@ class DMLEngine:
                 domain = index.domain
                 if not self._maintainable(index.name, domain):
                     continue
+                if self._enqueue(index, domain, table, "update", rowid,
+                                 old_vals, new_vals):
+                    continue
                 env = db.make_env(CallbackPhase.MAINTENANCE, domain)
-                env.trace(f"dml:ODCIIndexUpdate({index.name})")
+                if env.trace_enabled:
+                    env.trace(f"dml:ODCIIndexUpdate({index.name})")
                 db.dispatcher.call(
                     "ODCIIndexUpdate", domain.methods.index_update,
                     domain.index_info(), rowid, old_vals, new_vals, env,
@@ -334,6 +720,66 @@ class DMLEngine:
                 values = [db.evaluator.evaluate(binder.bind(e), empty)
                           for e in value_row]
                 rows_to_insert.append(build_row(values))
+
+        def body(txn) -> int:
+            for row in rows_to_insert:
+                self.insert_physical(table, list(row), txn)
+            return len(rows_to_insert)
+
+        return Cursor(rowcount=self.run_maintained(table, body))
+
+    def execute_insert_many(self, stmt: ast.Insert,
+                            param_sets: List[Any]) -> Cursor:
+        """Array INSERT: one parse, one statement scope, one flush.
+
+        The ``executemany`` fast path for ``INSERT ... VALUES`` whose
+        row expressions are plain binds/literals: the VALUES template is
+        resolved once, each parameter set instantiates it, and the whole
+        batch runs as a single maintained statement — so index
+        maintenance flushes once per index for the entire batch, and the
+        batch is atomic (a failing set rolls back every set, like Oracle
+        array DML without SAVE EXCEPTIONS).
+        """
+        db = self.db
+        table = db.catalog.get_table(stmt.table)
+        db._check_table_privilege(table, "insert")
+        column_order = [c.lower() for c in stmt.columns] \
+            if stmt.columns else [c.name for c in table.columns]
+        positions = [table.column_position(c) for c in column_order]
+        n_cols = len(table.columns)
+
+        empty = RowContext()
+        binder = Binder(db.catalog, Scope([]))
+        # per-cell resolvers: a bind key, or a once-evaluated constant
+        templates = []
+        for value_row in stmt.rows:
+            if len(value_row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expects {len(positions)} values, "
+                    f"got {len(value_row)}")
+            cells = []
+            for expr in value_row:
+                if isinstance(expr, ast.BindParam):
+                    cells.append((expr.name.lower(), None))
+                else:
+                    cells.append((None, db.evaluator.evaluate(
+                        binder.bind(expr), empty)))
+            templates.append(cells)
+
+        rows_to_insert: List[List[Any]] = []
+        for params in param_sets:
+            values_map = normalize_params(params)
+            for cells in templates:
+                row: List[Any] = [NULL] * n_cols
+                for pos, (bind_key, const) in zip(positions, cells):
+                    if bind_key is None:
+                        row[pos] = const
+                    elif bind_key in values_map:
+                        row[pos] = values_map[bind_key]
+                    else:
+                        raise ExecutionError(
+                            f"no value supplied for bind :{bind_key}")
+                rows_to_insert.append(row)
 
         def body(txn) -> int:
             for row in rows_to_insert:

@@ -91,7 +91,7 @@ class Engine:
             name="varray", fn=lambda *args: tuple(args), cost=0.0001))
         from repro.sql.dictionary import dictionary_view
         self.catalog.view_provider = (
-            lambda name: dictionary_view(self.catalog, name))
+            lambda name: dictionary_view(self.catalog, name, engine=self))
 
     # ------------------------------------------------------------------
     # sessions

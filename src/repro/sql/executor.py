@@ -376,8 +376,9 @@ class Executor:
         env = self.db.make_env(CallbackPhase.SCAN, domain)
         ia = domain.index_info()
         methods = domain.methods
-        env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
-                  f"{node.index.name})")
+        if env.trace_enabled:
+            env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
+                      f"{node.index.name})")
         dispatcher = self.db.dispatcher
         context = dispatcher.call(
             "ODCIIndexStart", methods.index_start,
@@ -392,7 +393,8 @@ class Executor:
         label = call.label
         try:
             while True:
-                env.trace(f"exec:ODCIIndexFetch(n={batch_size})")
+                if env.trace_enabled:
+                    env.trace(f"exec:ODCIIndexFetch(n={batch_size})")
                 result = dispatcher.call(
                     "ODCIIndexFetch", methods.index_fetch,
                     context, batch_size, env,
@@ -515,8 +517,9 @@ class Executor:
                 include_lower=node.include_lower,
                 include_upper=node.include_upper)
             query_info = ODCIQueryInfo(ancillary_label=call.label)
-            env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
-                      f"{node.index.name}) [join probe]")
+            if env.trace_enabled:
+                env.trace(f"exec:ODCIIndexStart({domain.indextype_name}:"
+                          f"{node.index.name}) [join probe]")
             dispatcher = self.db.dispatcher
             context = dispatcher.call(
                 "ODCIIndexStart", methods.index_start,

@@ -196,6 +196,33 @@ class StatementPipeline:
             statement = substitute_binds(statement, params)
         return self.execute_statement(statement, sql)
 
+    def executemany(self, sql: str, seq_of_params: Any) -> Cursor:
+        """Run one SQL text once per parameter set, parsing only once.
+
+        Plain ``INSERT ... VALUES`` statements whose VALUES expressions
+        are all binds or literals take the array-DML fast path: the rows
+        are validated and inserted under a *single* maintained statement,
+        so index maintenance flushes once for the whole batch.  Anything
+        else (UPDATE, DELETE, INSERT ... SELECT, expressions over binds)
+        re-executes the parsed statement per set; ``rowcount`` is the
+        exact total either way.
+        """
+        param_sets = list(seq_of_params)
+        if not param_sets:
+            return Cursor(rowcount=0)
+        parsed = self.parse(sql)
+        statement = parsed.statement
+        if (isinstance(statement, ast.Insert) and statement.select is None
+                and all(isinstance(expr, (ast.BindParam, ast.Literal))
+                        for row in statement.rows for expr in row)):
+            return self.db.dml.execute_insert_many(statement, param_sets)
+        total = 0
+        for params in param_sets:
+            cursor = self.execute(sql, params)
+            if cursor.rowcount > 0:
+                total += cursor.rowcount
+        return Cursor(rowcount=total)
+
     def execute_statement(self, statement: ast.Statement,
                           sql: str = "") -> Cursor:
         """Execute an already-parsed statement (no plan caching).
@@ -257,6 +284,9 @@ class StatementPipeline:
         for tref in select.tables:
             db._check_table_privilege(db.catalog.get_table(tref.name),
                                       "select")
+        # read-your-writes: deferred maintenance entries against a
+        # scanned table must reach the index before the scan starts
+        db.dml.flush_deferred_for([tref.name for tref in select.tables])
         txn = db.txns.current
         if (txn is not None and txn.active
                 and not getattr(db, "_suppress_table_locks", False)):
@@ -343,6 +373,7 @@ class StatementPipeline:
         tables = plan.referenced_tables()
         for table in tables:
             db._check_table_privilege(table, "select")
+        db.dml.flush_deferred_for([table.name for table in tables])
         txn = db.txns.current
         if (txn is not None and txn.active
                 and not getattr(db, "_suppress_table_locks", False)):

@@ -94,6 +94,19 @@ class Session:
         self.skip_unusable_indexes = True
         #: seconds a lock request blocks before LockTimeoutError
         self.lock_timeout = engine.default_lock_timeout
+        #: array ODCI maintenance (ODCIIndex*Batch, one dispatch per
+        #: index per statement); off restores per-row dispatch — the
+        #: differential tests drive both paths over the same workload
+        self.batch_index_maintenance = True
+        #: opt-in: extend the maintenance queue to transaction scope
+        #: (flush at commit, or earlier for read-your-writes — see
+        #: DMLEngine.flush_deferred_for); only affects statements inside
+        #: an explicit transaction
+        self.deferred_index_maintenance = False
+        #: CREATE INDEX / REBUILD may use bulk construction (bottom-up
+        #: B-tree build, STR packing, sorted inverted-list load); off
+        #: forces the row-at-a-time seed path (bench baseline)
+        self.bulk_index_build = True
         #: when True, SELECTs skip table S-locks (plan-time stats reads)
         self._suppress_table_locks = False
         self.planner = Planner(engine.catalog, db=self)
@@ -263,7 +276,8 @@ class Session:
         return ODCIEnv(callback=callback, workspace=self.workspace,
                        stats=self.stats, trace=self.trace_log,
                        invoker=self.session_user, definer=definer,
-                       lobs=self.lobs, files=self.files, events=self.events)
+                       lobs=self.lobs, files=self.files, events=self.events,
+                       bulk_build=self.bulk_index_build)
 
     def make_stats_env(self, domain: Optional[DomainIndex] = None) -> ODCIEnv:
         """Environment for optimizer statistics routines (query-only).
@@ -306,6 +320,10 @@ class Session:
         txn = self.txns.current
         if txn is None or not txn.active:
             return  # commit with no open transaction is a no-op
+        # deferred maintenance flushes first, still inside the
+        # transaction: a flush failure aborts the commit with undo (and
+        # the affected indexes degraded) rather than after it
+        self.dml.flush_deferred()
         txn.commit()
         self.locks.release_all(txn.txn_id)
         self.events.fire(DatabaseEvent.COMMIT)
@@ -318,9 +336,11 @@ class Session:
                 raise TransactionError("no transaction to roll back")
             return
         if savepoint is not None:
+            # undo unwinding marks this span's deferred entries dead
             txn.rollback_to_savepoint(savepoint)
             return
         txn.rollback()
+        self.dml.discard_deferred()
         self.locks.release_all(txn.txn_id)
         self.events.fire(DatabaseEvent.ROLLBACK)
 
@@ -352,6 +372,19 @@ class Session:
         """
         self._bind()
         return self.pipeline.execute(sql, params)
+
+    def executemany(self, sql: str,
+                    seq_of_params: Sequence[Any]) -> Cursor:
+        """Execute ``sql`` once per parameter set, parsing only once.
+
+        The array-DML entry point behind ``dbapi.Cursor.executemany``:
+        plain ``INSERT ... VALUES`` batches run as a single maintained
+        statement with one index-maintenance flush; other statements
+        execute per set.  The returned cursor's ``rowcount`` is the
+        exact total across all sets.
+        """
+        self._bind()
+        return self.pipeline.executemany(sql, seq_of_params)
 
     def query(self, sql: str,
               params: Optional[Any] = None) -> List[Tuple[Any, ...]]:
@@ -408,6 +441,20 @@ class Session:
         """Bulk :meth:`insert_row`; returns the number of rows inserted."""
         self._bind()
         return self.dml.insert_rows(table_name, rows)
+
+    def direct_load(self, table_name: str,
+                    rows: Sequence[Sequence[Any]],
+                    presorted: bool = False) -> int:
+        """Direct-path load of cartridge-built rows (no row validation).
+
+        Falls back to :meth:`insert_rows` unless the table is empty with
+        only empty bulk-loadable native indexes — the shape of an index
+        data table being populated by ``ODCIIndexCreate``/REBUILD.
+        ``presorted`` additionally promises strictly increasing key
+        order for key-organized storage (skips the load-time sort).
+        """
+        self._bind()
+        return self.dml.direct_load(table_name, rows, presorted=presorted)
 
 
 class Database(Session):

@@ -8,7 +8,6 @@ stream them back from ``ODCIIndexFetch`` (§2.2.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import InvalidRowIdError, StorageError
@@ -16,13 +15,53 @@ from repro.storage.buffer import BufferCache
 from repro.storage.page import Page, PAGE_SIZE, estimate_row_size
 
 
-@dataclass(frozen=True, order=True)
 class RowId:
-    """Physical row address: (segment, page, slot).  Ordered and hashable."""
+    """Physical row address: (segment, page, slot).  Ordered and hashable.
 
-    segment_id: int
-    page_no: int
-    slot: int
+    Hand-rolled rather than a dataclass: rowids are created, hashed, and
+    compared millions of times on index-build and sort paths, so the
+    comparison methods work on one precomputed key tuple instead of the
+    generated per-call tuple packing (and construction skips the frozen
+    dataclass ``object.__setattr__`` detour).
+    """
+
+    __slots__ = ("segment_id", "page_no", "slot", "sort_key")
+
+    def __init__(self, segment_id: int, page_no: int, slot: int):
+        self.segment_id = segment_id
+        self.page_no = page_no
+        self.slot = slot
+        #: plain-int tuple mirror of the address; sort paths decorate
+        #: with it so comparisons stay C-level tuple compares
+        self.sort_key = (segment_id, page_no, slot)
+
+    def __hash__(self) -> int:
+        return hash(self.sort_key)
+
+    def __eq__(self, other: Any) -> Any:
+        if other.__class__ is RowId:
+            return self.sort_key == other.sort_key
+        return NotImplemented
+
+    def __lt__(self, other: Any) -> Any:
+        if other.__class__ is RowId:
+            return self.sort_key < other.sort_key
+        return NotImplemented
+
+    def __le__(self, other: Any) -> Any:
+        if other.__class__ is RowId:
+            return self.sort_key <= other.sort_key
+        return NotImplemented
+
+    def __gt__(self, other: Any) -> Any:
+        if other.__class__ is RowId:
+            return self.sort_key > other.sort_key
+        return NotImplemented
+
+    def __ge__(self, other: Any) -> Any:
+        if other.__class__ is RowId:
+            return self.sort_key >= other.sort_key
+        return NotImplemented
 
     def __repr__(self) -> str:
         return f"RID({self.segment_id}.{self.page_no}.{self.slot})"
@@ -53,6 +92,28 @@ class HeapTable:
         slot = page.insert(list(row), size)
         self._row_count += 1
         return RowId(self.segment_id, page.page_no, slot)
+
+    def insert_bulk(self, rows: List[List[Any]],
+                    with_rowids: bool = True,
+                    presorted: bool = False) -> List[RowId]:
+        """Store ``rows`` and return their rowids in input order.
+
+        Pages fill append-only: each is latched for write once per run
+        of rows it absorbs rather than once per row.  Heap rowids are
+        byproducts of page placement, so ``with_rowids=False`` still
+        returns them, and ``presorted`` is irrelevant to an unordered
+        heap (both flags only matter for key-organized storage).
+        """
+        rowids: List[RowId] = []
+        page: Optional[Page] = None
+        for row in rows:
+            size = min(estimate_row_size(row), PAGE_SIZE)
+            if page is None or not page.has_room(size):
+                page = self._page_for_insert(size)
+            slot = page.insert(list(row), size)
+            rowids.append(RowId(self.segment_id, page.page_no, slot))
+        self._row_count += len(rows)
+        return rowids
 
     def fetch(self, rowid: RowId) -> List[Any]:
         """Return the row at ``rowid``; raises for dead or foreign rowids."""

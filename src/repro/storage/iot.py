@@ -13,6 +13,7 @@ surrogate ids so the executor can treat heap tables and IOTs uniformly.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.errors import ConstraintError, InvalidRowIdError
@@ -59,6 +60,40 @@ class IndexOrganizedTable:
         self._tree.insert(key, payload)
         self.buffer.stats.logical_writes += 1
         return self._surrogate(key)
+
+    def insert_bulk(self, rows: List[List[Any]],
+                    with_rowids: bool = True,
+                    presorted: bool = False) -> Optional[List[RowId]]:
+        """Insert ``rows`` via the B-tree's sorted bulk build.
+
+        Only valid on an empty IOT (the bulk build replaces the tree
+        wholesale); callers gate on ``row_count == 0``.  Returns the
+        surrogate rowids in input order, or None when ``with_rowids``
+        is False — surrogates then materialize lazily on first scan,
+        which is what direct-path loads of secondary-index-free tables
+        want (the rowids would otherwise be built and thrown away).
+        ``presorted`` promises the rows already arrive in strictly
+        increasing key order (verified by the tree), skipping the sort
+        and duplicate-grouping passes entirely.
+        """
+        if self._tree.entry_count:
+            raise ConstraintError(
+                f"bulk load requires empty IOT {self.name}")
+        kw = self.key_width
+        if kw == 1:
+            keys = [(row[0],) for row in rows]
+        else:
+            key_of = itemgetter(*range(kw))  # C-level key extraction
+            keys = [key_of(row) for row in rows]
+        payloads = [row[kw:] for row in rows]
+        if presorted:
+            self._tree.bulk_load_sorted(keys, payloads)
+        else:
+            self._tree.bulk_load(zip(keys, payloads))
+        self.buffer.stats.logical_writes += len(rows)
+        if not with_rowids:
+            return None
+        return [self._surrogate(key) for key in keys]
 
     def fetch(self, rowid: RowId) -> List[Any]:
         """Fetch by surrogate rowid (first match under the key)."""

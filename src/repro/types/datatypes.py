@@ -205,12 +205,16 @@ class RowIdType(DataType):
     """Physical row identifier type (``ROWID``)."""
 
     name = "ROWID"
+    _rowid_cls = None  # resolved lazily to avoid an import cycle with storage
 
     def validate(self, value: Any) -> Any:
         if is_null(value):
             return NULL
-        from repro.storage.heap import RowId  # local import to avoid a cycle
-        if isinstance(value, RowId):
+        cls = RowIdType._rowid_cls
+        if cls is None:
+            from repro.storage.heap import RowId
+            cls = RowIdType._rowid_cls = RowId
+        if isinstance(value, cls):
             return value
         raise TypeMismatchError(f"expected ROWID, got {type(value).__name__}")
 
