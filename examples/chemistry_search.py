@@ -57,10 +57,10 @@ def main() -> None:
         print("  ", row)
 
     print("\nnearest neighbours of acetic acid (Tanimoto, ranked):")
-    rows = db.query(
+    rows = db.execute(
         "SELECT name, Chem_Score(1) FROM compounds "
         "WHERE Chem_Similar(mol, 'CC(=O)O', 0.2, 1) "
-        "ORDER BY Chem_Score(1) DESC LIMIT 5")
+        "ORDER BY Chem_Score(1) DESC LIMIT 5").fetchall()
     for name, score in rows:
         print(f"   {name:15s} {score:.3f}")
 
@@ -75,7 +75,8 @@ def main() -> None:
     db.begin()
     db.execute("INSERT INTO archive VALUES (999, 'CCCC')")
     db.rollback()
-    rows = db.query("SELECT cid FROM archive WHERE Chem_Match(mol, 'CCCC')")
+    rows = db.execute(
+        "SELECT cid FROM archive WHERE Chem_Match(mol, 'CCCC')").fetchall()
     print("after rollback, index entries for the undone insert:",
           [r for r in rows if r[0] == 999] or "none (events repaired it)")
 

@@ -52,7 +52,7 @@ def main() -> None:
         print("  " + line)
 
     db.stats.extra.clear()
-    rows = db.query(sql, [query_signature, weights])
+    rows = db.execute(sql, [query_signature, weights]).fetchall()
     extra = db.stats.extra
     print(f"\nthree-phase funnel over {400} photos:")
     print(f"  phase 1 (coarse range filter):    "
@@ -67,7 +67,7 @@ def main() -> None:
 
     # the functional path gives identical answers (drop the index)
     db.execute("DROP INDEX photos_vidx")
-    fallback = db.query(sql, [query_signature, weights])
+    fallback = db.execute(sql, [query_signature, weights]).fetchall()
     print("\nwithout the index (functional evaluation per row):",
           len(fallback), "matches — same answer:",
           sorted(fallback) == sorted(rows))

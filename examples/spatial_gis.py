@@ -48,7 +48,7 @@ def main() -> None:
                       "Sdo_Relate(p.geometry, r.geometry, 'mask=OVERLAPS')")
     print("Oracle8i-style query:")
     print("  " + integrated_sql)
-    pairs = db.query(integrated_sql)
+    pairs = db.execute(integrated_sql).fetchall()
     print(f"  -> {len(pairs)} overlapping road/park pairs\n")
 
     # --- the pre-8i formulation -------------------------------------------
@@ -59,15 +59,16 @@ def main() -> None:
     legacy_sql = LegacySpatialLayer.overlap_query_sql(road_layer, park_layer)
     print("pre-8i query the end user had to write:")
     print("  " + legacy_sql)
-    legacy_pairs = db.query(legacy_sql)
+    legacy_pairs = db.execute(legacy_sql).fetchall()
     print(f"  -> {len(legacy_pairs)} pairs (same answer: "
           f"{sorted(legacy_pairs) == sorted(pairs)})\n")
 
     # --- window query with a bound geometry --------------------------------
     gt = db.catalog.get_object_type("SDO_GEOMETRY")
     downtown = spatial.make_rect(gt, 300, 300, 600, 600)
-    rows = db.query("SELECT gid FROM parks WHERE "
-                    "Sdo_Relate(geometry, :1, 'mask=INSIDE')", [downtown])
+    rows = db.execute("SELECT gid FROM parks WHERE "
+                      "Sdo_Relate(geometry, :1, 'mask=INSIDE')",
+                      [downtown]).fetchall()
     print(f"parks entirely inside downtown: {[r[0] for r in rows]}\n")
 
     # --- E7: swap the algorithm, keep the query -----------------------------
@@ -76,8 +77,9 @@ def main() -> None:
     db.execute("INSERT INTO parks2 SELECT gid, geometry FROM parks")
     db.execute("CREATE INDEX parks2_idx ON parks2(geometry)"
                " INDEXTYPE IS RtreeIndexType")
-    rows2 = db.query("SELECT gid FROM parks2 WHERE "
-                     "Sdo_Relate(geometry, :1, 'mask=INSIDE')", [downtown])
+    rows2 = db.execute("SELECT gid FROM parks2 WHERE "
+                       "Sdo_Relate(geometry, :1, 'mask=INSIDE')",
+                       [downtown]).fetchall()
     print("same query through an R-tree indextype:", [r[0] for r in rows2])
     print("answers agree:", sorted(rows2) == sorted(rows))
 

@@ -35,10 +35,10 @@ def main() -> None:
 
     # warm both paths once so the comparison isn't skewed by a cold
     # buffer cache (the paper's numbers are steady-state too)
-    db.query(sql, [query])
+    db.execute(sql, [query]).fetchall()
     legacy.query(query, "d.id, d.body")
 
-    integrated = io_delta(db, lambda: db.query(sql, [query]))
+    integrated = io_delta(db, lambda: db.execute(sql, [query]).fetchall())
     first_integrated = time_to_first_row(
         lambda: iter(db.execute(sql, [query])))
     legacy_run = io_delta(db, lambda: legacy.query(query, "d.id, d.body"))

@@ -184,6 +184,14 @@ class SpatialIndexMethods(IndexMethods):
 
     def index_start(self, ia: ODCIIndexInfo, op_info: ODCIPredInfo,
                     query_info: ODCIQueryInfo, env: ODCIEnv) -> Any:
+        """Open an Sdo_Relate() scan.
+
+        The primary filter's tile lookups and the secondary filter's
+        ``fetch_value`` reads both go through ``env.callback``, which
+        is pinned to the invoking statement's MVCC snapshot: the tile
+        table and base geometries this scan observes are the frozen
+        ones, regardless of concurrent spatial DML.
+        """
         if len(op_info.operator_args) < 2:
             raise ODCIError("ODCIIndexStart",
                             "Sdo_Relate needs (query geometry, mask)")

@@ -265,6 +265,13 @@ class TextIndexMethods(IndexMethods):
 
     def index_start(self, ia: ODCIIndexInfo, op_info: ODCIPredInfo,
                     query_info: ODCIQueryInfo, env: ODCIEnv) -> Any:
+        """Open a Contains() scan.
+
+        Every callback query here (and in the fetch loop) runs against
+        the invoking statement's MVCC snapshot — ``env.callback`` is
+        pinned to it, so the postings this scan reads stay frozen even
+        while concurrent DML rewrites the terms table mid-fetch.
+        """
         if not op_info.operator_args:
             raise ODCIError("ODCIIndexStart",
                             "Contains requires a query argument")

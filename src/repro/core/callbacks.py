@@ -44,7 +44,8 @@ _DML_TYPES = (ast.Insert, ast.Update, ast.Delete)
 
 _QUERY_TYPES = (ast.Select, ast.Explain)
 
-_TXN_TYPES = (ast.Commit, ast.Rollback, ast.BeginTransaction, ast.Savepoint)
+_TXN_TYPES = (ast.Commit, ast.Rollback, ast.BeginTransaction, ast.Savepoint,
+              ast.SetTransaction)
 
 
 class CallbackSession:
@@ -52,7 +53,7 @@ class CallbackSession:
 
     def __init__(self, database: Any, phase: CallbackPhase,
                  base_table: Optional[str] = None, definer: str = "main",
-                 locking: bool = True):
+                 locking: bool = True, snapshot: Optional[Any] = None):
         self._db = database
         self.phase = phase
         self.base_table = (base_table or "").lower()
@@ -62,6 +63,10 @@ class CallbackSession:
         #: statement locks its own tables — locking here would invert
         #: the base-table → index-table order writers follow)
         self.locking = locking
+        #: the invoking statement's MVCC snapshot (scan phase): every
+        #: callback query this session runs resolves against it, so
+        #: ODCIIndexStart/Fetch observe one frozen database state
+        self.snapshot = snapshot
 
     def execute(self, sql: str, params: Optional[Any] = None):
         """Run a callback statement after phase validation.
@@ -79,11 +84,13 @@ class CallbackSession:
         # §2.5 definer rights: "Indextype routines always execute under
         # the privileges of the owner of the index."
         with self._db.as_user(self.definer):
-            if not self.locking:
-                with self._db._no_table_locks():
-                    return self._db.pipeline.execute(sql, params,
-                                                     check=self._check)
-            return self._db.pipeline.execute(sql, params, check=self._check)
+            with self._db._pin_snapshot(self.snapshot):
+                if not self.locking:
+                    with self._db._no_table_locks():
+                        return self._db.pipeline.execute(sql, params,
+                                                         check=self._check)
+                return self._db.pipeline.execute(sql, params,
+                                                 check=self._check)
 
     # convenience wrappers used heavily by the cartridges ----------------
 
@@ -104,15 +111,23 @@ class CallbackSession:
         candidates without re-scanning the base table.
         """
         table = self._db.catalog.get_table(table_name)
-        return table.storage.fetch_or_none(rowid)
+        return self._fetch(table.storage, rowid)
 
     def fetch_value(self, table_name: str, rowid: Any, column: str):
         """Read one column of one row by rowid (None for a dead rowid)."""
         table = self._db.catalog.get_table(table_name)
-        row = table.storage.fetch_or_none(rowid)
+        row = self._fetch(table.storage, rowid)
         if row is None:
             return None
         return row[table.column_position(column)]
+
+    def _fetch(self, storage: Any, rowid: Any):
+        """Rowid fetch against the pinned snapshot when one is set and
+        the storage is versioned; current-mode otherwise."""
+        if self.snapshot is None \
+                or getattr(storage, "versions", None) is None:
+            return storage.fetch_or_none(rowid)
+        return storage.fetch_or_none(rowid, self.snapshot)
 
     def insert_row(self, table_name: str, values: Any):
         """Bulk-bind insert of one row of Python values (maintenance DML)."""

@@ -7,6 +7,7 @@ ints, so AND/OR/NOT of predicates are single big-int operations.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
@@ -23,6 +24,8 @@ class BitmapIndex:
         self._position_of: Dict[Any, int] = {}
         self._rowid_at: List[Any] = []
         self._live = 0  # live (key, rowid) entries
+        #: taken by index maintenance and by snapshot-mode probes
+        self.latch = threading.Lock()
 
     def _visit(self, nodes: int = 1) -> None:
         if self._touch is not None:

@@ -15,6 +15,7 @@ counters as heap traffic.
 from __future__ import annotations
 
 import bisect
+import threading
 from itertools import islice
 from operator import itemgetter, lt
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
@@ -58,6 +59,9 @@ class BTree:
         self._touch = touch
         self._root = _Node(leaf=True)
         self._height = 1
+        #: taken by index maintenance and by snapshot-mode probes, so
+        #: lock-free readers never see the structure mid-restructure
+        self.latch = threading.Lock()
         self._count = 0  # number of (key, value) entries
 
     # -- instrumentation -------------------------------------------------

@@ -9,6 +9,7 @@ comparable.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConstraintError
@@ -25,6 +26,8 @@ class HashIndex:
         self._buckets: List[List[Tuple[Any, List[Any]]]] = [
             [] for _ in range(self._bucket_count)]
         self._count = 0
+        #: taken by index maintenance and by snapshot-mode probes
+        self.latch = threading.Lock()
 
     def _visit(self, nodes: int = 1) -> None:
         if self._touch is not None:

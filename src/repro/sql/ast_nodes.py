@@ -402,6 +402,18 @@ class Savepoint(Statement):
 
 
 @dataclass
+class SetTransaction(Statement):
+    """SET TRANSACTION READ ONLY / READ WRITE / ISOLATION LEVEL ...
+
+    ``read_only`` pins the transaction to a single snapshot and rejects
+    DML; ``isolation`` is ``"SERIALIZABLE"`` or ``"READ COMMITTED"``.
+    """
+
+    read_only: bool = False
+    isolation: Optional[str] = None
+
+
+@dataclass
 class GrantStatement(Statement):
     """GRANT/REVOKE privileges ON table TO/FROM user (§2.5 privileges)."""
 

@@ -29,11 +29,15 @@ class Cursor:
 
     def __init__(self, columns: Optional[List[str]] = None,
                  rows: Optional[Iterator[Tuple[Any, ...]]] = None,
-                 rowcount: int = -1, tracker: Any = None):
+                 rowcount: int = -1, tracker: Any = None,
+                 snapshot: Any = None):
         self.description = columns
         self._rows = rows if rows is not None else iter(())
         self.rowcount = rowcount
         self._tracker = tracker
+        # strong ref keeps the MVCC snapshot registered (it holds the
+        # engine's low-water mark down) until the cursor is closed
+        self._snapshot = snapshot
         self._closed = False
 
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
@@ -84,6 +88,7 @@ class Cursor:
         if self._closed:
             return
         self._closed = True
+        self._snapshot = None  # release the LWM pin
         rows, self._rows = self._rows, iter(())
         try:
             close = getattr(rows, "close", None)

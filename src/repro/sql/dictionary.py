@@ -14,11 +14,12 @@ from typing import Any, Iterator, List, Optional, Tuple
 from repro.errors import StorageError
 from repro.sql.catalog import Catalog, ColumnInfo, TableDef
 from repro.storage.heap import RowId
-from repro.types.datatypes import BOOLEAN, INTEGER, VARCHAR2
+from repro.types.datatypes import BOOLEAN, INTEGER, NUMBER, VARCHAR2
 
 #: Names served by :func:`dictionary_view`.
 VIEW_NAMES = ("user_tables", "user_indexes", "user_operators",
-              "user_indextypes", "user_index_maintenance")
+              "user_indextypes", "user_index_maintenance",
+              "user_lock_stats", "user_snapshot_stats")
 
 
 class _SnapshotStorage:
@@ -70,6 +71,10 @@ def dictionary_view(catalog: Catalog, name: str,
         return _user_indextypes(catalog)
     if key == "user_index_maintenance" and engine is not None:
         return _user_index_maintenance(engine)
+    if key == "user_lock_stats" and engine is not None:
+        return _user_lock_stats(engine)
+    if key == "user_snapshot_stats" and engine is not None:
+        return _user_snapshot_stats(engine)
     return None
 
 
@@ -146,6 +151,59 @@ def _user_index_maintenance(engine: Any) -> TableDef:
                   ("entries_flushed", INTEGER), ("batches_flushed", INTEGER),
                   ("native_batches", INTEGER), ("shim_batches", INTEGER),
                   ("max_batch", INTEGER), ("histogram", VARCHAR2)],
+                 rows)
+
+
+def _histogram_text(histogram: Any) -> str:
+    """Render a bucket→count mapping as space-separated ``bucket:count``
+    pairs in the histogram's own (insertion) order."""
+    return " ".join(f"{bucket}:{count}"
+                    for bucket, count in histogram.items())
+
+
+def _user_lock_stats(engine: Any) -> TableDef:
+    """One-row view over the engine's :class:`~repro.txn.locks.LockStats`.
+
+    ``wait_histogram`` renders the wait-time distribution as
+    ``bucket:count`` pairs.  MVCC acceptance check: a pure-reader
+    workload leaves ``waits`` (and ``deadlocks``) untouched.
+    """
+    snap = engine.locks.stats.snapshot()
+    rows = [[snap["acquisitions"], snap["waits"], snap["wait_seconds"],
+             snap["timeouts"], snap["deadlocks"],
+             _histogram_text(snap["histogram"])]]
+    return _view("user_lock_stats",
+                 [("acquisitions", INTEGER), ("waits", INTEGER),
+                  ("wait_seconds", NUMBER), ("timeouts", INTEGER),
+                  ("deadlocks", INTEGER), ("wait_histogram", VARCHAR2)],
+                 rows)
+
+
+def _user_snapshot_stats(engine: Any) -> TableDef:
+    """One-row view over the MVCC manager's counters.
+
+    ``chain_histogram`` is the version-chain-length distribution
+    recorded at each prune pass; ``oldest_active_scn`` is NULL when no
+    snapshot is live.
+    """
+    snap = engine.mvcc.stats.snapshot()
+    rows = [[snap["snapshots_taken"], snap["statement_snapshots"],
+             snap["transaction_snapshots"], snap["commits"],
+             snap["versions_created"], snap["versions_stamped"],
+             snap["versions_pruned"], snap["prune_passes"],
+             _histogram_text(snap["chain_histogram"]),
+             engine.mvcc.oldest_active_scn(),
+             engine.mvcc.current_scn]]
+    return _view("user_snapshot_stats",
+                 [("snapshots_taken", INTEGER),
+                  ("statement_snapshots", INTEGER),
+                  ("transaction_snapshots", INTEGER),
+                  ("commits", INTEGER), ("versions_created", INTEGER),
+                  ("versions_stamped", INTEGER),
+                  ("versions_pruned", INTEGER), ("prune_passes", INTEGER),
+                  ("chain_histogram", VARCHAR2),
+                  ("oldest_active_scn", INTEGER),
+                  ("current_scn", INTEGER)],
                  rows)
 
 

@@ -40,7 +40,8 @@ from repro.core.callbacks import CallbackPhase
 from repro.core.domain_index import DomainIndex, IndexState
 from repro.core.odci import IndexMethods
 from repro.errors import (
-    CallbackError, ConstraintError, ExecutionError, IndexUnusableError)
+    CallbackError, ConstraintError, ExecutionError, IndexUnusableError,
+    TransactionError)
 from repro.sql import ast_nodes as ast
 from repro.sql import planner as pl
 from repro.sql.binds import normalize_params
@@ -62,6 +63,19 @@ def index_key(row: List[Any], positions: List[int]) -> Any:
     if any(is_null(v) for v in values):
         return None
     return values[0] if len(values) == 1 else tuple(values)
+
+
+def _structure_insert(structure, key, rowid) -> None:
+    """Insert into a native index under its latch (snapshot scans probe
+    these structures without locks)."""
+    with structure.latch:
+        structure.insert(key, rowid)
+
+
+def _structure_delete(structure, key, rowid) -> None:
+    """Delete from a native index under its latch."""
+    with structure.latch:
+        structure.delete(key, rowid)
 
 
 #: queued-op list layout: [kind, rowid, old_vals, new_vals, alive]
@@ -155,6 +169,9 @@ class DMLEngine:
         db = self.db
         if db.txns.in_transaction:
             txn, autocommit = db.txns.current, False
+            if txn.read_only:
+                raise TransactionError(
+                    "cannot execute DML in a READ ONLY transaction")
         else:
             txn, autocommit = db.txns.begin(), True
         self._stmt_depth += 1
@@ -507,6 +524,11 @@ class DMLEngine:
         storage = table.storage
         if not hasattr(storage, "insert_bulk") or storage.row_count != 0:
             return None
+        versions = getattr(storage, "versions", None)
+        if versions is not None and not versions.clean:
+            # version chains from prior DML may still be visible to live
+            # snapshots; the one-undo-per-structure load can't honor them
+            return None
         native = []
         for index in db.catalog.indexes_on(table.name):
             structure = index.structure
@@ -560,6 +582,13 @@ class DMLEngine:
                     f"{table.name} direct load: rows must all have "
                     f"{n_cols} values")
         storage = table.storage
+        versions = getattr(storage, "versions", None)
+        if versions is not None:
+            # one fence version covers the whole load: snapshots older
+            # than this txn's commit see none of the bulk rows
+            fence = versions.set_fence(txn)
+            txn.track_version(fence)
+            txn.record_undo(lambda: versions.drop_fence(fence))
         rowids = storage.insert_bulk(validated, with_rowids=bool(native),
                                      presorted=presorted)
         txn.record_undo(lambda s=storage: s.truncate())
@@ -569,14 +598,37 @@ class DMLEngine:
                 key = index_key(row, positions)
                 if key is not None:
                     pairs.append((key, rowid))
-            structure.bulk_load(pairs)
+            with structure.latch:
+                structure.bulk_load(pairs)
             txn.record_undo(lambda s=structure: s.clear())
         return len(validated)
+
+    def _record_version(self, storage, rowid, new_value, old_value,
+                        txn) -> None:
+        """Chain an uncommitted row version (MVCC write path).
+
+        Must run *before* the slot/tree mutates: a snapshot reader that
+        races the write resolves through the chain, never through the
+        raw slot.  The pop is recorded as undo so statement savepoints
+        and rollback unlink exactly the versions they undo.
+        """
+        versions = getattr(storage, "versions", None)
+        if versions is None:
+            return
+        version = versions.push(rowid, new_value, old_value, txn)
+        txn.track_version(version)
+        txn.record_undo(lambda: versions.pop(rowid, version))
+        self.db.engine.mvcc.stats.versions_created += 1
 
     def insert_physical(self, table: TableDef, row: List[Any], txn) -> RowId:
         row = self.validate_row(table, row)
         storage = table.storage
-        rowid = storage.insert(row)
+        if getattr(storage, "versions", None) is not None:
+            rowid = storage.insert(
+                row, on_rowid=lambda rid: self._record_version(
+                    storage, rid, list(row), None, txn))
+        else:
+            rowid = storage.insert(row)
         txn.record_undo(lambda: storage.delete(rowid))
         self.maintain_insert(table, rowid, row, txn)
         return rowid
@@ -612,9 +664,10 @@ class DMLEngine:
             key = index_key(row, positions)
             if key is None:
                 continue
-            structure.insert(key, rowid)
+            _structure_insert(structure, key, rowid)
             txn.record_undo(
-                lambda s=structure, k=key, r=rowid: s.delete(k, r))
+                lambda s=structure, k=key, r=rowid: _structure_delete(
+                    s, k, r))
 
     def maintain_delete(self, table: TableDef, rowid: RowId,
                         row: List[Any], txn) -> None:
@@ -643,9 +696,10 @@ class DMLEngine:
             key = index_key(row, positions)
             if key is None:
                 continue
-            structure.delete(key, rowid)
+            _structure_delete(structure, key, rowid)
             txn.record_undo(
-                lambda s=structure, k=key, r=rowid: s.insert(k, r))
+                lambda s=structure, k=key, r=rowid: _structure_insert(
+                    s, k, r))
 
     def maintain_update(self, table: TableDef, rowid: RowId,
                         old_row: List[Any], new_row: List[Any],
@@ -679,13 +733,15 @@ class DMLEngine:
             if old_key == new_key:
                 continue
             if old_key is not None:
-                structure.delete(old_key, rowid)
+                _structure_delete(structure, old_key, rowid)
                 txn.record_undo(
-                    lambda s=structure, k=old_key, r=rowid: s.insert(k, r))
+                    lambda s=structure, k=old_key, r=rowid:
+                    _structure_insert(s, k, r))
             if new_key is not None:
-                structure.insert(new_key, rowid)
+                _structure_insert(structure, new_key, rowid)
                 txn.record_undo(
-                    lambda s=structure, k=new_key, r=rowid: s.delete(k, r))
+                    lambda s=structure, k=new_key, r=rowid:
+                    _structure_delete(s, k, r))
 
     # ------------------------------------------------------------------
     # statements
@@ -834,8 +890,10 @@ class DMLEngine:
                     new_row[pos] = db.evaluator.evaluate(expr, ctx)
                 new_row = self.validate_row(table, new_row)
                 storage = table.storage
-                storage.update(rowid, new_row)
                 old_copy = list(old_row)
+                self._record_version(storage, rowid, list(new_row),
+                                     old_copy, txn)
+                storage.update(rowid, new_row)
                 txn.record_undo(
                     lambda s=storage, r=rowid, o=old_copy: s.update(r, o))
                 self.maintain_update(table, rowid, old_copy, new_row, txn)
@@ -864,7 +922,9 @@ class DMLEngine:
                 if old_row is None:
                     continue
                 storage = table.storage
-                old_copy = list(storage.delete(rowid))
+                old_copy = list(old_row)
+                self._record_version(storage, rowid, None, old_copy, txn)
+                storage.delete(rowid)
                 txn.record_undo(
                     lambda s=storage, r=rowid, o=old_copy: s.undelete(r, o))
                 self.maintain_delete(table, rowid, old_copy, txn)

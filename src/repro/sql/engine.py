@@ -48,6 +48,7 @@ from repro.storage.filestore import FileStore
 from repro.storage.lob import LobManager
 from repro.txn.events import EventManager
 from repro.txn.locks import LockManager
+from repro.txn.mvcc import MVCCManager
 
 __all__ = ["Engine"]
 
@@ -71,6 +72,9 @@ class Engine:
         self.files = FileStore(self.stats)
         self.events = EventManager()
         self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        #: SCN clock + snapshot registry; SELECT reads resolve against
+        #: snapshots from here instead of taking LockManager S locks
+        self.mvcc = MVCCManager()
         #: fault-isolation seam every ODCI callback routes through;
         #: shared so routine metrics/timeouts/fault plans are engine-wide
         self.dispatcher = CallbackDispatcher(self)
@@ -101,6 +105,28 @@ class Engine:
         """Open a new session against this engine."""
         from repro.sql.session import Session
         return Session(self, user=user)
+
+    # ------------------------------------------------------------------
+    # MVCC maintenance
+    # ------------------------------------------------------------------
+
+    def _version_stores(self):
+        """Version stores of every catalog table (heap and IOT)."""
+        with self.catalog.latch:
+            tables = list(self.catalog.tables.values())
+        return [t.storage.versions for t in tables
+                if getattr(t.storage, "versions", None) is not None]
+
+    def prune_versions(self) -> int:
+        """One low-water-mark prune pass; returns versions removed."""
+        return self.mvcc.prune(self._version_stores())
+
+    def start_version_pruner(self, interval: float = 1.0) -> None:
+        """Start the background low-water-mark pruner (opt-in)."""
+        self.mvcc.start_pruner(self._version_stores, interval)
+
+    def stop_version_pruner(self) -> None:
+        self.mvcc.stop_pruner()
 
     def allocate_txn_id(self) -> int:
         """Next globally-ordered transaction id (shared by all sessions)."""

@@ -82,12 +82,16 @@ class Executor:
     """
 
     def __init__(self, db: Any, binds: Optional[Dict[str, Any]] = None,
-                 tracker: Optional[Any] = None):
+                 tracker: Optional[Any] = None,
+                 snapshot: Optional[Any] = None):
         self.db = db
         self.catalog = db.catalog
         self.binds = binds or {}
         self.evaluator = Evaluator(db.catalog, binds)
         self.tracker = tracker
+        #: MVCC snapshot all reads resolve against (None → current mode:
+        #: DML target selection and the snapshot_reads=False seed path)
+        self.snapshot = snapshot
         self.use_compiled = getattr(db, "compile_expressions", True)
         self.batch_size = getattr(db, "fetch_batch_size", 32)
         #: id(expr) -> (expr, value); the expr reference keeps the id
@@ -253,9 +257,14 @@ class Executor:
         make = self._ctx_factory(node.table, node.binding_name)
         passes = self._truth_fn(node, "filter", node.filter)
         storage = node.table.storage
+        snapshot = self.snapshot \
+            if getattr(storage, "versions", None) is not None else None
         scan_batches = getattr(storage, "scan_batches", None)
         if scan_batches is not None:
-            pages = scan_batches()
+            pages = scan_batches(snapshot) if snapshot is not None \
+                else scan_batches()
+        elif snapshot is not None:
+            pages = _chunked(storage.scan(snapshot), self.batch_size)
         else:
             pages = _chunked(storage.scan(), self.batch_size)
         if passes is None:
@@ -290,8 +299,34 @@ class Executor:
         self._const_cache[id(expr)] = (expr, value)
         return value
 
+    def _fetch_fn(self, storage: Any) -> Callable[[Any], Optional[List[Any]]]:
+        """Row fetch callable for a table's storage, resolved against the
+        executor's snapshot when the storage is versioned.
+
+        Unversioned storages (dictionary views, test doubles) keep the
+        plain current-mode fetch regardless of snapshot."""
+        snapshot = self.snapshot
+        if snapshot is None or getattr(storage, "versions", None) is None:
+            return storage.fetch_or_none
+        return lambda rowid: storage.fetch_or_none(rowid, snapshot)
+
+    def _probe(self, structure: Any,
+               produce: Callable[[], Iterable[Any]]) -> Iterable[Any]:
+        """Run a native-index probe.
+
+        Under a snapshot, readers hold no table locks, so a concurrent
+        writer may restructure the index mid-iteration; materialize the
+        probe under the structure's latch instead of streaming it."""
+        if self.snapshot is None:
+            return produce()
+        latch = getattr(structure, "latch", None)
+        if latch is None:
+            return produce()
+        with latch:
+            return list(produce())
+
     def _fetch_ctx(self, node, rowid: Any) -> Optional[RowContext]:
-        row = node.table.storage.fetch_or_none(rowid)
+        row = self._fetch_fn(node.table.storage)(rowid)
         if row is None:
             return None
         return self._make_ctx(node.table, node.binding_name, rowid, row)
@@ -303,7 +338,13 @@ class Executor:
             return
         make = self._ctx_factory(node.table, node.binding_name)
         passes = self._truth_fn(node, "filter", node.filter)
-        for rowid, row in node.table.storage.key_prefix_scan([key]):
+        storage = node.table.storage
+        if self.snapshot is not None \
+                and getattr(storage, "versions", None) is not None:
+            pairs = storage.key_prefix_scan([key], snapshot=self.snapshot)
+        else:
+            pairs = storage.key_prefix_scan([key])
+        for rowid, row in pairs:
             ctx = make(rowid, row)
             if passes is None or passes(ctx):
                 yield ctx
@@ -314,10 +355,12 @@ class Executor:
         structure = node.index.structure
         make = self._ctx_factory(node.table, node.binding_name)
         passes = self._truth_fn(node, "filter", node.filter)
-        fetch = node.table.storage.fetch_or_none
-        for __, rowid in structure.range_scan(low, high,
-                                              node.low_inclusive,
-                                              node.high_inclusive):
+        fetch = self._fetch_fn(node.table.storage)
+        for __, rowid in self._probe(
+                structure,
+                lambda: structure.range_scan(low, high,
+                                             node.low_inclusive,
+                                             node.high_inclusive)):
             row = fetch(rowid)
             if row is None:
                 continue
@@ -329,8 +372,9 @@ class Executor:
         key = self._const(node.key)
         make = self._ctx_factory(node.table, node.binding_name)
         passes = self._truth_fn(node, "filter", node.filter)
-        fetch = node.table.storage.fetch_or_none
-        for rowid in node.index.structure.search(key):
+        fetch = self._fetch_fn(node.table.storage)
+        structure = node.index.structure
+        for rowid in self._probe(structure, lambda: structure.search(key)):
             row = fetch(rowid)
             if row is None:
                 continue
@@ -342,8 +386,10 @@ class Executor:
         keys = [self._const(k) for k in node.keys]
         make = self._ctx_factory(node.table, node.binding_name)
         passes = self._truth_fn(node, "filter", node.filter)
-        fetch = node.table.storage.fetch_or_none
-        for rowid in node.index.structure.search_any_of(keys):
+        fetch = self._fetch_fn(node.table.storage)
+        structure = node.index.structure
+        for rowid in self._probe(structure,
+                                 lambda: structure.search_any_of(keys)):
             row = fetch(rowid)
             if row is None:
                 continue
@@ -373,7 +419,11 @@ class Executor:
         pred_info = node.pred_info.with_args(evaluated_args)
         query_info = ODCIQueryInfo(first_rows=node.first_rows,
                                    ancillary_label=call.label)
-        env = self.db.make_env(CallbackPhase.SCAN, domain)
+        # pin any callback-SQL the cartridge runs during this scan to the
+        # statement's snapshot: ODCIIndexStart/Fetch observe one frozen
+        # database state no matter how long the fetch loop streams
+        env = self.db.make_env(CallbackPhase.SCAN, domain,
+                               snapshot=self.snapshot)
         ia = domain.index_info()
         methods = domain.methods
         if env.trace_enabled:
@@ -389,7 +439,10 @@ class Executor:
         batch_size = self.batch_size
         make = self._ctx_factory(node.table, node.binding_name)
         passes = self._truth_fn(node, "filter", node.filter)
-        fetch = node.table.storage.fetch_or_none
+        # index-returned rowids are hints: the snapshot-aware base-table
+        # fetch re-validates each one, dropping rows whose versions are
+        # not visible to this statement
+        fetch = self._fetch_fn(node.table.storage)
         label = call.label
         try:
             while True:
@@ -467,12 +520,13 @@ class Executor:
         inner_passes = self._truth_fn(node, "inner_filter", node.inner_filter)
         accepts = self._truth_fn(node, "condition", node.condition)
         make = self._ctx_factory(node.inner_table, node.inner_binding)
-        fetch = node.inner_table.storage.fetch_or_none
+        fetch = self._fetch_fn(node.inner_table.storage)
         for outer_ctx in self.iter_node(node.outer):
             key = outer_key(outer_ctx)
             if is_null(key):
                 continue
-            for rowid in structure.search(key):
+            for rowid in self._probe(structure,
+                                     lambda: structure.search(key)):
                 row = fetch(rowid)
                 if row is None:
                     continue
@@ -503,8 +557,9 @@ class Executor:
         inner_passes = self._truth_fn(node, "inner_filter", node.inner_filter)
         accepts = self._truth_fn(node, "condition", node.condition)
         make = self._ctx_factory(node.inner_table, node.inner_binding)
-        fetch = node.inner_table.storage.fetch_or_none
-        env = self.db.make_env(CallbackPhase.SCAN, domain)
+        fetch = self._fetch_fn(node.inner_table.storage)
+        env = self.db.make_env(CallbackPhase.SCAN, domain,
+                               snapshot=self.snapshot)
         ia = domain.index_info()
         methods = domain.methods
         batch_size = self.batch_size

@@ -166,12 +166,59 @@ class Parser:
         elif tok.is_keyword("SAVEPOINT"):
             self._next()
             stmt = ast.Savepoint(self._ident("savepoint name"))
+        elif tok.is_keyword("SET"):
+            stmt = self._set_transaction()
         elif tok.is_keyword("GRANT", "REVOKE"):
             stmt = self._grant()
         else:
             raise self._error(f"unexpected statement start {tok.text!r}")
         self._expect_eof()
         return stmt
+
+    def _set_transaction(self) -> ast.SetTransaction:
+        """SET TRANSACTION READ ONLY | READ WRITE
+                           | ISOLATION LEVEL SERIALIZABLE
+                           | ISOLATION LEVEL READ COMMITTED
+
+        The mode words are not reserved — they arrive as plain
+        identifiers and are matched by text.
+        """
+        self._expect_keyword("SET")
+        self._expect_keyword("TRANSACTION")
+        read_only = False
+        isolation: Optional[str] = None
+        saw_clause = False
+        while self._peek().kind is TokenKind.IDENT:
+            word = self._ident().upper()
+            if word == "READ":
+                mode = self._ident("ONLY or WRITE").upper()
+                if mode == "ONLY":
+                    read_only = True
+                elif mode == "WRITE":
+                    read_only = False
+                else:
+                    raise self._error(f"expected ONLY or WRITE, got {mode!r}")
+            elif word == "ISOLATION":
+                if self._ident("LEVEL").upper() != "LEVEL":
+                    raise self._error("expected LEVEL after ISOLATION")
+                level = self._ident("isolation level").upper()
+                if level == "SERIALIZABLE":
+                    isolation = "SERIALIZABLE"
+                elif level == "READ" \
+                        and self._ident("COMMITTED").upper() == "COMMITTED":
+                    isolation = "READ COMMITTED"
+                else:
+                    raise self._error(f"unknown isolation level {level!r}")
+            else:
+                raise self._error(
+                    f"expected READ or ISOLATION, got {word!r}")
+            saw_clause = True
+            if not self._accept_punct(","):
+                break
+        if not saw_clause:
+            raise self._error("expected READ or ISOLATION after "
+                              "SET TRANSACTION")
+        return ast.SetTransaction(read_only=read_only, isolation=isolation)
 
     # -- CREATE family -------------------------------------------------------
 

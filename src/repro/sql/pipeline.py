@@ -39,8 +39,9 @@ import re
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.domain_index import IndexState
 from repro.core.scan_context import ScanTracker
-from repro.errors import ExecutionError
+from repro.errors import CallbackError, ExecutionError
 from repro.sql import ast_nodes as ast
 from repro.sql.binds import (
     collect_bind_names, normalize_params, statement_has_subquery,
@@ -50,14 +51,14 @@ from repro.sql.executor import Executor
 from repro.sql.parser import parse
 from repro.sql.plan_cache import (
     CachedPlan, PlanCache, normalize_sql, size_bucket)
-from repro.txn.locks import LockMode
 
 _EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+PLAN\s+FOR)?\s", re.IGNORECASE)
 #: cheap gate for the pre-parse cache probe — only SELECTs are ever
 #: stored, so probing for DML/DDL/TCL would just inflate miss counts
 _SELECT_RE = re.compile(r"^\s*SELECT\b", re.IGNORECASE)
 
-_TCL_TYPES = (ast.Commit, ast.Rollback, ast.BeginTransaction, ast.Savepoint)
+_TCL_TYPES = (ast.Commit, ast.Rollback, ast.BeginTransaction, ast.Savepoint,
+              ast.SetTransaction)
 _DML_TYPES = (ast.Insert, ast.Update, ast.Delete)
 
 
@@ -255,6 +256,10 @@ class StatementPipeline:
         if isinstance(statement, ast.Savepoint):
             db.savepoint(statement.name)
             return Cursor(rowcount=0)
+        if isinstance(statement, ast.SetTransaction):
+            db.set_transaction(read_only=statement.read_only,
+                               isolation=statement.isolation)
+            return Cursor(rowcount=0)
         handler = self._DDL_DISPATCH.get(type(statement))
         if handler is not None:
             return getattr(db.ddl, handler)(statement)
@@ -287,17 +292,8 @@ class StatementPipeline:
         # read-your-writes: deferred maintenance entries against a
         # scanned table must reach the index before the scan starts
         db.dml.flush_deferred_for([tref.name for tref in select.tables])
-        txn = db.txns.current
-        if (txn is not None and txn.active
-                and not getattr(db, "_suppress_table_locks", False)):
-            for tref in select.tables:
-                db.locks.acquire(txn.txn_id, f"table:{tref.name.lower()}",
-                                 LockMode.SHARED,
-                                 timeout=getattr(db, "lock_timeout", None))
         plan = db.planner.plan_select(select)
-        tracker = ScanTracker()
-        rows = Executor(db, tracker=tracker).run(plan)
-        return Cursor(columns=plan.column_names, rows=rows, tracker=tracker)
+        return self._run_plan(plan, {})
 
     def explain_lines(self, sql: str, params: Optional[Any] = None,
                       check: Optional[Any] = None) -> List[str]:
@@ -374,13 +370,57 @@ class StatementPipeline:
         for table in tables:
             db._check_table_privilege(table, "select")
         db.dml.flush_deferred_for([table.name for table in tables])
-        txn = db.txns.current
-        if (txn is not None and txn.active
-                and not getattr(db, "_suppress_table_locks", False)):
-            for table in tables:
-                db.locks.acquire(txn.txn_id, f"table:{table.key}",
-                                 LockMode.SHARED,
-                                 timeout=getattr(db, "lock_timeout", None))
+        return self._run_plan(plan, values)
+
+    def _run_plan(self, plan: Any, values: Dict[str, Any]) -> Cursor:
+        """Shared Execute stage: snapshot reads, no table locks.
+
+        SELECTs no longer acquire LockManager S locks — the statement
+        snapshot (taken here, *before* any rows stream) gives each query
+        a consistent view regardless of concurrent DML, and the cursor
+        holds the snapshot until it closes so the low-water mark can't
+        prune versions out from under an open result set.
+        """
+        db = self.db
+        snapshot = db.statement_snapshot()
         tracker = ScanTracker()
-        rows = Executor(db, values, tracker).run(plan)
-        return Cursor(columns=plan.column_names, rows=rows, tracker=tracker)
+        rows = self._rows_with_degrade(plan, values, tracker, snapshot)
+        return Cursor(columns=plan.column_names, rows=rows, tracker=tracker,
+                      snapshot=snapshot)
+
+    def _rows_with_degrade(self, plan: Any, values: Dict[str, Any],
+                           tracker: ScanTracker, snapshot: Any):
+        """Row stream with the scan-phase degradation policy (§2.6).
+
+        A domain-index scan callback that fails before the first row —
+        under ``skip_unusable_indexes`` — marks the index UNUSABLE,
+        replans (the degraded index is no longer a candidate, so the
+        optimizer falls back to functional evaluation), and re-runs
+        against the *same* snapshot and tracker: the retry reads the
+        exact SCN the statement started at, and cursor close still
+        drives ``ODCIIndexClose`` once per opened scan.  A failure after
+        rows have streamed cannot retry (rows would repeat) and
+        propagates.
+        """
+        db = self.db
+        source = getattr(plan, "source", None)
+        for attempt in (0, 1):
+            rows = Executor(db, values, tracker, snapshot=snapshot).run(plan)
+            emitted = False
+            try:
+                for row in rows:
+                    emitted = True
+                    yield row
+                return
+            except CallbackError as exc:
+                if (attempt == 1 or emitted or exc.phase != "scan"
+                        or not exc.index_name
+                        or not db.skip_unusable_indexes
+                        or not db.catalog.has_index(exc.index_name)
+                        or source is None):
+                    raise
+                db.catalog.set_index_state(exc.index_name,
+                                           IndexState.UNUSABLE)
+                db._trace(f"select:degrade index {exc.index_name} -> "
+                          f"UNUSABLE; retrying statement [{exc.routine}]")
+                plan = db.planner.plan_select(source, peek_binds=values)

@@ -339,6 +339,9 @@ class QueryPlan:
     #: number of plan nodes whose row expressions all compiled to
     #: closures (see :mod:`repro.sql.compile`)
     compiled_nodes: int = 0
+    #: the Select AST this plan was built from, kept so a mid-scan
+    #: degrade (index marked UNUSABLE) can replan the same statement
+    source: Optional[ast.Select] = None
 
     def explain(self) -> List[str]:
         return self.root.explain()
@@ -637,7 +640,7 @@ class Planner:
             root = node
 
         plan = QueryPlan(root=root, column_names=[n for _, n in items],
-                         scope=scope)
+                         scope=scope, source=select)
         # lower row expressions to closures once, at plan time, so the
         # artifacts ride the shared plan cache across sessions
         if getattr(self.db, "compile_expressions", True):

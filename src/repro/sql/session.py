@@ -109,6 +109,14 @@ class Session:
         self.bulk_index_build = True
         #: when True, SELECTs skip table S-locks (plan-time stats reads)
         self._suppress_table_locks = False
+        #: MVCC consistent reads (default): SELECTs resolve rows against
+        #: a statement snapshot and take *no* table locks.  Off restores
+        #: bare current-mode reads — the differential suite runs the
+        #: same workload both ways to prove parity.
+        self.snapshot_reads = True
+        #: snapshot pinned by a callback scope (ODCIIndexStart/Fetch):
+        #: callback SQL reads at the opening statement's SCN
+        self._pinned_snapshot = None
         self.planner = Planner(engine.catalog, db=self)
         #: default bindless executor (planner subqueries, DML target rows)
         self.executor = Executor(self)
@@ -267,12 +275,19 @@ class Session:
 
     def make_env(self, phase: CallbackPhase,
                  domain: Optional[DomainIndex] = None,
-                 locking: bool = True) -> ODCIEnv:
-        """Build the session-scoped ODCIEnv passed into cartridge routines."""
+                 locking: bool = True, snapshot=None) -> ODCIEnv:
+        """Build the session-scoped ODCIEnv passed into cartridge routines.
+
+        ``snapshot`` pins every SQL statement the callback runs to the
+        opening statement's snapshot — the §2.5 consistency story:
+        ``ODCIIndexStart/Fetch/Close`` reads the index data tables at
+        the same SCN the executor reads the base table.
+        """
         base_table = domain.table_name if domain is not None else None
         definer = domain.owner if domain is not None else self.session_user
         callback = CallbackSession(self, phase, base_table=base_table,
-                                   definer=definer, locking=locking)
+                                   definer=definer, locking=locking,
+                                   snapshot=snapshot)
         return ODCIEnv(callback=callback, workspace=self.workspace,
                        stats=self.stats, trace=self.trace_log,
                        invoker=self.session_user, definer=definer,
@@ -307,6 +322,64 @@ class Session:
             self._suppress_table_locks = prev
 
     # ------------------------------------------------------------------
+    # snapshots (consistent reads; see repro.txn.mvcc)
+    # ------------------------------------------------------------------
+
+    def statement_snapshot(self):
+        """The snapshot this statement's reads should resolve against.
+
+        Priority: a callback-pinned snapshot (domain-index fetch SQL
+        reads at the opening statement's SCN), then the transaction
+        snapshot (``SET TRANSACTION READ ONLY`` / SERIALIZABLE), then a
+        fresh read-committed statement snapshot.  Returns None when
+        ``snapshot_reads`` is off (bare current-mode reads).
+        """
+        if self._pinned_snapshot is not None:
+            return self._pinned_snapshot
+        if not self.snapshot_reads:
+            return None
+        txn = self.txns.current
+        if txn is not None and txn.active and txn.snapshot is not None:
+            return txn.snapshot
+        txn_id = txn.txn_id if txn is not None and txn.active else None
+        return self.engine.mvcc.take_snapshot(txn_id, kind="statement")
+
+    @contextlib.contextmanager
+    def _pin_snapshot(self, snapshot):
+        """Scope in which all reads use ``snapshot`` (callback SQL)."""
+        if snapshot is None:
+            yield
+            return
+        prev = self._pinned_snapshot
+        self._pinned_snapshot = snapshot
+        try:
+            yield
+        finally:
+            self._pinned_snapshot = prev
+
+    def set_transaction(self, read_only: bool = False,
+                        isolation: Optional[str] = None) -> None:
+        """SET TRANSACTION: open a txn with a transaction-duration snapshot.
+
+        ``READ ONLY`` and ``ISOLATION LEVEL SERIALIZABLE`` both pin one
+        snapshot for the whole transaction (Oracle's transaction-level
+        read consistency); READ ONLY additionally rejects DML.
+        """
+        self._bind()
+        if self.txns.in_transaction and self.txns.current.undo_depth:
+            raise TransactionError(
+                "SET TRANSACTION must be the first statement of the "
+                "transaction")
+        txn = self.txns.ensure()
+        txn.read_only = read_only
+        level = (isolation or "").upper()
+        if read_only or level == "SERIALIZABLE":
+            txn.snapshot = self.engine.mvcc.take_snapshot(
+                txn.txn_id, kind="transaction")
+        else:
+            txn.snapshot = None
+
+    # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
 
@@ -324,9 +397,14 @@ class Session:
         # transaction: a flush failure aborts the commit with undo (and
         # the affected indexes degraded) rather than after it
         self.dml.flush_deferred()
+        # stamp this txn's row versions with the commit SCN, atomically
+        # with respect to snapshot handout
+        prune_due = self.engine.mvcc.commit_transaction(txn)
         txn.commit()
         self.locks.release_all(txn.txn_id)
         self.events.fire(DatabaseEvent.COMMIT)
+        if prune_due:
+            self.engine.prune_versions()
 
     def rollback(self, savepoint: Optional[str] = None) -> None:
         """Roll back the open transaction (or to a savepoint)."""
@@ -395,8 +473,8 @@ class Session:
            :mod:`repro.dbapi`.
         """
         warnings.warn("Database.query is deprecated; use "
-                      "execute(...).fetchall()", DeprecationWarning,
-                      stacklevel=2)
+                      "execute(...).fetchall() — see docs/API.md",
+                      DeprecationWarning, stacklevel=2)
         return self.execute(sql, params).fetchall()
 
     def query_one(self, sql: str,
@@ -406,8 +484,8 @@ class Session:
         .. deprecated:: use ``execute(sql, params).fetchone()``.
         """
         warnings.warn("Database.query_one is deprecated; use "
-                      "execute(...).fetchone()", DeprecationWarning,
-                      stacklevel=2)
+                      "execute(...).fetchone() — see docs/API.md",
+                      DeprecationWarning, stacklevel=2)
         with self.execute(sql, params) as cursor:
             return cursor.fetchone()
 

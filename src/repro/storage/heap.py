@@ -13,6 +13,7 @@ from typing import Any, Iterator, List, Optional, Tuple
 from repro.errors import InvalidRowIdError, StorageError
 from repro.storage.buffer import BufferCache
 from repro.storage.page import Page, PAGE_SIZE, estimate_row_size
+from repro.txn.mvcc import Snapshot, VersionStore
 
 
 class RowId:
@@ -82,16 +83,32 @@ class HeapTable:
         self._row_count = 0
         # Pages that most recently had room, checked before allocating.
         self._last_insert_page: Optional[int] = None
+        #: MVCC version chains keyed by rowid (see repro.txn.mvcc)
+        self.versions = VersionStore()
 
     # -- DML ------------------------------------------------------------
 
-    def insert(self, row: List[Any]) -> RowId:
-        """Store ``row`` and return its new rowid."""
+    def insert(self, row: List[Any], on_rowid=None) -> RowId:
+        """Store ``row`` and return its new rowid.
+
+        ``on_rowid`` closes the MVCC insert-visibility race: the slot is
+        first filled with a ``None`` placeholder (invisible to scans),
+        the callback registers the rowid's version chain, and only then
+        is the real row written — so no snapshot reader can observe the
+        uncommitted row through the untracked-rowid fast path.
+        """
         size = min(estimate_row_size(row), PAGE_SIZE)
         page = self._page_for_insert(size)
-        slot = page.insert(list(row), size)
+        if on_rowid is None:
+            slot = page.insert(list(row), size)
+            self._row_count += 1
+            return RowId(self.segment_id, page.page_no, slot)
+        slot = page.insert(None, size)
+        rowid = RowId(self.segment_id, page.page_no, slot)
+        on_rowid(rowid)
+        page.update(slot, list(row), size, size)
         self._row_count += 1
-        return RowId(self.segment_id, page.page_no, slot)
+        return rowid
 
     def insert_bulk(self, rows: List[List[Any]],
                     with_rowids: bool = True,
@@ -123,13 +140,24 @@ class HeapTable:
             raise InvalidRowIdError(f"{rowid} does not identify a live row")
         return row
 
-    def fetch_or_none(self, rowid: RowId) -> Optional[List[Any]]:
-        """Like :meth:`fetch` but returns None for a deleted slot."""
+    def fetch_or_none(self, rowid: RowId,
+                      snapshot: Optional[Snapshot] = None
+                      ) -> Optional[List[Any]]:
+        """Like :meth:`fetch` but returns None for a deleted slot.
+
+        With a ``snapshot``, the slot value is resolved through the
+        row's version chain (consistent read); index-returned rowids go
+        through here, so the index may say "maybe" but the table says
+        the truth for this snapshot.
+        """
         try:
             page = self._page_at(rowid)
         except InvalidRowIdError:
             return None
-        return page.read_slot(rowid.slot)
+        current = page.read_slot(rowid.slot)
+        if snapshot is None:
+            return current
+        return self.versions.resolve(rowid, current, snapshot)
 
     def update(self, rowid: RowId, row: List[Any]) -> List[Any]:
         """Replace the row at ``rowid`` in place; returns the old row."""
@@ -167,6 +195,7 @@ class HeapTable:
         self._page_count = 0
         self._row_count = 0
         self._last_insert_page = None
+        self.versions.clear()
 
     # -- scans ----------------------------------------------------------
 
@@ -178,19 +207,36 @@ class HeapTable:
                 if row is not None:
                     yield RowId(self.segment_id, page_no, slot), row
 
-    def scan_batches(self) -> Iterator[List[Tuple[RowId, List[Any]]]]:
+    def scan_batches(self, snapshot: Optional[Snapshot] = None
+                     ) -> Iterator[List[Tuple[RowId, List[Any]]]]:
         """Full scan, one page per batch.
 
         The batched executor pipeline consumes pages whole, so the
         buffer cache is latched once per page instead of once per row;
-        empty pages produce no batch.
+        empty pages produce no batch.  With a ``snapshot``, every slot —
+        live or tombstoned — is resolved through its version chain, so
+        the scan sees exactly the rows committed as of the snapshot's
+        SCN plus the owning transaction's own writes.
         """
         segment_id = self.segment_id
+        if snapshot is None:
+            for page_no in range(self._page_count):
+                page = self.buffer.get_page(segment_id, page_no)
+                batch = [(RowId(segment_id, page_no, slot), row)
+                         for slot, row in enumerate(page.slots)
+                         if row is not None]
+                if batch:
+                    yield batch
+            return
+        resolve = self.versions.resolve
         for page_no in range(self._page_count):
             page = self.buffer.get_page(segment_id, page_no)
-            batch = [(RowId(segment_id, page_no, slot), row)
-                     for slot, row in enumerate(page.slots)
-                     if row is not None]
+            batch = []
+            for slot, row in enumerate(list(page.slots)):
+                rowid = RowId(segment_id, page_no, slot)
+                value = resolve(rowid, row, snapshot)
+                if value is not None:
+                    batch.append((rowid, value))
             if batch:
                 yield batch
 

@@ -13,6 +13,7 @@ surrogate ids so the executor can treat heap tables and IOTs uniformly.
 
 from __future__ import annotations
 
+import threading
 from operator import itemgetter
 from typing import Any, Iterator, List, Optional, Tuple
 
@@ -20,6 +21,7 @@ from repro.errors import ConstraintError, InvalidRowIdError
 from repro.storage.buffer import BufferCache
 from repro.storage.heap import RowId
 from repro.index.btree import BTree
+from repro.txn.mvcc import Snapshot, VersionStore
 
 
 class IndexOrganizedTable:
@@ -44,6 +46,13 @@ class IndexOrganizedTable:
         self._key_of_surrogate: dict = {}
         self._surrogate_of_key: dict = {}
         self._next_surrogate = 0
+        #: MVCC version chains keyed by surrogate rowid
+        self.versions = VersionStore()
+        #: guards tree + surrogate maps against snapshot readers; DML is
+        #: already single-writer per table (X lock), but snapshot scans
+        #: materialize concurrently with writers.  Reentrant: the scan
+        #: paths allocate surrogates while holding it.
+        self._latch = threading.RLock()
 
     def _touch(self, nodes: int) -> None:
         self.buffer.stats.logical_reads += nodes
@@ -54,12 +63,22 @@ class IndexOrganizedTable:
         key = tuple(row[:self.key_width])
         return key, list(row[self.key_width:])
 
-    def insert(self, row: List[Any]) -> RowId:
-        """Insert ``row``; its first ``key_width`` values form the key."""
+    def insert(self, row: List[Any], on_rowid=None) -> RowId:
+        """Insert ``row``; its first ``key_width`` values form the key.
+
+        ``on_rowid`` (MVCC) is invoked with the surrogate rowid *before*
+        the tree mutates, under the structure latch, so a concurrent
+        snapshot scan either misses the entry or finds its version chain
+        already registered — never a bare uncommitted row.
+        """
         key, payload = self._split_row(row)
-        self._tree.insert(key, payload)
+        with self._latch:
+            if on_rowid is not None:
+                on_rowid(self._surrogate(key))
+            self._tree.insert(key, payload)
+            rid = self._surrogate(key)
         self.buffer.stats.logical_writes += 1
-        return self._surrogate(key)
+        return rid
 
     def insert_bulk(self, rows: List[List[Any]],
                     with_rowids: bool = True,
@@ -86,14 +105,16 @@ class IndexOrganizedTable:
             key_of = itemgetter(*range(kw))  # C-level key extraction
             keys = [key_of(row) for row in rows]
         payloads = [row[kw:] for row in rows]
-        if presorted:
-            self._tree.bulk_load_sorted(keys, payloads)
-        else:
-            self._tree.bulk_load(zip(keys, payloads))
+        with self._latch:
+            if presorted:
+                self._tree.bulk_load_sorted(keys, payloads)
+            else:
+                self._tree.bulk_load(zip(keys, payloads))
         self.buffer.stats.logical_writes += len(rows)
         if not with_rowids:
             return None
-        return [self._surrogate(key) for key in keys]
+        with self._latch:
+            return [self._surrogate(key) for key in keys]
 
     def fetch(self, rowid: RowId) -> List[Any]:
         """Fetch by surrogate rowid (first match under the key)."""
@@ -105,59 +126,83 @@ class IndexOrganizedTable:
             raise InvalidRowIdError(f"{rowid}: key {key!r} no longer present")
         return list(key) + list(payloads[0])
 
-    def fetch_or_none(self, rowid: RowId) -> Optional[List[Any]]:
-        """Like :meth:`fetch` but returns None for a dead surrogate."""
-        try:
-            return self.fetch(rowid)
-        except InvalidRowIdError:
-            return None
+    def fetch_or_none(self, rowid: RowId,
+                      snapshot: Optional[Snapshot] = None
+                      ) -> Optional[List[Any]]:
+        """Like :meth:`fetch` but returns None for a dead surrogate.
+
+        With a ``snapshot``, the surrogate's version chain wins over the
+        tree: the caller sees the row as of the snapshot's SCN.
+        """
+        if snapshot is None:
+            try:
+                return self.fetch(rowid)
+            except InvalidRowIdError:
+                return None
+        with self._latch:  # concurrent writers restructure the tree
+            try:
+                current = self.fetch(rowid)
+            except InvalidRowIdError:
+                current = None
+        return self.versions.resolve(rowid, current, snapshot)
 
     def update(self, rowid: RowId, row: List[Any]) -> List[Any]:
         """Replace the row at ``rowid``; key changes re-insert the entry."""
         old = self.fetch(rowid)
         old_key, old_payload = self._split_row(old)
         new_key, new_payload = self._split_row(row)
-        self._tree.delete(old_key, old_payload)
-        self._tree.insert(new_key, new_payload)
+        with self._latch:
+            self._tree.delete(old_key, old_payload)
+            self._tree.insert(new_key, new_payload)
+            if new_key != old_key:
+                self._rebind_surrogate(rowid, old_key, new_key)
         self.buffer.stats.logical_writes += 1
-        if new_key != old_key:
-            self._rebind_surrogate(rowid, old_key, new_key)
         return old
 
     def delete(self, rowid: RowId) -> List[Any]:
         """Delete the row at ``rowid``; returns the old row."""
         old = self.fetch(rowid)
         key, payload = self._split_row(old)
-        self._tree.delete(key, payload)
+        with self._latch:
+            self._tree.delete(key, payload)
         self.buffer.stats.logical_writes += 1
         return old
 
     def undelete(self, rowid: RowId, row: List[Any]) -> None:
         """Restore a deleted row under its original surrogate (rollback)."""
         key, payload = self._split_row(row)
-        self._tree.insert(key, payload)
-        self._key_of_surrogate[rowid] = key
-        self._surrogate_of_key.setdefault(key, rowid)
+        with self._latch:
+            self._tree.insert(key, payload)
+            self._key_of_surrogate[rowid] = key
+            self._surrogate_of_key.setdefault(key, rowid)
 
     def delete_by_key(self, key_values: List[Any]) -> int:
         """Delete every row matching a full key; returns the count."""
         key = tuple(key_values)
-        removed = len(self._tree.search(key))
+        with self._latch:
+            removed = len(self._tree.search(key))
+            if removed:
+                self._tree.delete(key)
         if removed:
-            self._tree.delete(key)
             self.buffer.stats.logical_writes += 1
         return removed
 
     def truncate(self) -> None:
         """Discard every row."""
-        self._tree.clear()
-        self._key_of_surrogate.clear()
-        self._surrogate_of_key.clear()
+        with self._latch:
+            self._tree.clear()
+            self._key_of_surrogate.clear()
+            self._surrogate_of_key.clear()
+            self.versions.clear()
 
     # -- scans ------------------------------------------------------------
 
-    def scan(self) -> Iterator[Tuple[RowId, List[Any]]]:
+    def scan(self, snapshot: Optional[Snapshot] = None
+             ) -> Iterator[Tuple[RowId, List[Any]]]:
         """Scan in key order, yielding (surrogate rowid, full row)."""
+        if snapshot is not None:
+            yield from self._snapshot_scan(snapshot)
+            return
         for key, payload in self._tree.items():
             yield self._surrogate(key), list(key) + list(payload)
 
@@ -165,13 +210,23 @@ class IndexOrganizedTable:
                        high: Optional[Tuple[Any, ...]] = None,
                        low_inclusive: bool = True,
                        high_inclusive: bool = True,
+                       snapshot: Optional[Snapshot] = None,
                        ) -> Iterator[Tuple[RowId, List[Any]]]:
         """Scan rows whose key lies in [low, high] (tuple bounds)."""
+        if snapshot is not None:
+            in_range = self._range_test(low, high, low_inclusive,
+                                        high_inclusive)
+            yield from self._snapshot_scan(
+                snapshot, in_range,
+                lambda: self._tree.range_scan(low, high, low_inclusive,
+                                              high_inclusive))
+            return
         for key, payload in self._tree.range_scan(
                 low, high, low_inclusive, high_inclusive):
             yield self._surrogate(key), list(key) + list(payload)
 
-    def key_prefix_scan(self, prefix: List[Any]
+    def key_prefix_scan(self, prefix: List[Any],
+                        snapshot: Optional[Snapshot] = None
                         ) -> Iterator[Tuple[RowId, List[Any]]]:
         """Scan rows whose key starts with ``prefix`` (in key order).
 
@@ -181,10 +236,81 @@ class IndexOrganizedTable:
         """
         prefix_tuple = tuple(prefix)
         width = len(prefix_tuple)
+        if snapshot is not None:
+            def in_prefix(key):
+                return tuple(key[:width]) == prefix_tuple
+
+            def current():
+                for key, payload in self._tree.range_scan(low=prefix_tuple):
+                    if not in_prefix(key):
+                        break
+                    yield key, payload
+
+            yield from self._snapshot_scan(snapshot, in_prefix, current)
+            return
         for key, payload in self._tree.range_scan(low=prefix_tuple):
             if tuple(key[:width]) != prefix_tuple:
                 break
             yield self._surrogate(key), list(key) + list(payload)
+
+    def _range_test(self, low, high, low_inclusive, high_inclusive):
+        def in_range(key):
+            if low is not None:
+                if key < low or (key == low and not low_inclusive):
+                    return False
+            if high is not None:
+                if key > high or (key == high and not high_inclusive):
+                    return False
+            return True
+        return in_range
+
+    def _snapshot_scan(self, snapshot: Snapshot, in_bounds=None,
+                       current_fn=None) -> Iterator[Tuple[RowId, List[Any]]]:
+        """Consistent-read scan: latched materialize + version overlay.
+
+        The tree rows in bounds are materialized under the structure
+        latch (writers restructure the tree mid-flight otherwise), each
+        resolved through its version chain; tracked rowids the tree walk
+        missed — deleted entries, or keys updated out of the scanned
+        range — are overlaid, bounds-checked against their *resolved*
+        key, and the merge re-sorted into key order.
+        """
+        kw = self.key_width
+        with self._latch:
+            pairs = [(self._surrogate(key), key, payload)
+                     for key, payload in
+                     (current_fn() if current_fn else self._tree.items())]
+            tracked = self.versions.tracked_rowids()
+        resolve = self.versions.resolve
+        tracked_set = set(tracked)
+        seen = set()
+        results = []
+        for rid, key, payload in pairs:
+            if rid in seen and rid in tracked_set:
+                # non-unique duplicate keys share a surrogate; a tracked
+                # surrogate resolves once through its chain
+                continue
+            seen.add(rid)
+            value = resolve(rid, list(key) + list(payload), snapshot)
+            if value is None:
+                continue
+            vkey = tuple(value[:kw])
+            if in_bounds is not None and not in_bounds(vkey):
+                continue
+            results.append((vkey, rid.sort_key, value, rid))
+        for rid in tracked:
+            if rid in seen:
+                continue
+            value = resolve(rid, None, snapshot)
+            if value is None:
+                continue
+            vkey = tuple(value[:kw])
+            if in_bounds is not None and not in_bounds(vkey):
+                continue
+            results.append((vkey, rid.sort_key, value, rid))
+        results.sort(key=lambda item: (item[0], item[1]))
+        for __, __, value, rid in results:
+            yield rid, value
 
     def lookup(self, key_values: List[Any]) -> List[List[Any]]:
         """Return the full rows stored under an exact key."""
@@ -208,10 +334,13 @@ class IndexOrganizedTable:
     def _surrogate(self, key: Tuple[Any, ...]) -> RowId:
         rid = self._surrogate_of_key.get(key)
         if rid is None:
-            rid = RowId(self.segment_id, 0, self._next_surrogate)
-            self._next_surrogate += 1
-            self._surrogate_of_key[key] = rid
-            self._key_of_surrogate[rid] = key
+            with self._latch:  # check-then-allocate must be atomic
+                rid = self._surrogate_of_key.get(key)
+                if rid is None:
+                    rid = RowId(self.segment_id, 0, self._next_surrogate)
+                    self._next_surrogate += 1
+                    self._surrogate_of_key[key] = rid
+                    self._key_of_surrogate[rid] = key
         return rid
 
     def _rebind_surrogate(self, rowid: RowId, old_key: Tuple[Any, ...],

@@ -30,6 +30,17 @@ class Transaction:
         self.active = True
         self._undo: List[UndoAction] = []
         self._savepoints: dict = {}
+        #: row versions created by this txn; commit stamps them with the
+        #: commit SCN (see :mod:`repro.txn.mvcc`)
+        self.versions: list = []
+        #: transaction-duration snapshot (SET TRANSACTION READ ONLY /
+        #: ISOLATION LEVEL SERIALIZABLE); None → statement snapshots
+        self.snapshot = None
+        self.read_only = False
+
+    def track_version(self, version) -> None:
+        """Register a row version for commit-time SCN stamping."""
+        self.versions.append(version)
 
     def record_undo(self, action: UndoAction) -> None:
         """Register a compensating action to run on rollback."""
@@ -61,6 +72,8 @@ class Transaction:
         self._require_active()
         self._undo.clear()
         self._savepoints.clear()
+        self.versions = []
+        self.snapshot = None
         self.active = False
 
     def rollback(self) -> None:
@@ -68,6 +81,8 @@ class Transaction:
         self._require_active()
         self._unwind(0)
         self._savepoints.clear()
+        self.versions = []
+        self.snapshot = None
         self.active = False
 
     def _unwind(self, mark: int) -> None:

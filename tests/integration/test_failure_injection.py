@@ -241,27 +241,48 @@ class TestScanFailure:
                          " INDEXTYPE IS FlakyIndexType")
         return flaky_db
 
-    def test_start_failure_propagates(self, indexed):
+    def test_start_failure_degrades_and_retries(self, indexed):
+        # skip_unusable_indexes (default on): a scan-phase failure before
+        # the first row marks the index UNUSABLE and re-executes the
+        # statement, which falls back to the functional implementation
+        FlakyIndexMethods.fail_on = "start"
+        assert indexed.execute(
+            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')"
+        ).fetchall() == [("alpha",)]
+        assert indexed.catalog.get_index(
+            "t_idx").domain.state is IndexState.UNUSABLE
+
+    def test_start_failure_propagates_with_skip_off(self, indexed):
+        indexed.skip_unusable_indexes = False
         FlakyIndexMethods.fail_on = "start"
         with pytest.raises(ODCIError):
-            indexed.query("SELECT v FROM t WHERE Eq_Val(v, 'alpha')")
+            indexed.execute(
+                "SELECT v FROM t WHERE Eq_Val(v, 'alpha')").fetchall()
+        assert indexed.catalog.get_index(
+            "t_idx").domain.state is IndexState.VALID
 
     def test_fetch_failure_still_closes_scan(self, indexed):
+        indexed.skip_unusable_indexes = False
         FlakyIndexMethods.fail_on = "fetch"
         with pytest.raises(ODCIError):
-            indexed.query("SELECT v FROM t WHERE Eq_Val(v, 'alpha')")
+            indexed.execute(
+                "SELECT v FROM t WHERE Eq_Val(v, 'alpha')").fetchall()
         FlakyIndexMethods.fail_on = ""
         # the engine can still run scans afterwards (no stuck state)
-        assert indexed.query(
-            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')") == [("alpha",)]
+        assert indexed.execute(
+            "SELECT v FROM t WHERE Eq_Val(v, 'alpha')"
+        ).fetchall() == [("alpha",)]
 
     def test_database_usable_after_scan_failure(self, indexed):
+        indexed.skip_unusable_indexes = False
         FlakyIndexMethods.fail_on = "start"
         with pytest.raises(ODCIError):
-            indexed.query("SELECT v FROM t WHERE Eq_Val(v, 'alpha')")
+            indexed.execute(
+                "SELECT v FROM t WHERE Eq_Val(v, 'alpha')").fetchall()
         FlakyIndexMethods.fail_on = ""
         indexed.execute("INSERT INTO t VALUES ('after')")
-        assert indexed.query("SELECT COUNT(*) FROM t") == [(3,)]
+        assert indexed.execute(
+            "SELECT COUNT(*) FROM t").fetchall() == [(3,)]
 
 
 class TestDropFailure:

@@ -345,6 +345,9 @@ class TestCursorCloseOnFetchFault:
 
     def test_close_fires_exactly_once_after_fetch_fault(self, docs_db):
         word = docs_db.corpus.common_word(0)
+        # with skip_unusable_indexes on, a pre-first-row fetch fault would
+        # degrade the index and retry; here we want the raw propagation
+        docs_db.skip_unusable_indexes = False
         with FaultPlan(docs_db) as faults:
             faults.fail_on_call("ODCIIndexFetch", nth=1, index="docs_text")
             cursor = docs_db.execute(

@@ -1,0 +1,107 @@
+"""Fault injection during snapshot-pinned domain-index scans.
+
+The degrade-and-retry contract under MVCC: when a scan-phase callback
+fails before the first result row and ``skip_unusable_indexes`` is on,
+the index degrades to UNUSABLE and the *same statement* re-executes
+against the *same snapshot* — the functional fallback must observe the
+identical frozen database state, not a newer one.  ODCIIndexClose fires
+exactly once for the aborted scan, and failures after rows have been
+emitted (or with skip off) propagate unchanged.
+"""
+
+import pytest
+
+from repro import IndexState
+from repro.errors import ODCIError
+from repro.sql.engine import Engine
+from repro.testing import FaultPlan
+from repro.cartridges.text import install as install_text
+
+pytestmark = [pytest.mark.faults, pytest.mark.mvcc]
+
+
+@pytest.fixture
+def engine():
+    return Engine(lock_timeout=30.0)
+
+
+@pytest.fixture
+def sessions(engine):
+    s1 = engine.connect()
+    install_text(s1)
+    s1.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(200))")
+    for i in range(10):
+        s1.execute("INSERT INTO docs VALUES (:1, :2)",
+                   [i, f"target word number {i}"])
+    s1.execute("CREATE INDEX docs_text ON docs(body)"
+               " INDEXTYPE IS TextIndexType")
+    return s1, engine.connect()
+
+
+class TestSameSnapshotDegrade:
+    def test_retry_reexecutes_the_same_snapshot(self, sessions):
+        s1, s2 = sessions
+        with FaultPlan(s1) as faults:
+            faults.fail_on_call("ODCIIndexStart", nth=1, index="docs_text")
+            # the snapshot is taken here, at execute time...
+            cursor = s1.execute(
+                "SELECT id FROM docs WHERE Contains(body, 'target')")
+            # ...then another session commits a matching row...
+            s2.execute("INSERT INTO docs VALUES (99, 'target too')")
+            # ...then the fetch hits the fault, degrades docs_text and
+            # re-runs functionally — against the original snapshot
+            rows = sorted(r[0] for r in cursor.fetchall())
+        assert rows == list(range(10)), \
+            "degrade retry leaked a post-snapshot commit"
+        assert s1.catalog.get_index(
+            "docs_text").domain.state is IndexState.UNUSABLE
+        # a new statement takes a new snapshot and sees the insert
+        fresh = sorted(r[0] for r in s1.execute(
+            "SELECT id FROM docs WHERE Contains(body, 'target')").fetchall())
+        assert fresh == list(range(10)) + [99]
+
+    def test_aborted_scan_closes_exactly_once(self, sessions):
+        s1, __ = sessions
+        with FaultPlan(s1) as faults:
+            faults.fail_on_call("ODCIIndexFetch", nth=1, index="docs_text")
+            cursor = s1.execute(
+                "SELECT id FROM docs WHERE Contains(body, 'target')")
+            rows = cursor.fetchall()
+            assert len(rows) == 10  # degrade + functional retry succeeded
+            # the aborted scan's ODCIIndexClose fired exactly once; the
+            # functional retry opened no new scan
+            assert faults.calls("ODCIIndexClose", index="docs_text") == 1
+            cursor.close()
+            assert faults.calls("ODCIIndexClose", index="docs_text") == 1
+
+    def test_failure_after_first_row_propagates(self, engine):
+        s1 = engine.connect()
+        install_text(s1)
+        s1.execute("CREATE TABLE big (id INTEGER, body VARCHAR2(200))")
+        # enough matches for more than one fetch batch
+        for i in range(2 * s1.fetch_batch_size + 8):
+            s1.execute("INSERT INTO big VALUES (:1, 'target')", [i])
+        s1.execute("CREATE INDEX big_text ON big(body)"
+                   " INDEXTYPE IS TextIndexType")
+        with FaultPlan(s1) as faults:
+            faults.fail_on_call("ODCIIndexFetch", nth=2, index="big_text")
+            cursor = s1.execute(
+                "SELECT id FROM big WHERE Contains(body, 'target')")
+            # rows from batch one stream out, then the fault hits: too
+            # late to degrade-and-retry (rows already delivered)
+            with pytest.raises(ODCIError):
+                cursor.fetchall()
+            assert faults.calls("ODCIIndexClose", index="big_text") == 1
+        assert s1.catalog.get_index(
+            "big_text").domain.state is IndexState.VALID
+
+    def test_skip_off_propagates_and_keeps_index_valid(self, sessions):
+        s1, __ = sessions
+        s1.skip_unusable_indexes = False
+        with FaultPlan(s1) as faults:
+            faults.fail_on_call("ODCIIndexStart", nth=1, index="docs_text")
+            with pytest.raises(ODCIError):
+                s1.execute("SELECT id FROM docs"
+                           " WHERE Contains(body, 'target')").fetchall()
+        assert s1.catalog.get_index(
+            "docs_text").domain.state is IndexState.VALID

@@ -1,0 +1,312 @@
+"""MVCC unit tests: visibility rules, snapshot kinds, version-chain
+lifecycle, pruning, bulk-load fences, and the dictionary views.
+
+These exercise the `repro.txn.mvcc` primitives directly plus the SQL
+surface (`SET TRANSACTION`, statement snapshots) through a Database.
+"""
+
+import pytest
+
+from repro import Database
+from repro.errors import TransactionError
+from repro.sql.engine import Engine
+from repro.txn.mvcc import (
+    MVCCManager, RowVersion, Snapshot, VersionStore)
+
+
+pytestmark = pytest.mark.mvcc
+
+
+class _FakeTxn:
+    _next = 900
+
+    def __init__(self):
+        _FakeTxn._next += 1
+        self.txn_id = _FakeTxn._next
+        self.versions = []
+
+    def track_version(self, version):
+        self.versions.append(version)
+
+
+def _commit(mvcc, txn):
+    mvcc.commit_transaction(txn)
+    txn.versions = []
+
+
+class TestVisibility:
+    def test_uncommitted_invisible_to_others(self):
+        v = RowVersion(None, txn_id=7, value=[1])
+        assert not Snapshot(scn=100, txn_id=8).visible(v)
+        assert not Snapshot(scn=100, txn_id=None).visible(v)
+
+    def test_own_uncommitted_visible(self):
+        v = RowVersion(None, txn_id=7, value=[1])
+        assert Snapshot(scn=100, txn_id=7).visible(v)
+
+    def test_committed_visible_iff_scn_at_or_before(self):
+        v = RowVersion(5, txn_id=7, value=[1])
+        assert Snapshot(scn=5, txn_id=None).visible(v)
+        assert Snapshot(scn=6, txn_id=None).visible(v)
+        assert not Snapshot(scn=4, txn_id=None).visible(v)
+
+
+class TestVersionStore:
+    def test_untracked_rowid_falls_through_to_slot(self):
+        store = VersionStore()
+        snap = Snapshot(scn=0, txn_id=None)
+        assert store.resolve("r1", ["live"], snap) == ["live"]
+
+    def test_update_preserves_old_value_for_old_snapshot(self):
+        mvcc, store = MVCCManager(), VersionStore()
+        old_snap = mvcc.take_snapshot(None)
+        txn = _FakeTxn()
+        txn.track_version(store.push("r1", ["new"], ["old"], txn))
+        _commit(mvcc, txn)
+        new_snap = mvcc.take_snapshot(None)
+        assert store.resolve("r1", ["new"], old_snap) == ["old"]
+        assert store.resolve("r1", ["new"], new_snap) == ["new"]
+
+    def test_delete_tombstone_hides_row_from_new_snapshot(self):
+        mvcc, store = MVCCManager(), VersionStore()
+        old_snap = mvcc.take_snapshot(None)
+        txn = _FakeTxn()
+        txn.track_version(store.push("r1", None, ["old"], txn))
+        _commit(mvcc, txn)
+        assert store.resolve("r1", None, old_snap) == ["old"]
+        assert store.resolve("r1", None, mvcc.take_snapshot(None)) is None
+
+    def test_insert_invisible_until_commit(self):
+        mvcc, store = MVCCManager(), VersionStore()
+        txn = _FakeTxn()
+        txn.track_version(store.push("r1", ["x"], None, txn))
+        # tracked rowids never fall back to the slot value
+        snap = mvcc.take_snapshot(None)
+        assert store.resolve("r1", ["x"], snap) is None
+        own = Snapshot(scn=snap.scn, txn_id=txn.txn_id)
+        assert store.resolve("r1", ["x"], own) == ["x"]
+        _commit(mvcc, txn)
+        assert store.resolve("r1", ["x"], mvcc.take_snapshot(None)) == ["x"]
+
+    def test_pop_unlinks_rolled_back_version(self):
+        mvcc, store = MVCCManager(), VersionStore()
+        t1 = _FakeTxn()
+        t1.track_version(store.push("r1", ["a"], ["base"], t1))
+        _commit(mvcc, t1)
+        t2 = _FakeTxn()
+        v = store.push("r1", ["b"], ["a"], t2)
+        store.pop("r1", v)  # rollback
+        assert store.resolve("r1", ["a"], mvcc.take_snapshot(None)) == ["a"]
+
+    def test_prune_keeps_head_mapping(self):
+        mvcc, store = MVCCManager(), VersionStore()
+        for value in ("a", "b", "c"):
+            txn = _FakeTxn()
+            txn.track_version(store.push("r1", [value], None, txn))
+            _commit(mvcc, txn)
+        assert store.chain_length("r1") == 3
+        removed = store.prune(mvcc.low_water_mark())
+        assert removed == 2
+        assert store.chain_length("r1") == 1
+        # the mapping survives: tracked rowids never read the raw slot
+        assert store.resolve("r1", ["c"], mvcc.take_snapshot(None)) == ["c"]
+
+    def test_prune_respects_live_snapshot(self):
+        mvcc, store = MVCCManager(), VersionStore()
+        t1 = _FakeTxn()
+        t1.track_version(store.push("r1", ["a"], None, t1))
+        _commit(mvcc, t1)
+        pinned = mvcc.take_snapshot(None)  # still needs ["a"]
+        t2 = _FakeTxn()
+        t2.track_version(store.push("r1", ["b"], ["a"], t2))
+        _commit(mvcc, t2)
+        store.prune(mvcc.low_water_mark())
+        assert store.resolve("r1", ["b"], pinned) == ["a"]
+
+    def test_fence_hides_bulk_load_from_old_snapshot(self):
+        mvcc, store = MVCCManager(), VersionStore()
+        before = mvcc.take_snapshot(None)
+        txn = _FakeTxn()
+        fence = store.set_fence(txn)
+        txn.track_version(fence)
+        _commit(mvcc, txn)
+        after = mvcc.take_snapshot(None)
+        # untracked rowids (the bulk-loaded rows) are gated by the fence
+        assert store.resolve("bulk1", ["row"], before) is None
+        assert store.resolve("bulk1", ["row"], after) == ["row"]
+        assert not store.clean
+        # once no snapshot predates the load, prune drops the fence
+        del before, after
+        store.prune(mvcc.low_water_mark())
+        assert store.clean
+
+
+class TestManager:
+    def test_commit_stamps_all_versions_with_one_scn(self):
+        mvcc = MVCCManager()
+        txn = _FakeTxn()
+        versions = [RowVersion(None, txn.txn_id, [i]) for i in range(3)]
+        txn.versions = versions
+        mvcc.commit_transaction(txn)
+        scns = {v.scn for v in versions}
+        assert scns == {mvcc.current_scn}
+
+    def test_lwm_tracks_oldest_live_snapshot(self):
+        mvcc = MVCCManager()
+        old = mvcc.take_snapshot(None)
+        for __ in range(3):
+            mvcc.commit_transaction(_FakeTxn())
+        assert mvcc.low_water_mark() == old.scn
+        assert mvcc.oldest_active_scn() == old.scn
+        del old
+        assert mvcc.low_water_mark() == mvcc.current_scn
+        assert mvcc.oldest_active_scn() is None
+
+
+class TestSqlSurface:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.execute("CREATE TABLE t (k INTEGER, v VARCHAR2(20))")
+        db.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')")
+        return db
+
+    def test_read_your_writes(self, db):
+        db.begin()
+        db.execute("UPDATE t SET v = 'uno' WHERE k = 1")
+        assert db.execute("SELECT v FROM t WHERE k = 1"
+                          ).fetchall() == [("uno",)]
+        db.rollback()
+        assert db.execute("SELECT v FROM t WHERE k = 1"
+                          ).fetchall() == [("one",)]
+
+    def test_read_committed_sees_other_sessions_commits(self):
+        engine = Engine()
+        s1, s2 = engine.connect(), engine.connect()
+        s1.execute("CREATE TABLE t (k INTEGER)")
+        s1.execute("INSERT INTO t VALUES (1)")
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(1,)]
+        s1.execute("INSERT INTO t VALUES (2)")
+        # a *new* statement takes a new snapshot: sees the second row
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(2,)]
+
+    def test_uncommitted_writes_invisible_across_sessions(self):
+        engine = Engine()
+        s1, s2 = engine.connect(), engine.connect()
+        s1.execute("CREATE TABLE t (k INTEGER)")
+        s1.execute("INSERT INTO t VALUES (1)")
+        s1.begin()
+        s1.execute("INSERT INTO t VALUES (2)")
+        s1.execute("UPDATE t SET k = 100 WHERE k = 1")
+        # reader sees the pre-transaction state, without blocking
+        assert s2.execute("SELECT k FROM t ORDER BY k"
+                          ).fetchall() == [(1,)]
+        s1.commit()
+        assert sorted(s2.execute("SELECT k FROM t").fetchall()) \
+            == [(2,), (100,)]
+
+    def test_read_only_txn_pins_one_snapshot(self):
+        engine = Engine()
+        s1, s2 = engine.connect(), engine.connect()
+        s1.execute("CREATE TABLE t (k INTEGER)")
+        s1.execute("INSERT INTO t VALUES (1)")
+        s2.execute("SET TRANSACTION READ ONLY")
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(1,)]
+        s1.execute("INSERT INTO t VALUES (2)")
+        # still the transaction snapshot: the new commit is invisible
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(1,)]
+        s2.execute("COMMIT")
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(2,)]
+
+    def test_read_only_txn_rejects_dml(self, db):
+        db.execute("SET TRANSACTION READ ONLY")
+        with pytest.raises(TransactionError):
+            db.execute("INSERT INTO t VALUES (3, 'three')")
+        db.rollback()
+
+    def test_serializable_pins_snapshot_but_allows_dml(self):
+        engine = Engine()
+        s1, s2 = engine.connect(), engine.connect()
+        s1.execute("CREATE TABLE t (k INTEGER)")
+        s1.execute("INSERT INTO t VALUES (1)")
+        s2.execute("SET TRANSACTION ISOLATION LEVEL SERIALIZABLE")
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(1,)]
+        s1.execute("INSERT INTO t VALUES (2)")
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(1,)]
+        s2.execute("INSERT INTO t VALUES (3)")  # DML allowed
+        # read-your-writes on top of the frozen snapshot
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(2,)]
+        s2.execute("COMMIT")
+        assert s2.execute("SELECT COUNT(*) FROM t").fetchall() == [(3,)]
+
+    def test_set_transaction_must_come_first(self, db):
+        db.begin()
+        db.execute("INSERT INTO t VALUES (3, 'three')")
+        with pytest.raises(TransactionError):
+            db.execute("SET TRANSACTION READ ONLY")
+        db.rollback()
+
+    def test_savepoint_rollback_pops_versions(self, db):
+        db.begin()
+        db.execute("UPDATE t SET v = 'first' WHERE k = 1")
+        db.execute("SAVEPOINT sp1")
+        db.execute("UPDATE t SET v = 'second' WHERE k = 1")
+        db.execute("ROLLBACK TO SAVEPOINT sp1")
+        assert db.execute("SELECT v FROM t WHERE k = 1"
+                          ).fetchall() == [("first",)]
+        db.commit()
+        assert db.execute("SELECT v FROM t WHERE k = 1"
+                          ).fetchall() == [("first",)]
+
+    def test_iot_versioned_reads(self):
+        engine = Engine()
+        s1, s2 = engine.connect(), engine.connect()
+        s1.execute("CREATE TABLE iot (k INTEGER, v VARCHAR2(20),"
+                   " PRIMARY KEY (k)) ORGANIZATION INDEX")
+        s1.execute("INSERT INTO iot VALUES (1, 'a'), (2, 'b')")
+        s1.begin()
+        s1.execute("UPDATE iot SET v = 'z' WHERE k = 1")
+        s1.execute("DELETE FROM iot WHERE k = 2")
+        s1.execute("INSERT INTO iot VALUES (3, 'c')")
+        assert s2.execute("SELECT k, v FROM iot ORDER BY k"
+                          ).fetchall() == [(1, "a"), (2, "b")]
+        s1.commit()
+        assert s2.execute("SELECT k, v FROM iot ORDER BY k"
+                          ).fetchall() == [(1, "z"), (3, "c")]
+
+    def test_snapshot_stats_view_counts(self, db):
+        before = db.engine.mvcc.stats.snapshots_taken
+        db.execute("SELECT * FROM t").fetchall()
+        assert db.engine.mvcc.stats.snapshots_taken > before
+        row = db.execute("SELECT snapshots_taken, current_scn"
+                         " FROM user_snapshot_stats").fetchall()[0]
+        assert row[0] >= 1 and row[1] >= 1
+
+    def test_lock_stats_view(self, db):
+        rows = db.execute("SELECT acquisitions, waits, deadlocks"
+                          " FROM user_lock_stats").fetchall()
+        assert len(rows) == 1
+        assert rows[0][1] == 0 and rows[0][2] == 0
+
+    def test_snapshot_reads_off_still_correct_single_session(self, db):
+        db.snapshot_reads = False
+        assert db.execute("SELECT v FROM t ORDER BY k"
+                          ).fetchall() == [("one",), ("two",)]
+
+    def test_explicit_prune_pass(self, db):
+        for i in range(10):
+            db.execute(f"UPDATE t SET v = 'v{i}' WHERE k = 1")
+        removed = db.engine.prune_versions()
+        assert removed > 0
+        assert db.execute("SELECT v FROM t WHERE k = 1"
+                          ).fetchall() == [("v9",)]
+
+    def test_background_pruner_start_stop(self, db):
+        db.engine.start_version_pruner(interval=0.01)
+        try:
+            for i in range(5):
+                db.execute(f"UPDATE t SET v = 'w{i}' WHERE k = 1")
+        finally:
+            db.engine.stop_version_pruner()
+        assert db.execute("SELECT v FROM t WHERE k = 1"
+                          ).fetchall() == [("w4",)]
