@@ -52,6 +52,7 @@ from repro.errors import (
     TransactionError,
     TransientCallbackError,
     TypeMismatchError,
+    WALError,
 )
 from repro.sql.engine import Engine
 from repro.sql.session import Cursor, Database, Session
@@ -99,6 +100,7 @@ __all__ = [
     "LockTimeoutError",
     "DeadlockError",
     "StorageError",
+    "WALError",
     "ExtensibleIndexError",
     "ODCIError",
     "CallbackError",

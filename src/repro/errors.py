@@ -88,6 +88,16 @@ class InvalidRowIdError(StorageError):
     """A rowid does not identify a live row."""
 
 
+class WALError(StorageError):
+    """The write-ahead log (or its device) failed.
+
+    Raised on log-device I/O errors and on any operation attempted
+    after the log writer has failed: like Oracle after an LGWR error,
+    the instance cannot guarantee durability anymore, so it refuses
+    further work until the process restarts and runs recovery.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Extensible-indexing errors (the framework of the paper)
 # ---------------------------------------------------------------------------

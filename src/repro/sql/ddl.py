@@ -42,6 +42,33 @@ class DDLEngine:
     def __init__(self, db: Any):
         self.db = db
 
+    def _checkpoint_barrier(self, reason: str = "ddl") -> None:
+        """Durably record a schema change before the DDL returns.
+
+        Catalog state travels in checkpoint snapshots, not WAL records,
+        so every schema-mutating handler checkpoints on its way out.
+        For TRUNCATE the barrier is load-bearing rather than merely
+        prompt: the storage keeps its segment id, so pre-truncate WAL
+        records still target the reused segment — the checkpoint
+        advances the redo start point past them so they can never
+        replay onto the fresh (page_lsn 0) pages.
+        """
+        durability = getattr(self.db.engine, "durability", None)
+        if durability is not None:
+            durability.checkpoint(reason=reason)
+
+    def _ensure_methods(self, domain: DomainIndex) -> None:
+        """Re-instantiate a restored domain index's methods object.
+
+        Restart recovery nulls ``methods`` (the instances died with the
+        old process); any DDL that drives a cartridge callback first
+        rebuilds one from the re-registered indextype.
+        """
+        if domain.methods is None:
+            indextype = self.db.catalog.get_indextype(domain.indextype_name)
+            domain.methods = self.db.catalog.get_method_type(
+                indextype.implementation_name)()
+
     # ------------------------------------------------------------------
     # type resolution helpers
     # ------------------------------------------------------------------
@@ -100,6 +127,7 @@ class DDLEngine:
                          primary_key=pk, is_iot=stmt.organization_index,
                          owner=db.session_user)
         db.catalog.add_table(table)
+        self._checkpoint_barrier()
         return Cursor(rowcount=0)
 
     def execute_drop_table(self, stmt: ast.DropTable) -> Cursor:
@@ -117,7 +145,13 @@ class DDLEngine:
             db.buffer.drop_segment(table.storage.segment_id)
         else:
             table.storage.truncate()
+            # IOTs bypass the buffer cache's drop path; tombstone the
+            # durable dump directly or recovery would resurrect it
+            durability = getattr(db.engine, "durability", None)
+            if durability is not None:
+                durability.segment_dropped(table.storage.segment_id)
         db.catalog.drop_table(stmt.name)
+        self._checkpoint_barrier()
         return Cursor(rowcount=0)
 
     def execute_truncate(self, stmt: ast.TruncateTable) -> Cursor:
@@ -133,6 +167,7 @@ class DDLEngine:
                     # create never succeeded; there is nothing to empty
                     db._trace(f"ddl:truncate skip({index.name}) state=FAILED")
                     continue
+                self._ensure_methods(domain)
                 env = db.make_env(CallbackPhase.DEFINITION, domain)
                 env.trace(f"ddl:ODCIIndexTruncate({index.name})")
                 try:
@@ -156,6 +191,7 @@ class DDLEngine:
             elif index.structure is not None:
                 index.structure.clear()
         db.catalog.bump_version()  # cardinality collapsed; cached plans stale
+        self._checkpoint_barrier(reason="truncate")
         return Cursor(rowcount=0)
 
     # ------------------------------------------------------------------
@@ -195,6 +231,7 @@ class DDLEngine:
         positions = [table.column_position(c) for c in columns]
         self._populate_native(table, structure, positions)
         db.catalog.add_index(index)
+        self._checkpoint_barrier()
         return Cursor(rowcount=0)
 
     def _populate_native(self, table: TableDef, structure: Any,
@@ -237,6 +274,9 @@ class DDLEngine:
         index = IndexDef(name=stmt.name, table_name=table.name,
                          column_names=columns, kind="domain", domain=domain)
         db.catalog.add_index(index)
+        # barrier: a crash mid-build must find IN_PROGRESS on disk so
+        # recovery degrades it to FAILED, never resurrects it as VALID
+        self._checkpoint_barrier(reason="domain-create")
         env = db.make_env(CallbackPhase.DEFINITION, domain)
         env.trace(f"ddl:ODCIIndexCreate({indextype.name}:{stmt.name})")
         try:
@@ -246,8 +286,10 @@ class DDLEngine:
                 index_name=stmt.name, phase="definition")
         except CallbackError:
             db.catalog.set_index_state(stmt.name, IndexState.FAILED)
+            self._checkpoint_barrier(reason="domain-create")
             raise
         db.catalog.set_index_state(stmt.name, IndexState.VALID)
+        self._checkpoint_barrier(reason="domain-create")
         return Cursor(rowcount=0)
 
     def execute_alter_index(self, stmt: ast.AlterIndex) -> Cursor:
@@ -260,6 +302,7 @@ class DDLEngine:
                 # administrative degrade: no cartridge callback involved
                 db.catalog.set_index_state(index.name, IndexState.UNUSABLE)
                 db._trace(f"ddl:alter {index.name} UNUSABLE")
+                self._checkpoint_barrier()
                 return Cursor(rowcount=0)
             if domain.state is IndexState.FAILED:
                 raise CatalogError(
@@ -267,6 +310,7 @@ class DDLEngine:
                     "only DROP INDEX is allowed")
             if stmt.rebuild:
                 return self._rebuild_domain_index(index)
+            self._ensure_methods(domain)
             env = db.make_env(CallbackPhase.DEFINITION, domain)
             env.trace(f"ddl:ODCIIndexAlter({index.name})")
             db.dispatcher.call(
@@ -276,6 +320,7 @@ class DDLEngine:
             if stmt.parameters is not None:
                 domain.parameters = stmt.parameters
             db.catalog.bump_version()  # parameters can change scan behaviour
+            self._checkpoint_barrier()
             return Cursor(rowcount=0)
         if stmt.unusable:
             raise CatalogError(
@@ -288,6 +333,7 @@ class DDLEngine:
                          for c in index.column_names]
             self._populate_native(table, index.structure, positions)
             db.catalog.bump_version()
+            self._checkpoint_barrier()
             return Cursor(rowcount=0)
         raise CatalogError(
             f"index {index.name} is not a domain index; only REBUILD applies")
@@ -304,7 +350,10 @@ class DDLEngine:
         """
         db = self.db
         domain = index.domain
+        self._ensure_methods(domain)
         db.catalog.set_index_state(index.name, IndexState.IN_PROGRESS)
+        # barrier: crash mid-rebuild must recover as FAILED, never VALID
+        self._checkpoint_barrier(reason="domain-rebuild")
         env = db.make_env(CallbackPhase.DEFINITION, domain)
         env.trace(f"ddl:rebuild({index.name})")
         try:
@@ -325,8 +374,10 @@ class DDLEngine:
                 index_name=index.name, phase="definition")
         except CallbackError:
             db.catalog.set_index_state(index.name, IndexState.FAILED)
+            self._checkpoint_barrier(reason="domain-rebuild")
             raise
         db.catalog.set_index_state(index.name, IndexState.VALID)
+        self._checkpoint_barrier(reason="domain-rebuild")
         return Cursor(rowcount=0)
 
     def execute_drop_index(self, stmt: ast.DropIndex) -> Cursor:
@@ -334,11 +385,19 @@ class DDLEngine:
         db._autocommit_ddl()
         index = db.catalog.get_index(stmt.name)
         self.drop_index_object(index, force=stmt.force)
+        self._checkpoint_barrier()
         return Cursor(rowcount=0)
 
     def drop_index_object(self, index: IndexDef, force: bool) -> None:
         db = self.db
         if index.is_domain and index.domain is not None:
+            try:
+                self._ensure_methods(index.domain)
+            except CatalogError:
+                # the indextype was never re-registered after restart;
+                # there is no cartridge state to drop in this process
+                db.catalog.drop_index(index.name)
+                return
             env = db.make_env(CallbackPhase.DEFINITION, index.domain)
             env.trace(f"ddl:ODCIIndexDrop({index.name})")
             try:
@@ -423,6 +482,7 @@ class DDLEngine:
                         index.domain.indextype_name.lower() == indextype.key:
                     self.drop_index_object(index, force=True)
         db.catalog.drop_indextype(stmt.name)
+        self._checkpoint_barrier()
         return Cursor(rowcount=0)
 
     def execute_create_type(self, stmt: ast.CreateType) -> Cursor:
@@ -461,6 +521,7 @@ class DDLEngine:
             db.catalog.revoke(stmt.grantee, table.key, stmt.privileges)
         else:
             db.catalog.grant(stmt.grantee, table.key, stmt.privileges)
+        self._checkpoint_barrier()
         return Cursor(rowcount=0)
 
     def execute_analyze(self, stmt: ast.AnalyzeTable) -> Cursor:

@@ -19,7 +19,8 @@ from repro.types.datatypes import BOOLEAN, INTEGER, NUMBER, VARCHAR2
 #: Names served by :func:`dictionary_view`.
 VIEW_NAMES = ("user_tables", "user_indexes", "user_operators",
               "user_indextypes", "user_index_maintenance",
-              "user_lock_stats", "user_snapshot_stats")
+              "user_lock_stats", "user_snapshot_stats",
+              "user_wal_stats", "user_recovery_stats")
 
 
 class _SnapshotStorage:
@@ -75,6 +76,10 @@ def dictionary_view(catalog: Catalog, name: str,
         return _user_lock_stats(engine)
     if key == "user_snapshot_stats" and engine is not None:
         return _user_snapshot_stats(engine)
+    if key == "user_wal_stats" and engine is not None:
+        return _user_wal_stats(engine)
+    if key == "user_recovery_stats" and engine is not None:
+        return _user_recovery_stats(engine)
     return None
 
 
@@ -205,6 +210,66 @@ def _user_snapshot_stats(engine: Any) -> TableDef:
                   ("oldest_active_scn", INTEGER),
                   ("current_scn", INTEGER)],
                  rows)
+
+
+def _user_wal_stats(engine: Any) -> TableDef:
+    """One-row view over the durability manager's WAL counters.
+
+    ``enabled`` is FALSE (with zeroed counters) when the engine runs
+    without a ``data_dir``.  ``batch_histogram`` renders the
+    group-commit batch-size distribution as ``bucket:count`` pairs;
+    group commit's whole point is that ``fsyncs`` grows slower than
+    ``commit_records`` under concurrency.
+    """
+    columns = [("enabled", BOOLEAN), ("records", INTEGER),
+               ("bytes_written", INTEGER), ("fsyncs", INTEGER),
+               ("commit_records", INTEGER), ("commit_waits", INTEGER),
+               ("group_batches", INTEGER), ("group_commits", INTEGER),
+               ("max_batch", INTEGER), ("batch_histogram", VARCHAR2),
+               ("checkpoints", INTEGER), ("truncations", INTEGER),
+               ("epoch", INTEGER), ("active_transactions", INTEGER),
+               ("dirty_entries", INTEGER), ("failed", BOOLEAN)]
+    if engine.durability is None:
+        rows = [[False, 0, 0, 0, 0, 0, 0, 0, 0, "", 0, 0, 0, 0, 0, False]]
+        return _view("user_wal_stats", columns, rows)
+    snap = engine.durability.wal_stats()
+    rows = [[True, snap["records"], snap["bytes_written"], snap["fsyncs"],
+             snap["commit_records"], snap["commit_waits"],
+             snap["group_batches"], snap["group_commits"],
+             snap["max_batch"], _histogram_text(snap["batch_histogram"]),
+             snap["checkpoints"], snap["truncations"], snap["epoch"],
+             snap["active_transactions"], snap["dirty_entries"],
+             snap["failed"]]]
+    return _view("user_wal_stats", columns, rows)
+
+
+def _user_recovery_stats(engine: Any) -> TableDef:
+    """One-row view over the last restart-recovery pass.
+
+    ``ran`` is FALSE when the engine started without durability (or a
+    fresh data_dir with nothing to recover); ``clean`` is TRUE when the
+    pass found a clean shutdown (zero redo, zero undo).
+    """
+    columns = [("ran", BOOLEAN), ("clean", BOOLEAN),
+               ("log_records_scanned", INTEGER),
+               ("redo_records", INTEGER), ("redo_skipped", INTEGER),
+               ("undo_records", INTEGER), ("loser_transactions", INTEGER),
+               ("committed_transactions", INTEGER),
+               ("indexes_degraded", INTEGER), ("tables_restored", INTEGER),
+               ("pages_restored", INTEGER), ("restored_scn", INTEGER),
+               ("duration_seconds", NUMBER)]
+    stats = engine.recovery_stats
+    if stats is None:
+        rows = [[False, True, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0.0]]
+        return _view("user_recovery_stats", columns, rows)
+    snap = stats.snapshot()
+    rows = [[snap["ran"], snap["clean"], snap["log_records_scanned"],
+             snap["redo_records"], snap["redo_skipped"],
+             snap["undo_records"], snap["loser_transactions"],
+             snap["committed_transactions"], snap["indexes_degraded"],
+             snap["tables_restored"], snap["pages_restored"],
+             snap["restored_scn"], snap["duration_seconds"]]]
+    return _view("user_recovery_stats", columns, rows)
 
 
 def _user_indextypes(catalog: Catalog) -> TableDef:

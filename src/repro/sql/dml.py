@@ -591,7 +591,18 @@ class DMLEngine:
             txn.record_undo(lambda: versions.drop_fence(fence))
         rowids = storage.insert_bulk(validated, with_rowids=bool(native),
                                      presorted=presorted)
-        txn.record_undo(lambda s=storage: s.truncate())
+        durability = self.db.engine.durability
+        if durability is None:
+            txn.record_undo(lambda s=storage: s.truncate())
+        else:
+            # one WAL record for the whole load; its undo (and CLR) is a
+            # truncate, valid because the plan guaranteed empty storage
+            prev = durability.log_bulk(
+                txn, table.key, storage, validated,
+                None if table.is_iot else rowids)
+            txn.record_undo(durability.wrap_undo(
+                lambda s=storage: s.truncate(), txn, table.key, storage,
+                "truncate", None, None, None, prev))
         for structure, positions in native:
             pairs = []
             for rowid, row in zip(rowids, validated):
@@ -620,6 +631,38 @@ class DMLEngine:
         txn.record_undo(lambda: versions.pop(rowid, version))
         self.db.engine.mvcc.stats.versions_created += 1
 
+    def _durable_undo(self, txn, table: TableDef, op: str, rowid,
+                      old, new, action) -> None:
+        """Register a row change's undo; with durability on, first log
+        the change to the WAL and wrap the undo so running it writes a
+        compensation record (CLR).
+
+        Called *after* the storage mutation: the WAL rule only requires
+        the log durable before a page image is, which the checkpoint
+        enforces — and logging after the mutation means a fuzzy
+        checkpoint can never stamp a page with an LSN whose change it
+        does not contain.
+        """
+        durability = self.db.engine.durability
+        if durability is None:
+            txn.record_undo(action)
+            return
+        storage = table.storage
+        # IOT rows are logged logically (surrogate rowids die with the
+        # process); heap rows physiologically by (segment, page, slot)
+        rid = None if table.is_iot else rowid
+        prev = durability.log_row(txn, table.key, storage, op, rid,
+                                  old, new)
+        if op == "insert":
+            comp_op, comp_old, comp_new = "delete", new, None
+        elif op == "update":
+            comp_op, comp_old, comp_new = "update", new, old
+        else:
+            comp_op, comp_old, comp_new = "insert", None, old
+        txn.record_undo(durability.wrap_undo(
+            action, txn, table.key, storage, comp_op, rid,
+            comp_old, comp_new, prev))
+
     def insert_physical(self, table: TableDef, row: List[Any], txn) -> RowId:
         row = self.validate_row(table, row)
         storage = table.storage
@@ -629,7 +672,8 @@ class DMLEngine:
                     storage, rid, list(row), None, txn))
         else:
             rowid = storage.insert(row)
-        txn.record_undo(lambda: storage.delete(rowid))
+        self._durable_undo(txn, table, "insert", rowid, None, list(row),
+                           lambda: storage.delete(rowid))
         self.maintain_insert(table, rowid, row, txn)
         return rowid
 
@@ -894,7 +938,8 @@ class DMLEngine:
                 self._record_version(storage, rowid, list(new_row),
                                      old_copy, txn)
                 storage.update(rowid, new_row)
-                txn.record_undo(
+                self._durable_undo(
+                    txn, table, "update", rowid, old_copy, list(new_row),
                     lambda s=storage, r=rowid, o=old_copy: s.update(r, o))
                 self.maintain_update(table, rowid, old_copy, new_row, txn)
                 count += 1
@@ -925,7 +970,8 @@ class DMLEngine:
                 old_copy = list(old_row)
                 self._record_version(storage, rowid, None, old_copy, txn)
                 storage.delete(rowid)
-                txn.record_undo(
+                self._durable_undo(
+                    txn, table, "delete", rowid, old_copy, None,
                     lambda s=storage, r=rowid, o=old_copy: s.undelete(r, o))
                 self.maintain_delete(table, rowid, old_copy, txn)
                 count += 1

@@ -63,7 +63,13 @@ class Engine:
                  fetch_batch_size: int = 32,
                  plan_cache_capacity: int = 128,
                  lock_timeout: float = DEFAULT_LOCK_TIMEOUT,
-                 compile_expressions: bool = True):
+                 compile_expressions: bool = True,
+                 data_dir: Optional[str] = None,
+                 wal_group_commit: bool = True,
+                 wal_fsync_delay: float = 0.0,
+                 wal_checkpoint_interval: int = 256,
+                 durability_event_hook: Any = None,
+                 storage_fault_plan: Any = None):
         self.stats = IOStats()
         self.buffer = BufferCache(self.stats, capacity=buffer_capacity)
         self.catalog = Catalog()
@@ -96,6 +102,22 @@ class Engine:
         from repro.sql.dictionary import dictionary_view
         self.catalog.view_provider = (
             lambda name: dictionary_view(self.catalog, name, engine=self))
+        #: opt-in durability: with a data_dir the engine logs every DML
+        #: to a WAL, checkpoints pages, and runs restart recovery here;
+        #: without one it keeps the original all-in-memory behaviour
+        self.durability = None
+        self.recovery_stats = None
+        self._closed = False
+        if data_dir is not None:
+            from repro.storage.durability import DurabilityManager
+            self.durability = DurabilityManager(
+                self, data_dir, group_commit=wal_group_commit,
+                fsync_delay=wal_fsync_delay,
+                checkpoint_interval=wal_checkpoint_interval,
+                event_hook=durability_event_hook,
+                fault_plan=storage_fault_plan)
+            self.buffer.durability = self.durability
+            self.recovery_stats = self.durability.open()
 
     # ------------------------------------------------------------------
     # sessions
@@ -140,6 +162,37 @@ class Engine:
             session_id = self._next_session_id
             self._next_session_id += 1
             return session_id
+
+    def peek_next_txn_id(self) -> int:
+        """Allocator position without allocating (checkpoint records)."""
+        with self._id_latch:
+            return self._next_txn_id
+
+    def restore_txn_id(self, next_id: int) -> None:
+        """Advance the txn-id allocator past recovered transactions."""
+        with self._id_latch:
+            self._next_txn_id = max(self._next_txn_id, next_id)
+
+    # ------------------------------------------------------------------
+    # durability lifecycle
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, reason: str = "manual") -> Optional[int]:
+        """Take a fuzzy checkpoint (no-op without durability)."""
+        if self.durability is None:
+            return None
+        return self.durability.checkpoint(reason=reason)
+
+    def close(self) -> None:
+        """Clean shutdown: stop background threads, flush the WAL, take
+        a final checkpoint.  Reopening the same data_dir after close()
+        reports a clean (zero-redo, zero-undo) recovery pass."""
+        if self._closed:
+            return
+        self.stop_version_pruner()
+        if self.durability is not None:
+            self.durability.close()
+        self._closed = True
 
     # ------------------------------------------------------------------
     # thread ↔ session binding

@@ -400,6 +400,12 @@ class Session:
         # stamp this txn's row versions with the commit SCN, atomically
         # with respect to snapshot handout
         prune_due = self.engine.mvcc.commit_transaction(txn)
+        # the durable ack point: the commit record is fsynced (group
+        # commit batches it with concurrent sessions) before commit()
+        # returns; read-only transactions skip the log entirely
+        durability = self.engine.durability
+        if durability is not None:
+            durability.commit(txn)
         txn.commit()
         self.locks.release_all(txn.txn_id)
         self.events.fire(DatabaseEvent.COMMIT)
@@ -417,7 +423,10 @@ class Session:
             # undo unwinding marks this span's deferred entries dead
             txn.rollback_to_savepoint(savepoint)
             return
-        txn.rollback()
+        txn.rollback()  # undo closures log CLRs as they compensate
+        durability = self.engine.durability
+        if durability is not None:
+            durability.abort(txn)
         self.dml.discard_deferred()
         self.locks.release_all(txn.txn_id)
         self.events.fire(DatabaseEvent.ROLLBACK)
@@ -546,10 +555,15 @@ class Database(Session):
     """
 
     def __init__(self, buffer_capacity: int = 512,
-                 fetch_batch_size: int = 32):
+                 fetch_batch_size: int = 32, **engine_options: Any):
         super().__init__(Engine(buffer_capacity=buffer_capacity,
-                                fetch_batch_size=fetch_batch_size))
+                                fetch_batch_size=fetch_batch_size,
+                                **engine_options))
 
     def connect(self, user: str = "main") -> Session:
         """Open another session against this database's engine."""
         return self.engine.connect(user)
+
+    def close(self) -> None:
+        """Shut the engine down cleanly (see :meth:`Engine.close`)."""
+        self.engine.close()

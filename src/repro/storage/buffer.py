@@ -107,6 +107,10 @@ class BufferCache:
         self._cache: "OrderedDict[PageKey, Page]" = OrderedDict()
         self._disk: Dict[PageKey, Page] = {}
         self._next_segment_id = 1
+        #: set by the engine when durability is on; the cache reports
+        #: dirty-making accesses (for the dirty-page table) and segment
+        #: drops (for durable tombstones)
+        self.durability = None
         #: latch: the cache is engine-wide; even read-only access
         #: mutates the LRU order (``move_to_end``), so every operation
         #: takes the latch.  Individual I/O counters are *not* under a
@@ -130,6 +134,8 @@ class BufferCache:
                 del self._cache[key]
             for key in [k for k in self._disk if k[0] == segment_id]:
                 del self._disk[key]
+        if self.durability is not None:
+            self.durability.segment_dropped(segment_id)
 
     def segment_page_count(self, segment_id: int) -> int:
         """Number of allocated pages in a segment (cached or on disk)."""
@@ -150,7 +156,9 @@ class BufferCache:
             page.dirty = True
             self._put(key, page)
             self.stats.logical_writes += 1
-            return page
+        if self.durability is not None:
+            self.durability.note_dirty(key)
+        return page
 
     def get_page(self, segment_id: int, page_no: int,
                  for_write: bool = False) -> Page:
@@ -161,19 +169,19 @@ class BufferCache:
             if for_write:
                 self.stats.logical_writes += 1
             page = self._cache.get(key)
-            if page is not None:
-                self._cache.move_to_end(key)
-                if for_write:
-                    page.dirty = True
-                return page
-            page = self._disk.get(key)
             if page is None:
-                raise StorageError(f"no such page {key}")
-            self.stats.physical_reads += 1
-            self._put(key, page)
+                page = self._disk.get(key)
+                if page is None:
+                    raise StorageError(f"no such page {key}")
+                self.stats.physical_reads += 1
+                self._put(key, page)
+            else:
+                self._cache.move_to_end(key)
             if for_write:
                 page.dirty = True
-            return page
+        if for_write and self.durability is not None:
+            self.durability.note_dirty(key)
+        return page
 
     def flush(self) -> None:
         """Write back every dirty cached page (checkpoint)."""
@@ -194,6 +202,63 @@ class BufferCache:
         """True when the page is currently cached (no I/O counted)."""
         with self._latch:
             return (segment_id, page_no) in self._cache
+
+    # -- recovery support ---------------------------------------------------
+
+    def install_page(self, key: PageKey, page: Page) -> None:
+        """Place a recovered page image on the simulated disk (no I/O
+        accounting — recovery happens before any workload runs)."""
+        with self._latch:
+            page.dirty = False
+            self._disk[key] = page
+            self._cache.pop(key, None)
+
+    def ensure_page(self, segment_id: int, page_no: int) -> Page:
+        """Fetch-or-create a page during redo, without I/O accounting.
+
+        Redo may target a page that was allocated after the last
+        checkpoint image was taken — it simply materializes it.
+        """
+        key = (segment_id, page_no)
+        with self._latch:
+            page = self._cache.get(key) or self._disk.get(key)
+            if page is None:
+                page = Page(page_no)
+                self._disk[key] = page
+            return page
+
+    def peek_page(self, segment_id: int, page_no: int) -> Optional[Page]:
+        """Return the page if allocated, else None (no I/O accounting)."""
+        key = (segment_id, page_no)
+        with self._latch:
+            return self._cache.get(key) or self._disk.get(key)
+
+    def segment_pages(self, segment_id: int) -> Dict[int, Page]:
+        """Every allocated page of a segment, keyed by page_no."""
+        with self._latch:
+            pages: Dict[int, Page] = {}
+            for (seg, pno), page in self._disk.items():
+                if seg == segment_id:
+                    pages[pno] = page
+            for (seg, pno), page in self._cache.items():
+                if seg == segment_id:
+                    pages[pno] = page
+            return pages
+
+    def dirty_pages(self) -> Dict[PageKey, Page]:
+        """Snapshot of the currently dirty cached pages (checkpointing)."""
+        with self._latch:
+            return {k: p for k, p in self._cache.items() if p.dirty}
+
+    def restore_next_segment_id(self, next_id: int) -> None:
+        """Advance the segment allocator past recovered segments."""
+        with self._latch:
+            self._next_segment_id = max(self._next_segment_id, next_id)
+
+    def peek_next_segment_id(self) -> int:
+        """Current allocator position (checkpointed, not allocated)."""
+        with self._latch:
+            return self._next_segment_id
 
     # -- internals ----------------------------------------------------------
 

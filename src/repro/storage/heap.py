@@ -75,10 +75,14 @@ class HeapTable:
     names/types and validates values before they reach here.
     """
 
-    def __init__(self, buffer_cache: BufferCache, name: str = "?"):
+    def __init__(self, buffer_cache: BufferCache, name: str = "?",
+                 segment_id: Optional[int] = None):
         self.buffer = buffer_cache
         self.name = name
-        self.segment_id = buffer_cache.allocate_segment()
+        # Recovery re-creates tables with their original segment ids so
+        # logged rowids keep addressing the same pages.
+        self.segment_id = (segment_id if segment_id is not None
+                           else buffer_cache.allocate_segment())
         self._page_count = 0
         self._row_count = 0
         # Pages that most recently had room, checked before allocating.
@@ -239,6 +243,28 @@ class HeapTable:
                     batch.append((rowid, value))
             if batch:
                 yield batch
+
+    # -- durability support ----------------------------------------------
+
+    def stamp_lsn(self, rowid: RowId, lsn: int) -> None:
+        """Record the WAL LSN of the last change to ``rowid``'s page.
+
+        Only called when durability is on; the extra ``get_page`` does
+        not disturb the exact-I/O benchmark assertions, which run with
+        durability off.
+        """
+        page = self.buffer.get_page(self.segment_id, rowid.page_no)
+        if lsn > page.page_lsn:
+            page.page_lsn = lsn
+
+    def rebuild_from_pages(self) -> None:
+        """Recompute counters from recovered page images (restart)."""
+        pages = self.buffer.segment_pages(self.segment_id)
+        self._page_count = (max(pages) + 1) if pages else 0
+        self._row_count = sum(p.live_count() for p in pages.values())
+        self._last_insert_page = None
+        for page in pages.values():
+            page.recompute_used()
 
     # -- statistics -------------------------------------------------------
 

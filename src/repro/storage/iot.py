@@ -33,15 +33,26 @@ class IndexOrganizedTable:
     """
 
     def __init__(self, buffer_cache: BufferCache, key_width: int,
-                 name: str = "?", unique: bool = True):
+                 name: str = "?", unique: bool = True,
+                 segment_id: Optional[int] = None):
         if key_width < 1:
             raise ConstraintError("IOT key width must be >= 1")
         self.buffer = buffer_cache
         self.name = name
         self.key_width = key_width
         self.unique = unique
-        self.segment_id = buffer_cache.allocate_segment()
+        # Recovery re-creates IOTs with their original segment ids so
+        # durable dumps and WAL records keep addressing them.
+        self.segment_id = (segment_id if segment_id is not None
+                           else buffer_cache.allocate_segment())
         self._tree = BTree(unique=unique, touch=self._touch)
+        #: LSN of the last WAL record applied to the tree; IOT redo is
+        #: logical (surrogates don't survive restarts), so the whole
+        #: table carries one applied-LSN watermark instead of per-page
+        #: stamps.  Persisted as the durable dump's snap_lsn.
+        self.applied_lsn = 0
+        #: True when the tree changed since the last durable dump
+        self.dump_dirty = False
         # surrogate rowid -> key mapping for executor uniformity
         self._key_of_surrogate: dict = {}
         self._surrogate_of_key: dict = {}
@@ -194,6 +205,9 @@ class IndexOrganizedTable:
             self._key_of_surrogate.clear()
             self._surrogate_of_key.clear()
             self.versions.clear()
+            # not WAL-logged (DDL), so the next checkpoint must rewrite
+            # the durable dump or recovery would resurrect the old rows
+            self.dump_dirty = True
 
     # -- scans ------------------------------------------------------------
 
@@ -316,6 +330,54 @@ class IndexOrganizedTable:
         """Return the full rows stored under an exact key."""
         key = tuple(key_values)
         return [list(key) + list(p) for p in self._tree.search(key)]
+
+    # -- durability support ------------------------------------------------
+
+    def stamp_lsn(self, lsn: int) -> None:
+        """Advance the applied-LSN watermark (a WAL record hit this tree)."""
+        if lsn > self.applied_lsn:
+            self.applied_lsn = lsn
+        self.dump_dirty = True
+
+    def dump_rows(self) -> List[List[Any]]:
+        """Materialize every row for a durable dump (latched)."""
+        with self._latch:
+            return [list(key) + list(payload)
+                    for key, payload in self._tree.items()]
+
+    def load_rows(self, rows: List[List[Any]], snap_lsn: int) -> None:
+        """Replace the tree with a recovered dump image."""
+        with self._latch:
+            self._tree.clear()
+            self._key_of_surrogate.clear()
+            self._surrogate_of_key.clear()
+            self._next_surrogate = 0
+            for row in rows:
+                key, payload = self._split_row(row)
+                self._tree.insert(key, payload)
+            self.applied_lsn = snap_lsn
+            self.dump_dirty = False
+
+    def recover_insert(self, row: List[Any]) -> None:
+        """Redo/undo replay: insert without surrogate or MVCC tracking."""
+        key, payload = self._split_row(row)
+        with self._latch:
+            self._tree.insert(key, payload)
+
+    def recover_delete(self, row: List[Any]) -> None:
+        """Redo/undo replay: delete by full row; missing rows tolerated
+        (replay against a fuzzy image may target an already-gone row)."""
+        key, payload = self._split_row(row)
+        with self._latch:
+            try:
+                self._tree.delete(key, payload)
+            except Exception:
+                pass
+
+    def recover_update(self, old: List[Any], new: List[Any]) -> None:
+        """Redo/undo replay: replace ``old`` with ``new``."""
+        self.recover_delete(old)
+        self.recover_insert(new)
 
     # -- statistics --------------------------------------------------------
 

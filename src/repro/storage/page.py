@@ -52,13 +52,18 @@ class Page:
     accepts a new row while ``used + size <= PAGE_SIZE``.
     """
 
-    __slots__ = ("page_no", "slots", "used", "dirty")
+    __slots__ = ("page_no", "slots", "used", "dirty", "page_lsn")
 
     def __init__(self, page_no: int):
         self.page_no = page_no
         self.slots: List[Optional[List[Any]]] = []
         self.used = 0
         self.dirty = False
+        #: LSN of the last WAL record applied to this page (0 = never
+        #: logged).  The durable store persists it with the page image;
+        #: recovery redo skips records with lsn <= page_lsn, and the
+        #: WAL rule flushes the log through page_lsn before the page.
+        self.page_lsn = 0
 
     def has_room(self, size: int) -> bool:
         """True when a row of ``size`` simulated bytes fits on this page."""
@@ -92,6 +97,36 @@ class Page:
     def live_count(self) -> int:
         """Number of non-deleted rows on the page."""
         return sum(1 for s in self.slots if s is not None)
+
+    def set_slot(self, slot: int, row: Optional[List[Any]]) -> None:
+        """Slot-targeted write used by redo/undo replay.
+
+        Pads the slot directory as needed and leaves ``used`` stale —
+        replay is followed by :meth:`recompute_used` once per page.
+        Idempotent: applying the same record twice lands the same state.
+        """
+        while len(self.slots) <= slot:
+            self.slots.append(None)
+        self.slots[slot] = row
+        self.dirty = True
+
+    def recompute_used(self) -> None:
+        """Rebuild the byte-occupancy estimate from the live slots."""
+        self.used = sum(min(estimate_row_size(r), PAGE_SIZE)
+                        for r in self.slots if r is not None)
+
+    def state(self) -> dict:
+        """Plain-data image of the page for the durable page store."""
+        return {"page_no": self.page_no, "slots": list(self.slots),
+                "used": self.used, "lsn": self.page_lsn}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Page":
+        page = cls(state["page_no"])
+        page.slots = list(state["slots"])
+        page.used = state["used"]
+        page.page_lsn = state["lsn"]
+        return page
 
     def __repr__(self) -> str:
         return (f"Page(no={self.page_no}, slots={len(self.slots)}, "

@@ -1,0 +1,449 @@
+"""Write-ahead log: redo/undo records, group commit, torn-tail-safe scan.
+
+The durability contract Oracle8i gives the paper's domain indexes —
+"index data stored in the database rides the kernel's recovery
+machinery" (§2.5) — needs a redo log underneath the buffer cache.  This
+module provides it:
+
+* **Records.**  Each record is ``<u32 body-length><u32 crc32><pickled
+  payload>``.  Payloads are plain dicts tagged with a one-letter type:
+  row changes (``U``), compensation records written by rollback/undo
+  (``C``), commit (``X``), abort (``A``), and fuzzy checkpoints (``K``).
+  Row changes are physiological for heap tables (segment/page/slot plus
+  before/after images — replay is a slot-targeted, idempotent set) and
+  logical for index-organized tables (full before/after rows — their
+  surrogate rowids do not survive a restart).
+
+* **LSNs.**  A record's LSN is ``(epoch << 40) | byte offset``.  The
+  epoch bumps every time the log is truncated at a quiet checkpoint, so
+  LSNs stay monotonic across truncation and page-image stamps from an
+  old log generation always compare below new records.
+
+* **Group commit.**  Sessions do not fsync their own commit record;
+  they enqueue the commit LSN with :class:`LogWriter` and wait.  The
+  log-writer thread drains all waiting sessions, issues **one** fsync
+  covering the highest LSN in the batch, and wakes everyone — the
+  classic commit-throughput win, benchmarked in
+  ``benchmarks/bench_wal.py``.
+
+* **Torn-tail scan.**  :func:`scan_log` stops cleanly at the first
+  truncated or checksum-failing record — a crash mid-append leaves a
+  torn tail, never a corrupt replay.
+
+* **Failure model.**  A log-device error (including injected torn
+  writes / I/O errors from :class:`repro.testing.faults.StorageFaultPlan`)
+  marks the log **failed**; every later append or commit raises
+  :class:`~repro.errors.WALError`.  Like Oracle after an LGWR failure,
+  the instance must restart and recover.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import time
+import zlib
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import WALError
+
+__all__ = ["LogDevice", "LogWriter", "WALStats", "WriteAheadLog",
+           "lsn_epoch", "lsn_offset", "make_lsn", "scan_log",
+           "REC_UPDATE", "REC_CLR", "REC_COMMIT", "REC_ABORT",
+           "REC_CHECKPOINT"]
+
+#: record header: little-endian (body length, crc32 of body)
+_HEADER = struct.Struct("<II")
+
+#: record type tags ("t" key of every payload)
+REC_UPDATE = "U"      # row change: redo + (logical) undo images
+REC_CLR = "C"         # compensation record: redo-only, undo_next chain
+REC_COMMIT = "X"      # transaction commit {txn, scn}
+REC_ABORT = "A"       # transaction fully rolled back
+REC_CHECKPOINT = "K"  # fuzzy checkpoint {att, dpt, scn, next ids}
+
+#: bits reserved for the byte offset within one log generation (1 TiB)
+LSN_OFFSET_BITS = 40
+_OFFSET_MASK = (1 << LSN_OFFSET_BITS) - 1
+
+
+def make_lsn(epoch: int, offset: int) -> int:
+    return (epoch << LSN_OFFSET_BITS) | offset
+
+
+def lsn_epoch(lsn: int) -> int:
+    return lsn >> LSN_OFFSET_BITS
+
+
+def lsn_offset(lsn: int) -> int:
+    return lsn & _OFFSET_MASK
+
+
+def encode_record(payload: Dict[str, Any]) -> bytes:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+class LogDevice:
+    """The log's file descriptor plus the fault-injection seam.
+
+    All real I/O goes through here so :class:`~repro.testing.faults.
+    StorageFaultPlan` can inject device-level failures the SIGKILL
+    harness cannot produce (the OS keeps completed writes):
+
+    * ``io_error`` — the write/fsync raises; the device marks itself
+      failed.
+    * ``torn`` — a write persists only a prefix of the record (crash
+      mid-sector); the device fails afterwards.
+    * ``short_fsync`` — fsync "succeeds" but the device lies: the last
+      bytes are not durable.  :meth:`simulate_crash` truncates the file
+      to the durable prefix, modeling the power cut that exposes the
+      lie.
+
+    ``fsync_delay`` simulates device latency (tmpfs CI makes real fsync
+    nearly free, which would hide the group-commit win the benchmark
+    gates on).
+    """
+
+    def __init__(self, path: str, fsync_delay: float = 0.0,
+                 fault_check: Optional[Callable[[str], Any]] = None,
+                 event_hook: Optional[Callable[[str], None]] = None,
+                 fault_scope: str = "wal"):
+        self.path = path
+        self.fsync_delay = fsync_delay
+        self.fault_check = fault_check
+        self.event_hook = event_hook
+        self.fault_scope = fault_scope
+        self.failed = False
+        self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+        #: bytes physically written (append position)
+        self.size = os.fstat(self._fd).st_size
+        #: bytes actually persisted by the device (== size except after
+        #: an injected short fsync)
+        self.durable_size = self.size
+
+    # -- fault seam ---------------------------------------------------
+
+    def _fault(self, op: str):
+        if self.fault_check is None:
+            return None
+        return self.fault_check(f"{self.fault_scope}.{op}")
+
+    def _event(self, op: str) -> None:
+        if self.event_hook is not None:
+            self.event_hook(f"{self.fault_scope}.{op}")
+
+    # -- I/O -----------------------------------------------------------
+
+    def append(self, data: bytes) -> int:
+        """Write ``data`` at the end; returns the record's start offset."""
+        if self.failed:
+            raise WALError(f"log device {self.path} has failed; "
+                           "restart the instance")
+        rule = self._fault("append")
+        offset = self.size
+        if rule is not None and rule.kind == "io_error":
+            self.failed = True
+            raise WALError(f"injected I/O error on {self.path}")
+        if rule is not None and rule.kind == "torn":
+            keep = max(1, int(len(data) * rule.fraction))
+            os.pwrite(self._fd, data[:keep], offset)
+            self.size = offset + keep
+            self.failed = True
+            self._event("append")
+            raise WALError(f"injected torn write on {self.path} "
+                           f"({keep}/{len(data)} bytes)")
+        os.pwrite(self._fd, data, offset)
+        self.size = offset + len(data)
+        self._event("append")
+        return offset
+
+    def fsync(self) -> None:
+        if self.failed:
+            raise WALError(f"log device {self.path} has failed; "
+                           "restart the instance")
+        rule = self._fault("fsync")
+        if rule is not None and rule.kind == "io_error":
+            self.failed = True
+            raise WALError(f"injected fsync error on {self.path}")
+        if self.fsync_delay > 0.0:
+            time.sleep(self.fsync_delay)
+        os.fsync(self._fd)
+        if rule is not None and rule.kind == "short_fsync":
+            # the device acknowledged the fsync but silently dropped
+            # the last bytes; visible only after simulate_crash()
+            self.durable_size = max(self.durable_size,
+                                    self.size - rule.shortfall)
+        else:
+            self.durable_size = self.size
+        self._event("fsync")
+
+    def pread(self, length: int, offset: int) -> bytes:
+        return os.pread(self._fd, length, offset)
+
+    def truncate(self, size: int = 0) -> None:
+        os.ftruncate(self._fd, size)
+        self.size = size
+        self.durable_size = min(self.durable_size, size)
+
+    def simulate_crash(self) -> None:
+        """Drop every byte the device never actually persisted."""
+        os.ftruncate(self._fd, self.durable_size)
+        self.size = self.durable_size
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+
+
+def scan_log(device: LogDevice, epoch: int
+             ) -> Iterator[Tuple[int, Dict[str, Any]]]:
+    """Yield ``(lsn, payload)`` for every intact record; stop at a torn
+    tail (truncated header/body or checksum mismatch)."""
+    offset = 0
+    size = device.size
+    header_len = _HEADER.size
+    while offset + header_len <= size:
+        body_len, crc = _HEADER.unpack(device.pread(header_len, offset))
+        body_off = offset + header_len
+        if body_off + body_len > size:
+            return  # torn tail: body truncated
+        body = device.pread(body_len, body_off)
+        if len(body) != body_len or zlib.crc32(body) != crc:
+            return  # torn tail: checksum failure
+        try:
+            payload = pickle.loads(body)
+        except Exception:
+            return  # torn tail: garbage body that happened to checksum
+        yield make_lsn(epoch, offset), payload
+        offset = body_off + body_len
+
+
+class WALStats:
+    """Counters behind the ``user_wal_stats`` dictionary view."""
+
+    def __init__(self):
+        self.records = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.commit_records = 0
+        self.commit_waits = 0
+        self.group_batches = 0
+        self.group_commits = 0
+        self.max_batch = 0
+        #: group-commit batch-size histogram: batch size -> batches
+        self.batch_histogram: Dict[int, int] = {}
+        self.checkpoints = 0
+        self.truncations = 0
+        self.last_checkpoint_lsn = 0
+
+    def record_batch(self, size: int) -> None:
+        self.group_batches += 1
+        self.group_commits += size
+        self.max_batch = max(self.max_batch, size)
+        self.batch_histogram[size] = self.batch_histogram.get(size, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "records": self.records,
+            "bytes_written": self.bytes_written,
+            "fsyncs": self.fsyncs,
+            "commit_records": self.commit_records,
+            "commit_waits": self.commit_waits,
+            "group_batches": self.group_batches,
+            "group_commits": self.group_commits,
+            "max_batch": self.max_batch,
+            "batch_histogram": dict(sorted(self.batch_histogram.items())),
+            "checkpoints": self.checkpoints,
+            "truncations": self.truncations,
+            "last_checkpoint_lsn": self.last_checkpoint_lsn,
+        }
+
+
+class WriteAheadLog:
+    """Append-only redo log with group commit.
+
+    Appends write straight to the OS file (page cache); durability is
+    exactly the fsync boundary, tracked as ``flushed_lsn``.  The append
+    latch serializes record placement; ``flush_to`` is idempotent and
+    safe from any thread.
+    """
+
+    def __init__(self, path: str, fsync_delay: float = 0.0,
+                 fault_check: Optional[Callable[[str], Any]] = None,
+                 event_hook: Optional[Callable[[str], None]] = None):
+        self.device = LogDevice(path, fsync_delay=fsync_delay,
+                                fault_check=fault_check,
+                                event_hook=event_hook, fault_scope="wal")
+        self.epoch = 0
+        self.stats = WALStats()
+        self._latch = threading.Lock()
+        self._flush_latch = threading.Lock()
+        self.flushed_lsn = 0
+        self.writer: Optional["LogWriter"] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.device.failed
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN just past the last appended record."""
+        return make_lsn(self.epoch, self.device.size)
+
+    def append(self, payload: Dict[str, Any]) -> int:
+        """Append one record; returns its LSN (not yet durable)."""
+        data = encode_record(payload)
+        with self._latch:
+            offset = self.device.append(data)
+            self.stats.records += 1
+            self.stats.bytes_written += len(data)
+            return make_lsn(self.epoch, offset)
+
+    def flush_to(self, lsn: int) -> None:
+        """Make the record starting at ``lsn`` durable (WAL rule).
+
+        ``lsn`` is a record's *start* position, so durability requires
+        ``flushed_lsn`` strictly beyond it — ``>=`` would skip the fsync
+        for a record appended exactly at the flushed boundary (the first
+        commit after a checkpoint) and ack a commit that is not durable.
+        """
+        if self.flushed_lsn > lsn:
+            return
+        with self._flush_latch:
+            if self.flushed_lsn > lsn:
+                return
+            target = self.end_lsn  # all bytes below are already written
+            self.device.fsync()
+            self.stats.fsyncs += 1
+            self.flushed_lsn = target
+
+    def flush_all(self) -> None:
+        if self.device.size == 0:
+            return  # empty generation: nothing to make durable
+        self.flush_to(self.end_lsn - 1)  # start of the last byte written
+
+    def commit_flush(self, lsn: int) -> None:
+        """Durably flush a commit record.
+
+        With the group-commit writer running, the commit joins the
+        writer's next batch and shares its fsync.  Without it this is
+        literal per-commit-fsync mode: every commit pays its own fsync,
+        even when a concurrent flush already covered this LSN —
+        ``flush_to``'s coverage skip is itself a batching optimisation,
+        and the no-writer mode exists to be the unbatched baseline.
+        """
+        self.stats.commit_waits += 1
+        writer = self.writer
+        if writer is not None and writer.running:
+            writer.commit_wait(lsn)
+        else:
+            with self._flush_latch:
+                target = self.end_lsn
+                self.device.fsync()
+                self.stats.fsyncs += 1
+                if target > self.flushed_lsn:
+                    self.flushed_lsn = target
+        if self.failed:
+            raise WALError("write-ahead log failed during commit flush; "
+                           "restart the instance")
+
+    # -- truncation at quiet checkpoints --------------------------------
+
+    def reset(self, epoch: int) -> None:
+        """Truncate the log and start a new generation (quiet checkpoint:
+        no active transactions, all dirty pages flushed)."""
+        with self._latch, self._flush_latch:
+            self.device.truncate(0)
+            self.epoch = epoch
+            self.flushed_lsn = make_lsn(epoch, 0)
+            self.stats.truncations += 1
+
+    def scan(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        return scan_log(self.device, self.epoch)
+
+    def close(self) -> None:
+        self.device.close()
+
+
+class LogWriter:
+    """The group-commit thread: batches commit fsyncs across sessions.
+
+    Mirrors the futures-over-a-queue idiom of the async writers in
+    ``/root/related/opendatacube__dea-proto``: committers enqueue
+    ``(lsn, event)`` and block on the event; the writer drains the whole
+    queue, fsyncs once through the highest LSN, and releases the batch.
+    """
+
+    def __init__(self, wal: WriteAheadLog):
+        self.wal = wal
+        self._cond = threading.Condition()
+        self._queue: List[Tuple[int, threading.Event]] = []
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self._stop = False
+        self._thread = threading.Thread(target=self._loop,
+                                        name="wal-log-writer", daemon=True)
+        self._thread.start()
+        self.wal.writer = self
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self.wal.writer is self:
+            self.wal.writer = None
+
+    def commit_wait(self, lsn: int) -> None:
+        """Enqueue a commit LSN and block until it is durable (or failed)."""
+        done = threading.Event()
+        with self._cond:
+            if self._stop or not self.running:
+                # writer wound down between the caller's check and here
+                self.wal.flush_to(lsn)
+                return
+            self._queue.append((lsn, done))
+            self._cond.notify()
+        done.wait()
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait()
+                batch, self._queue = self._queue, []
+                stopping = self._stop
+            if batch:
+                target = max(lsn for lsn, __ in batch)
+                try:
+                    self.wal.flush_to(target)
+                except WALError:
+                    pass  # waiters observe wal.failed and raise
+                self.wal.stats.record_batch(len(batch))
+                for __, event in batch:
+                    event.set()
+            if stopping:
+                # drain anything that raced the stop flag
+                with self._cond:
+                    leftovers, self._queue = self._queue, []
+                for lsn, event in leftovers:
+                    try:
+                        self.wal.flush_to(lsn)
+                    except WALError:
+                        pass
+                    event.set()
+                return

@@ -1,5 +1,7 @@
 """Deterministic testing utilities for the extensible-indexing engine."""
 
-from repro.testing.faults import FaultPlan, LedgerEntry
+from repro.testing.faults import (FaultPlan, LedgerEntry,
+                                  StorageFaultPlan, StorageLedgerEntry)
 
-__all__ = ["FaultPlan", "LedgerEntry"]
+__all__ = ["FaultPlan", "LedgerEntry",
+           "StorageFaultPlan", "StorageLedgerEntry"]

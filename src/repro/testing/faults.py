@@ -25,6 +25,12 @@ Three rule kinds cover the taxonomy:
 Every invocation the plan observes — faulted or not — is appended to
 :attr:`FaultPlan.ledger`, so tests can assert on exact callback
 sequences ("ODCIIndexClose fired exactly once").
+
+:class:`StorageFaultPlan` applies the same discipline one layer down, at
+the durable-storage seam: it injects device-level failures — torn
+writes, short fsyncs, I/O errors — into the write-ahead log and page
+store, the failure modes a SIGKILL harness cannot produce because the
+OS preserves completed writes.
 """
 
 from __future__ import annotations
@@ -181,3 +187,104 @@ class FaultPlan:
         if self._installed:
             self.db.dispatcher.fault_plan = self._previous
             self._installed = False
+
+
+# ---------------------------------------------------------------------------
+# Storage-level fault injection (log device / page store)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StorageLedgerEntry:
+    """One observed storage event: which device op, what we did."""
+
+    event: str
+    #: "ok", "io_error", "torn", or "short_fsync".
+    outcome: str
+    #: 1-based ordinal among events with this name.
+    ordinal: int
+
+
+@dataclass
+class _StorageRule:
+    event: str       # "wal.append" | "wal.fsync" | "page.flush"
+    kind: str        # "io_error" | "torn" | "short_fsync"
+    nth: int = 1     # fire on this ordinal (1-based, counted per event)
+    fraction: float = 0.5   # "torn": fraction of the record persisted
+    shortfall: int = 64     # "short_fsync": trailing bytes silently dropped
+    seen: int = 0
+
+
+class StorageFaultPlan:
+    """Deterministic device-level faults for the durability layer.
+
+    Install via ``Engine(..., storage_fault_plan=plan)`` — the engine
+    hands the plan's :meth:`check` to its :class:`~repro.storage.wal.
+    LogDevice` and :class:`~repro.storage.pagestore.PageStore`, which
+    consult it before each physical operation:
+
+    * ``io_error`` — the op raises :class:`~repro.errors.WALError` and
+      (for the log) marks the device failed, so later commits refuse.
+    * ``torn`` — a WAL append persists only a ``fraction`` prefix of the
+      record, modeling a crash mid-sector.  The checksum-guarded scan
+      must stop cleanly at the torn record.
+    * ``short_fsync`` — the fsync reports success but the device quietly
+      drops the last ``shortfall`` bytes; the lie is exposed only by
+      :meth:`~repro.storage.wal.LogDevice.simulate_crash`.
+
+    Rules fire on exact per-event ordinals, and every observed event is
+    ledgered, mirroring :class:`FaultPlan`.
+    """
+
+    def __init__(self):
+        self.rules: List[_StorageRule] = []
+        self.ledger: List[StorageLedgerEntry] = []
+        self._counts: Dict[str, int] = {}
+
+    # -- rule construction ---------------------------------------------
+
+    def io_error(self, event: str, nth: int = 1) -> "StorageFaultPlan":
+        """Fail the nth occurrence of ``event`` with a WALError."""
+        self.rules.append(_StorageRule(event=event, kind="io_error", nth=nth))
+        return self
+
+    def torn_write(self, event: str = "wal.append", nth: int = 1,
+                   fraction: float = 0.5) -> "StorageFaultPlan":
+        """Persist only a prefix of the nth write (partial-sector crash)."""
+        self.rules.append(_StorageRule(event=event, kind="torn", nth=nth,
+                                       fraction=fraction))
+        return self
+
+    def short_fsync(self, event: str = "wal.fsync", nth: int = 1,
+                    shortfall: int = 64) -> "StorageFaultPlan":
+        """Make the nth fsync lie: the last ``shortfall`` bytes are lost."""
+        self.rules.append(_StorageRule(event=event, kind="short_fsync",
+                                       nth=nth, shortfall=shortfall))
+        return self
+
+    # -- ledger queries -------------------------------------------------
+
+    def calls(self, event: str) -> int:
+        return sum(1 for e in self.ledger if e.event == event)
+
+    def outcomes(self, event: str) -> List[str]:
+        return [e.outcome for e in self.ledger if e.event == event]
+
+    # -- device seam ----------------------------------------------------
+
+    def check(self, event: str) -> Optional[_StorageRule]:
+        """Called by the device before each physical op.
+
+        Returns the matching rule (the device applies its kind) or None.
+        """
+        ordinal = self._counts.get(event, 0) + 1
+        self._counts[event] = ordinal
+        hit: Optional[_StorageRule] = None
+        for rule in self.rules:
+            if rule.event != event:
+                continue
+            rule.seen += 1
+            if rule.seen == rule.nth and hit is None:
+                hit = rule
+        self.ledger.append(StorageLedgerEntry(
+            event=event, outcome=hit.kind if hit else "ok", ordinal=ordinal))
+        return hit

@@ -329,6 +329,7 @@ class MVCCManager:
         with self._latch:
             self._scn += 1
             scn = self._scn
+            txn.commit_scn = scn  # logged in the WAL commit record
             if versions:
                 for version in versions:
                     version.scn = scn
@@ -339,6 +340,12 @@ class MVCCManager:
                 self._commits_since_prune = 0
                 return True
             return False
+
+    def restore_scn(self, scn: int) -> None:
+        """Advance the SCN clock past the highest recovered commit SCN,
+        so post-restart commits never reuse a pre-crash SCN."""
+        with self._latch:
+            self._scn = max(self._scn, scn)
 
     def low_water_mark(self) -> int:
         """Oldest SCN any live snapshot still needs."""

@@ -37,6 +37,14 @@ class Transaction:
         #: ISOLATION LEVEL SERIALIZABLE); None → statement snapshots
         self.snapshot = None
         self.read_only = False
+        #: LSN of this txn's most recent WAL record (undo chain head);
+        #: None until the txn logs something
+        self.last_lsn: Optional[int] = None
+        #: True once any WAL record was written — read-only transactions
+        #: stay unlogged and skip the commit fsync entirely
+        self.logged = False
+        #: SCN assigned at commit (set by MVCCManager.commit_transaction)
+        self.commit_scn: Optional[int] = None
 
     def track_version(self, version) -> None:
         """Register a row version for commit-time SCN stamping."""

@@ -1,0 +1,50 @@
+"""Smoke the kill-at-random-point harness from pytest.
+
+The full 200-seed sweep runs from the CLI
+(``python -m repro.testing.crash --seeds 200``) and in CI's crash job;
+here we run a small deterministic slice so ``pytest -m crash`` alone
+exercises the subprocess SIGKILL machinery end to end, plus unit checks
+that the seed-derived plans are stable.
+"""
+
+import pytest
+
+from repro.testing.crash import (kill_spec, plan_workload,
+                                 recovery_kill_spec, run_seed)
+
+pytestmark = pytest.mark.crash
+
+SMOKE_SEEDS = 12
+
+
+class TestSeedDeterminism:
+    def test_workload_plan_is_pure(self):
+        a = plan_workload(42)
+        b = plan_workload(42)
+        assert [(p.tag, p.rows, p.update_n, p.delete_n, p.counters)
+                for p in a] == \
+               [(p.tag, p.rows, p.update_n, p.delete_n, p.counters)
+                for p in b]
+
+    def test_kill_specs_are_pure(self):
+        assert kill_spec(7) == kill_spec(7)
+        assert recovery_kill_spec(7) == recovery_kill_spec(7)
+
+    def test_distinct_seeds_diverge(self):
+        # not a guarantee for every pair, but these must differ or the
+        # sweep is re-running one scenario 200 times
+        specs = {kill_spec(s) for s in range(20)}
+        assert len(specs) > 5
+
+
+class TestSmokeSweep:
+    @pytest.mark.parametrize("seed", range(SMOKE_SEEDS))
+    def test_seed_survives_kill_and_verifies(self, seed):
+        result = run_seed(seed)
+        # verify() raised if any ACID property failed; sanity-check the
+        # ledger shape here
+        assert result["seed"] == seed
+        assert result["acked"] <= result["recovered"]
+        if not result["killed"]:
+            # the child ran to completion: every planned txn committed
+            assert result["acked"] == result["recovered"] == 40
