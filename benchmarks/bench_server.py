@@ -1,0 +1,293 @@
+"""Network server benchmark: wire overhead, throughput, streaming.
+
+Measures what serving the engine over TCP costs relative to driving it
+in-process, all over loopback:
+
+* **round-trip** — single-client point-SELECT statements/s, in-process
+  connection vs ``repro://`` network connection (the per-statement
+  protocol overhead: one frame out, one result frame, one fetch, one
+  done);
+* **concurrent clients** — N threads each with its own network
+  connection running the same point-SELECT load against one server
+  (thread-per-connection scaling; sessions share the engine's MVCC
+  snapshots so reads never block);
+* **streaming fetch** — one large SELECT drained with
+  ``arraysize``-sized FETCH batches, rows/s across the wire for small
+  and large batch sizes (the knob ``Cursor.arraysize`` gives clients).
+
+Emits ``benchmarks/results/BENCH_server.json``.  Run directly::
+
+    python benchmarks/bench_server.py            # record JSON + table
+    python benchmarks/bench_server.py --smoke --check   # CI perf gate
+
+``--check`` enforces the acceptance floor (single-client network
+throughput >= ``NET_THROUGHPUT_FLOOR`` statements/s on loopback) and
+compares against the committed baseline, failing on a large regression.
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+if __name__ == "__main__":  # runnable without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(os.path.dirname(
+        os.path.abspath(__file__)), "..", "src"))
+
+from repro import dbapi
+from repro.bench.harness import ReportTable
+from repro.server import Server
+from repro.sql.engine import Engine
+
+REPORT_FILE = "server.txt"
+JSON_FILE = "BENCH_server.json"
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: acceptance floor: a single network client on loopback must push at
+#: least this many point SELECTs per second.  Deliberately generous —
+#: loopback round trips run thousands/s; the gate catches accidental
+#: per-request disasters (sleeping, reconnecting, re-pickling the
+#: world), not honest machine-speed variance.
+NET_THROUGHPUT_FLOOR = 150.0
+#: streaming floor: rows/s through arraysize-batched FETCH frames
+STREAM_FLOOR = 10_000.0
+#: regression tolerance for --check: throughput may not drop below
+#: this fraction of the committed baseline (network benches are noisy)
+CHECK_TOLERANCE = 0.5
+
+N_TABLE_ROWS = 500
+CONCURRENT_CLIENTS = (1, 4, 8)
+
+
+def _seed_engine(n_rows):
+    engine = Engine(lock_timeout=30.0)
+    setup = engine.connect()
+    setup.execute("CREATE TABLE kv (id INTEGER, val VARCHAR2(40))")
+    setup.executemany("INSERT INTO kv VALUES (:1, :2)",
+                      [[i, f"value-{i % 17}"] for i in range(n_rows)])
+    setup.execute("CREATE INDEX kv_id ON kv(id)")
+    setup.commit()
+    return engine
+
+
+def _point_select_load(conn, n_ops, n_rows):
+    cur = conn.cursor()
+    start = time.perf_counter()
+    for i in range(n_ops):
+        cur.execute("SELECT val FROM kv WHERE id = ?",
+                    ((i * 37) % n_rows,))
+        cur.fetchall()
+    return time.perf_counter() - start
+
+
+def bench_roundtrip(n_ops, n_rows):
+    """Point-SELECT statements/s: in-process vs over the wire."""
+    engine = _seed_engine(n_rows)
+    try:
+        local = dbapi.connect(engine)
+        local_s = _point_select_load(local, n_ops, n_rows)
+        local.close()
+        with Server(engine=engine) as server:
+            remote = dbapi.connect(server.url, timeout=30.0)
+            remote_s = _point_select_load(remote, n_ops, n_rows)
+            remote.close()
+        return {
+            "ops": n_ops,
+            "inprocess_ops_per_s": round(n_ops / local_s, 1),
+            "network_ops_per_s": round(n_ops / remote_s, 1),
+            "wire_overhead_x": round(remote_s / max(local_s, 1e-9), 2),
+        }
+    finally:
+        engine.close()
+
+
+def bench_concurrent(n_ops_per_client, n_rows):
+    """Total network statements/s with N independent client threads."""
+    out = {}
+    for n_clients in CONCURRENT_CLIENTS:
+        engine = _seed_engine(n_rows)
+        try:
+            with Server(engine=engine,
+                        max_sessions=n_clients + 2) as server:
+                conns = [dbapi.connect(server.url, timeout=30.0)
+                         for __ in range(n_clients)]
+                errors = []
+
+                def load(conn):
+                    try:
+                        _point_select_load(conn, n_ops_per_client, n_rows)
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=load, args=(c,))
+                           for c in conns]
+                start = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                elapsed = time.perf_counter() - start
+                for conn in conns:
+                    conn.close()
+                if errors:
+                    raise errors[0]
+                total = n_clients * n_ops_per_client
+                out[str(n_clients)] = {
+                    "total_ops": total,
+                    "elapsed_s": round(elapsed, 4),
+                    "ops_per_s": round(total / elapsed, 1),
+                }
+        finally:
+            engine.close()
+    return out
+
+
+def bench_streaming(n_rows):
+    """Rows/s drained from one big SELECT, by client arraysize."""
+    engine = _seed_engine(n_rows)
+    out = {"rows": n_rows, "by_arraysize": {}}
+    try:
+        with Server(engine=engine) as server:
+            conn = dbapi.connect(server.url, timeout=30.0)
+            for arraysize in (1, 32, 256):
+                cur = conn.cursor()
+                cur.arraysize = arraysize
+                start = time.perf_counter()
+                cur.execute("SELECT id, val FROM kv")
+                count = 0
+                while True:
+                    batch = cur.fetchmany()
+                    if not batch:
+                        break
+                    count += len(batch)
+                elapsed = time.perf_counter() - start
+                assert count == n_rows
+                out["by_arraysize"][str(arraysize)] = {
+                    "elapsed_s": round(elapsed, 4),
+                    "rows_per_s": round(count / elapsed, 1),
+                }
+            conn.close()
+    finally:
+        engine.close()
+    return out
+
+
+def run_benchmarks(smoke=False):
+    n_ops = 150 if smoke else 1500
+    n_rows = 200 if smoke else N_TABLE_ROWS
+    stream_rows = 2000 if smoke else 10_000
+    return {
+        "meta": {"ops": n_ops, "table_rows": n_rows,
+                 "stream_rows": stream_rows,
+                 "concurrent_clients": list(CONCURRENT_CLIENTS),
+                 "smoke": smoke},
+        "cases": {
+            "roundtrip": bench_roundtrip(n_ops, n_rows),
+            "concurrent": bench_concurrent(max(n_ops // 4, 25), n_rows),
+            "streaming": bench_streaming(stream_rows),
+        },
+    }
+
+
+def render_table(results):
+    cases = results["cases"]
+    meta = results["meta"]
+    table = ReportTable(
+        f"server — wire overhead and throughput ({meta['ops']} point "
+        f"SELECTs, {meta['stream_rows']} streamed rows, loopback)",
+        ["case", "in-process", "network", "ratio"])
+    rt = cases["roundtrip"]
+    table.add_row("point SELECT ops/s", rt["inprocess_ops_per_s"],
+                  rt["network_ops_per_s"],
+                  f"{rt['wire_overhead_x']}x wire cost")
+    for n in meta["concurrent_clients"]:
+        row = cases["concurrent"][str(n)]
+        table.add_row(f"{n} network client(s) total ops/s", "",
+                      row["ops_per_s"], "")
+    for arraysize, row in cases["streaming"]["by_arraysize"].items():
+        table.add_row(f"stream rows/s (arraysize={arraysize})", "",
+                      row["rows_per_s"], "")
+    return table
+
+
+def check_against_baseline(results, baseline_path):
+    """Floor + ratio regression gate; returns failure strings."""
+    failures = []
+    rt = results["cases"]["roundtrip"]
+    if rt["network_ops_per_s"] < NET_THROUGHPUT_FLOOR:
+        failures.append(
+            f"network throughput {rt['network_ops_per_s']} ops/s is "
+            f"below the {NET_THROUGHPUT_FLOOR} ops/s acceptance floor")
+    best_stream = max(
+        row["rows_per_s"] for row in
+        results["cases"]["streaming"]["by_arraysize"].values())
+    if best_stream < STREAM_FLOOR:
+        failures.append(
+            f"streaming fetch {best_stream} rows/s is below the "
+            f"{STREAM_FLOOR} rows/s acceptance floor")
+    if not os.path.exists(baseline_path):
+        failures.append(f"no committed baseline at {baseline_path}")
+        return failures
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    base_ops = baseline["cases"].get("roundtrip", {}).get(
+        "network_ops_per_s")
+    if base_ops is not None and (
+            rt["network_ops_per_s"] < base_ops * CHECK_TOLERANCE):
+        failures.append(
+            "roundtrip: network throughput regressed >50% "
+            f"(baseline {base_ops} ops/s, now "
+            f"{rt['network_ops_per_s']} ops/s)")
+    return failures
+
+
+def write_results(results):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, JSON_FILE)
+    with open(json_path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    render_table(results).emit(os.path.join(RESULTS_DIR, REPORT_FILE))
+    return json_path
+
+
+# -- pytest entry point (keeps the script healthy inside the suite) --------
+
+def test_server_benchmark():
+    """Smoke-size run: the network path must clear the absolute floors."""
+    results = run_benchmarks(smoke=True)
+    rt = results["cases"]["roundtrip"]
+    assert rt["network_ops_per_s"] >= NET_THROUGHPUT_FLOOR, rt
+    best_stream = max(
+        row["rows_per_s"] for row in
+        results["cases"]["streaming"]["by_arraysize"].values())
+    assert best_stream >= STREAM_FLOOR, results["cases"]["streaming"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the throughput floor and compare "
+                             "against the committed baseline instead of "
+                             "overwriting it")
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(smoke=args.smoke)
+    if args.check:
+        render_table(results).emit()
+        failures = check_against_baseline(
+            results, os.path.join(RESULTS_DIR, JSON_FILE))
+        for failure in failures:
+            print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    path = write_results(results)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

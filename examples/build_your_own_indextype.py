@@ -13,8 +13,8 @@ Run:  python examples/build_your_own_indextype.py
 """
 
 from repro import (
-    Database, FetchResult, IndexCost, IndexMethods, PrecomputedScan,
-    StatsMethods)
+    FetchResult, IndexCost, IndexMethods, PrecomputedScan, StatsMethods,
+    dbapi)
 from repro.types.values import is_null
 
 
@@ -105,7 +105,8 @@ class SoundexStatsMethods(StatsMethods):
 
 
 def main() -> None:
-    db = Database()
+    conn = dbapi.connect()    # in-memory; any DSN works the same
+    db = conn.session         # registrations use the native session
 
     # steps 1-4 — the same DDL a cartridge ships to customers
     db.create_function("SoundsLikeFunc", sounds_like, cost=0.05)

@@ -9,12 +9,13 @@ Run:  python examples/chemistry_search.py
 
 import random
 
-from repro import Database
+from repro import dbapi
 from repro.cartridges import chemistry as chem
 
 
 def main() -> None:
-    db = Database()
+    conn = dbapi.connect()    # in-memory; any DSN works the same
+    db = conn.session         # native surface for the cartridge pieces
     chem.install(db)
 
     db.execute("CREATE TABLE compounds (cid INTEGER, name VARCHAR2(40),"

@@ -9,12 +9,13 @@ column carrying a geometry, both served by domain indexes.
 Run:  python examples/collections_and_objects.py
 """
 
-from repro import Database
+from repro import dbapi
 from repro.cartridges import collection, spatial
 
 
 def main() -> None:
-    db = Database()
+    conn = dbapi.connect()    # in-memory; any DSN works the same
+    db = conn.session         # native surface for the cartridge pieces
     collection.install(db)
     spatial.install(db)
 

@@ -9,12 +9,13 @@ Run:  python examples/image_retrieval.py
 
 import random
 
-from repro import Database
+from repro import dbapi
 from repro.cartridges import vir
 
 
 def main() -> None:
-    db = Database()
+    conn = dbapi.connect()    # in-memory; any DSN works the same
+    db = conn.session         # native surface for the cartridge pieces
     vir.install(db)
     image_type = db.catalog.get_object_type("IMAGE_T")
 

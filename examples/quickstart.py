@@ -6,61 +6,73 @@ query::
 
     SELECT * FROM Employees WHERE Contains(resume, 'Oracle AND UNIX');
 
+The client surface is the PEP 249 driver: ``dbapi.connect()`` opens an
+in-memory engine; the same code runs against ``connect("file:/path")``
+(durable) or ``connect("repro://host:port")`` (a network server — see
+docs/SERVER.md).
+
 Run:  python examples/quickstart.py
 """
 
-from repro import Database
+from repro import dbapi
 from repro.cartridges import text
 
 
 def main() -> None:
-    db = Database()
+    conn = dbapi.connect()          # one URL picks the transport
 
     # cartridge developer steps (§2.2): functional implementation,
-    # CREATE OPERATOR, implementation type, CREATE INDEXTYPE
-    text.install(db)
+    # CREATE OPERATOR, implementation type, CREATE INDEXTYPE —
+    # installed through the native session behind the connection
+    text.install(conn.session)
 
     # end-user steps (§2.3)
-    db.execute("CREATE TABLE Employees (name VARCHAR(128), id INTEGER,"
-               " resume VARCHAR2(1024))")
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE Employees (name VARCHAR(128), id INTEGER,"
+                " resume VARCHAR2(1024))")
     people = [
         ("Jane", 1, "Oracle and UNIX expert, shipped three Oracle releases"),
         ("Ravi", 2, "Java services on Linux; some UNIX administration"),
         ("Wei", 3, "Technical writer: COBOL, Fortran, documentation"),
         ("Aiko", 4, "DBA for Oracle, PostgreSQL and a little UNIX"),
     ]
-    for name, ident, resume in people:
-        db.execute("INSERT INTO Employees VALUES (:1, :2, :3)",
-                   [name, ident, resume])
+    cur.executemany("INSERT INTO Employees VALUES (?, ?, ?)", people)
 
-    db.execute("CREATE INDEX ResumeTextIndex ON Employees(resume)"
-               " INDEXTYPE IS TextIndexType"
-               " PARAMETERS (':Language English :Ignore the a an')")
+    cur.execute("CREATE INDEX ResumeTextIndex ON Employees(resume)"
+                " INDEXTYPE IS TextIndexType"
+                " PARAMETERS (':Language English :Ignore the a an')")
+    conn.commit()
 
     query = ("SELECT name, id FROM Employees"
-             " WHERE Contains(resume, 'Oracle AND UNIX')")
-    print("plan:")
-    for line in db.explain(query):
+             " WHERE Contains(resume, ?)")
+    print("plan:")    # EXPLAIN lives on the native session behind the driver
+    for line in conn.session.explain(
+            "SELECT name, id FROM Employees WHERE Contains(resume, :1)",
+            ["Oracle AND UNIX"]):
         print("  " + line)
     print("\nresults:")
-    for name, ident in db.execute(query):
+    for name, ident in cur.execute(query, ("Oracle AND UNIX",)):
         print(f"  {ident}: {name}")
 
     # the index is maintained implicitly on DML (§2.4.1)
-    db.execute("UPDATE Employees SET resume = 'Rust evangelist'"
-               " WHERE id = 1")
+    cur.execute("UPDATE Employees SET resume = ? WHERE id = ?",
+                ("Rust evangelist", 1))
     print("\nafter Jane's career change:")
-    for (name,) in db.execute("SELECT name FROM Employees"
-                              " WHERE Contains(resume, 'Oracle AND UNIX')"):
+    for (name,) in cur.execute("SELECT name FROM Employees"
+                               " WHERE Contains(resume, ?)",
+                               ("Oracle AND UNIX",)):
         print(f"  {name}")
 
     # ancillary operator: relevance scores from the same index scan
     print("\nranked by Score:")
-    for name, score in db.execute(
+    for name, score in cur.execute(
             "SELECT name, Score(1) FROM Employees"
-            " WHERE Contains(resume, 'Oracle', 1)"
-            " ORDER BY Score(1) DESC"):
+            " WHERE Contains(resume, ?, 1)"
+            " ORDER BY Score(1) DESC", ("Oracle",)):
         print(f"  {name}: score {score}")
+
+    conn.commit()
+    conn.close()
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ Run:  python examples/spatial_gis.py
 
 import random
 
-from repro import Database
+from repro import dbapi
 from repro.cartridges import spatial
 from repro.cartridges.spatial import LegacySpatialLayer
 
@@ -33,7 +33,8 @@ def build_city(db, rng):
 
 
 def main() -> None:
-    db = Database()
+    conn = dbapi.connect()    # in-memory; any DSN works the same
+    db = conn.session         # native surface for the cartridge pieces
     spatial.install(db)
     rng = random.Random(7)
     build_city(db, rng)

@@ -9,7 +9,7 @@ temp-table write traffic of each — the three effects behind the paper's
 Run:  python examples/text_pipeline_comparison.py
 """
 
-from repro import Database
+from repro import dbapi
 from repro.bench.harness import io_delta, time_to_first_row
 from repro.bench.workloads import make_corpus
 from repro.cartridges import text
@@ -19,7 +19,8 @@ from repro.cartridges.text import LegacyTextIndex
 def main() -> None:
     corpus = make_corpus(1200, words_per_doc=40, vocabulary_size=400,
                          seed=5)
-    db = Database()
+    conn = dbapi.connect()    # in-memory; any DSN works the same
+    db = conn.session         # native surface for the cartridge pieces
     text.install(db)
     db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(4000))")
     db.insert_rows("docs", [[i, d] for i, d in enumerate(corpus.documents)])

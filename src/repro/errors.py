@@ -112,6 +112,16 @@ class ODCIError(ExtensibleIndexError):
     def __init__(self, routine: str, message: str):
         super().__init__(f"{routine}: {message}")
         self.routine = routine
+        #: the raw message, before the "routine: " prefix — kept so the
+        #: exception can be reconstructed (pickled across the network
+        #: protocol) through the same constructor
+        self.message = message
+
+    def __reduce__(self):
+        # Exception's default reduce replays ``args`` (the formatted
+        # string) into __init__, which takes (routine, message) — so
+        # these errors would not cross a pickle boundary without this.
+        return (self.__class__, (self.routine, self.message))
 
 
 class CallbackError(ODCIError):
@@ -133,6 +143,10 @@ class CallbackError(ODCIError):
         self.index_name = index_name
         self.phase = phase
         self.cause = cause
+
+    def __reduce__(self):
+        return (self.__class__, (self.routine, self.message,
+                                 self.index_name, self.phase, self.cause))
 
 
 class TransientCallbackError(ODCIError):
@@ -165,6 +179,10 @@ class CallbackTimeoutError(CallbackError):
         self.budget = budget
         self.elapsed = elapsed
 
+    def __reduce__(self):
+        return (self.__class__, (self.routine, self.index_name, self.phase,
+                                 self.budget, self.elapsed))
+
 
 class FatalCallbackError(CallbackError):
     """A cartridge routine crashed with a non-database exception.
@@ -189,6 +207,9 @@ class IndexUnusableError(ExtensibleIndexError):
             "(or session setting skip_unusable_indexes = TRUE)")
         self.index_name = index_name
         self.state = state
+
+    def __reduce__(self):
+        return (self.__class__, (self.index_name, self.state))
 
 
 class CallbackViolation(ExtensibleIndexError):

@@ -1,0 +1,29 @@
+"""Network server: the engine behind a socket, PEP 249 in front.
+
+The paper's argument is that domain indexes stay invisible behind the
+standard client surface (§1).  :mod:`repro.server` extends that surface
+across the process boundary: a :class:`~repro.server.server.Server`
+speaks the length-prefixed protocol of :mod:`repro.server.protocol`,
+and ``repro.dbapi.connect("repro://host:port")`` returns a connection
+wire-indistinguishable from the in-process driver.
+
+See docs/SERVER.md for the protocol specification and deployment
+knobs, DESIGN.md §13 for the architecture.
+"""
+
+from repro.server.protocol import (
+    DEFAULT_PORT, MAGIC, MAX_FRAME, PROTOCOL_VERSION, ConnectionClosed,
+    ProtocolError)
+from repro.server.server import Server, ServerStats, serve
+
+__all__ = [
+    "Server",
+    "ServerStats",
+    "serve",
+    "ProtocolError",
+    "ConnectionClosed",
+    "PROTOCOL_VERSION",
+    "DEFAULT_PORT",
+    "MAGIC",
+    "MAX_FRAME",
+]

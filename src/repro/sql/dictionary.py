@@ -20,7 +20,8 @@ from repro.types.datatypes import BOOLEAN, INTEGER, NUMBER, VARCHAR2
 VIEW_NAMES = ("user_tables", "user_indexes", "user_operators",
               "user_indextypes", "user_index_maintenance",
               "user_lock_stats", "user_snapshot_stats",
-              "user_wal_stats", "user_recovery_stats")
+              "user_wal_stats", "user_recovery_stats",
+              "user_server_stats")
 
 
 class _SnapshotStorage:
@@ -80,6 +81,8 @@ def dictionary_view(catalog: Catalog, name: str,
         return _user_wal_stats(engine)
     if key == "user_recovery_stats" and engine is not None:
         return _user_recovery_stats(engine)
+    if key == "user_server_stats" and engine is not None:
+        return _user_server_stats(engine)
     return None
 
 
@@ -270,6 +273,38 @@ def _user_recovery_stats(engine: Any) -> TableDef:
              snap["tables_restored"], snap["pages_restored"],
              snap["restored_scn"], snap["duration_seconds"]]]
     return _view("user_recovery_stats", columns, rows)
+
+
+def _user_server_stats(engine: Any) -> TableDef:
+    """One row per wire operation served by the network server.
+
+    ``enabled`` is FALSE (single disabled row) when the engine is not
+    being served.  Connection-level counters repeat on every row;
+    ``latency_histogram`` renders the per-op distribution as
+    ``bucket:count`` pairs (buckets are millisecond upper bounds).
+    """
+    columns = [("enabled", BOOLEAN), ("op", VARCHAR2),
+               ("requests", INTEGER), ("latency_histogram", VARCHAR2),
+               ("connections", INTEGER), ("rejected", INTEGER),
+               ("active_sessions", INTEGER), ("sessions_peak", INTEGER),
+               ("bytes_in", INTEGER), ("bytes_out", INTEGER),
+               ("total_requests", INTEGER), ("errors", INTEGER),
+               ("idle_timeouts", INTEGER)]
+    stats = getattr(engine, "server_stats", None)
+    if stats is None:
+        return _view("user_server_stats", columns,
+                     [[False, None, 0, "", 0, 0, 0, 0, 0, 0, 0, 0, 0]])
+    snap = stats.snapshot()
+    shared = [snap["connections_accepted"], snap["connections_rejected"],
+              snap["active_sessions"], snap["sessions_peak"],
+              snap["bytes_in"], snap["bytes_out"], snap["requests"],
+              snap["errors"], snap["idle_timeouts"]]
+    rows = [[True, op, count,
+             _histogram_text(snap["op_latency"].get(op, {}))] + shared
+            for op, count in sorted(snap["op_counts"].items())]
+    if not rows:  # serving, but no request handled yet
+        rows = [[True, None, 0, ""] + shared]
+    return _view("user_server_stats", columns, rows)
 
 
 def _user_indextypes(catalog: Catalog) -> TableDef:

@@ -107,6 +107,9 @@ class Engine:
         #: without one it keeps the original all-in-memory behaviour
         self.durability = None
         self.recovery_stats = None
+        #: set by repro.server.Server.start() when this engine is being
+        #: served over the network; feeds the user_server_stats view
+        self.server_stats = None
         self._closed = False
         if data_dir is not None:
             from repro.storage.durability import DurabilityManager

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import contextlib
 import warnings
+import weakref
 from typing import (
     Any, Callable, List, Optional, Sequence, Tuple, Type)
 
@@ -117,6 +118,11 @@ class Session:
         #: snapshot pinned by a callback scope (ODCIIndexStart/Fetch):
         #: callback SQL reads at the opening statement's SCN
         self._pinned_snapshot = None
+        #: statement cursors this session handed out that are still
+        #: alive; Session.close() closes them so domain-index scans
+        #: abandoned mid-fetch get their ODCIIndexClose and give their
+        #: workspace handles back (weak: a collected cursor drops out)
+        self._open_cursors: "weakref.WeakSet" = weakref.WeakSet()
         self.planner = Planner(engine.catalog, db=self)
         #: default bindless executor (planner subqueries, DML target rows)
         self.executor = Executor(self)
@@ -458,7 +464,7 @@ class Session:
         compiled plan from the engine's shared plan cache.
         """
         self._bind()
-        return self.pipeline.execute(sql, params)
+        return self._track(self.pipeline.execute(sql, params))
 
     def executemany(self, sql: str,
                     seq_of_params: Sequence[Any]) -> Cursor:
@@ -471,7 +477,24 @@ class Session:
         exact total across all sets.
         """
         self._bind()
-        return self.pipeline.executemany(sql, seq_of_params)
+        return self._track(self.pipeline.executemany(sql, seq_of_params))
+
+    def _track(self, cursor: Cursor) -> Cursor:
+        self._open_cursors.add(cursor)
+        return cursor
+
+    def close(self) -> None:
+        """End the session: close tracked cursors (abandoned domain-index
+        scans fire ``ODCIIndexClose`` and return their workspace handles
+        *before* the rollback releases locks), then roll back.  Idempotent;
+        the shared engine stays up."""
+        for cursor in list(self._open_cursors):
+            try:
+                cursor.close()
+            except Exception:  # noqa: BLE001 - teardown must not raise
+                pass
+        self._open_cursors.clear()
+        self.rollback()
 
     def query(self, sql: str,
               params: Optional[Any] = None) -> List[Tuple[Any, ...]]:
@@ -507,7 +530,7 @@ class Session:
                           sql: str = "") -> Cursor:
         """Execute a parsed statement (entry point shared with callbacks)."""
         self._bind()
-        return self.pipeline.execute_statement(statement, sql)
+        return self._track(self.pipeline.execute_statement(statement, sql))
 
     # ------------------------------------------------------------------
     # direct-value DML (delegates to the DML engine)
@@ -545,13 +568,14 @@ class Session:
 
 
 class Database(Session):
-    """The single-session facade: one engine plus its default session.
+    """Deprecated single-session facade: engine + default session.
 
-    Kept as a thin back-compat wrapper over the Engine/Session split —
-    every pre-split attribute (``db.catalog``, ``db.buffer``,
-    ``db.locks``, ...) still resolves, via the session's delegating
-    properties.  Multi-session code connects more sessions to the same
-    engine with :meth:`connect` (or uses :mod:`repro.dbapi`).
+    New code should use :func:`repro.dbapi.connect` (no DSN for
+    in-memory, ``file:/path`` for durable) and reach the native
+    surface through ``conn.session`` / ``conn.engine``.  Kept as a
+    thin back-compat wrapper — every pre-split attribute
+    (``db.catalog``, ``db.locks``, ...) still resolves via the
+    session's delegating properties.
     """
 
     def __init__(self, buffer_capacity: int = 512,
@@ -565,5 +589,11 @@ class Database(Session):
         return self.engine.connect(user)
 
     def close(self) -> None:
-        """Shut the engine down cleanly (see :meth:`Engine.close`)."""
+        """Shut the engine down cleanly (see :meth:`Engine.close`).
+
+        Closes the default session's cursors and transaction first, so
+        abandoned scans release their handles before the WAL's final
+        checkpoint.
+        """
+        super().close()
         self.engine.close()

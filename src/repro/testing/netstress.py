@@ -1,0 +1,171 @@
+"""Network stress worker: one real client *process* of mixed DML.
+
+``python -m repro.testing.netstress repro://host:port WORKER_ID N_OPS``
+connects to a running :class:`repro.server.Server`, drives a
+deterministic mix of statements against the ``items`` table (the same
+schema and op mix as the in-process thread stress in
+``tests/concurrency/test_stress.py``: shared-counter increments, own-row
+inserts/updates/deletes, text and spatial domain-index reads), and
+prints one JSON summary line on stdout::
+
+    {"worker": 3, "ops": 120, "increments": 31, "live": [40001, ...],
+     "reads": 22, "error": null}
+
+The parent test collects every worker's summary and cross-validates the
+server's engine: counter == Σ increments, surviving ids == Σ live sets,
+and both domain indexes ≡ a functional recompute over the final table.
+
+Workers build geometries *in SQL* (``sdo_rect(?, ?, ?, ?)``) so every
+bind on the wire is a plain number or string — a network client needs
+no catalog access to write spatial rows.  Every write statement runs in
+its own implicit transaction and commits immediately, so cross-process
+conflicts resolve through the engine's blocking lock manager exactly
+like the thread version.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro import dbapi
+
+__all__ = ["WORDS", "run_worker", "main"]
+
+WORDS = ["alpha", "bravo", "carbon", "delta", "ember",
+         "falcon", "granite", "harbor"]
+
+
+def _note(rng: random.Random) -> str:
+    return " ".join(rng.sample(WORDS, 2))
+
+
+def _rect(rng: random.Random) -> List[float]:
+    x = rng.uniform(0, 900)
+    y = rng.uniform(0, 900)
+    return [x, y, x + rng.uniform(10, 100), y + rng.uniform(10, 100)]
+
+
+class _Worker:
+    """Deterministic op mix; mirrors tests/concurrency/test_stress.py."""
+
+    def __init__(self, conn: Any, worker_id: int):
+        self.conn = conn
+        self.rng = random.Random(1000 + worker_id)
+        self.worker_id = worker_id
+        self.next_id = 1
+        self.live: List[int] = []   # ids of own rows still in the table
+        self.increments = 0
+        self.reads = 0
+        self.ops = 0
+
+    def run(self, n_ops: int) -> None:
+        for __ in range(n_ops):
+            self._one_statement()
+            self.ops += 1
+
+    def _one_statement(self) -> None:
+        r = self.rng.random()
+        if r < 0.30:
+            self._increment()
+        elif r < 0.55:
+            self._insert()
+        elif r < 0.70:
+            self._update_note()
+        elif r < 0.80:
+            self._delete()
+        else:
+            self._read()
+
+    def _increment(self) -> None:
+        cur = self.conn.execute("UPDATE items SET val = val + 1 WHERE id = 0")
+        assert cur.rowcount == 1, "counter row missing"
+        self.conn.commit()
+        self.increments += 1
+
+    def _insert(self) -> None:
+        # id spaces per worker are disjoint from each other and the seeds
+        row_id = (self.worker_id + 1) * 10_000 + self.next_id
+        self.next_id += 1
+        self.conn.execute(
+            "INSERT INTO items VALUES (?, ?, ?, sdo_rect(?, ?, ?, ?))",
+            [row_id, 0, _note(self.rng)] + _rect(self.rng))
+        self.conn.commit()
+        self.live.append(row_id)
+
+    def _update_note(self) -> None:
+        if not self.live:
+            return self._insert()
+        cur = self.conn.execute(
+            "UPDATE items SET note = ? WHERE id = ?",
+            [_note(self.rng), self.rng.choice(self.live)])
+        assert cur.rowcount == 1, "own row vanished"
+        self.conn.commit()
+
+    def _delete(self) -> None:
+        if not self.live:
+            return self._increment()
+        row_id = self.live.pop(self.rng.randrange(len(self.live)))
+        cur = self.conn.execute("DELETE FROM items WHERE id = ?", [row_id])
+        assert cur.rowcount == 1, "own row vanished"
+        self.conn.commit()
+
+    def _read(self) -> None:
+        if self.rng.random() < 0.5:
+            cur = self.conn.execute(
+                "SELECT id FROM items WHERE Contains(note, ?)",
+                [self.rng.choice(WORDS)])
+        else:
+            cur = self.conn.execute(
+                "SELECT id FROM items WHERE Sdo_Relate(shape,"
+                " sdo_rect(?, ?, ?, ?), 'mask=ANYINTERACT')",
+                _rect(self.rng))
+        cur.fetchall()
+        self.conn.commit()
+        self.reads += 1
+
+
+def run_worker(url: str, worker_id: int, n_ops: int,
+               timeout: Optional[float] = 60.0) -> Dict[str, Any]:
+    """Run one worker against ``url``; returns its JSON-ready summary."""
+    summary: Dict[str, Any] = {
+        "worker": worker_id, "ops": 0, "increments": 0,
+        "live": [], "reads": 0, "error": None,
+    }
+    try:
+        # all workers connect as the schema owner ("main"): the stress
+        # exercises concurrency, not the privilege checks
+        conn = dbapi.connect(url, timeout=timeout)
+    except dbapi.Error as exc:
+        summary["error"] = f"{type(exc).__name__}: {exc}"
+        return summary
+    worker = _Worker(conn, worker_id)
+    try:
+        worker.run(n_ops)
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        summary["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        try:
+            conn.close()
+        except dbapi.Error:
+            pass
+    summary.update(ops=worker.ops, increments=worker.increments,
+                   live=worker.live, reads=worker.reads)
+    return summary
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 3:
+        print("usage: python -m repro.testing.netstress "
+              "repro://host:port WORKER_ID N_OPS", file=sys.stderr)
+        return 2
+    url, worker_id, n_ops = argv[0], int(argv[1]), int(argv[2])
+    summary = run_worker(url, worker_id, n_ops)
+    print(json.dumps(summary))
+    return 0 if summary["error"] is None else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

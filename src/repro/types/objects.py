@@ -92,10 +92,21 @@ class ObjectValue:
         return self._values[idx]
 
     def __getattr__(self, attr: str) -> Any:
+        # dunder probes (pickle/copy protocol lookups) and the slots
+        # themselves must not fall into get(): on a half-constructed
+        # instance that would recurse on self.object_type forever
+        if attr.startswith("__") or attr in ObjectValue.__slots__:
+            raise AttributeError(attr)
         try:
             return self.get(attr)
         except TypeMismatchError:
             raise AttributeError(attr) from None
+
+    def __reduce__(self):
+        # values cross process boundaries (the network protocol pickles
+        # bind parameters and fetched rows); reconstruct through the
+        # normal constructor so the slots are always populated
+        return (ObjectValue, (self.object_type, list(self._values)))
 
     def as_dict(self) -> Dict[str, Any]:
         """Return the attribute name → value mapping."""

@@ -91,7 +91,7 @@ class TestConnection:
         conn.close()  # idempotent
 
     def test_connect_shares_engine(self, conn):
-        other = dbapi.connect(engine=conn.engine)
+        other = dbapi.connect(conn.engine)
         cur = other.cursor()
         cur.execute("SELECT name FROM t WHERE id = ?", (1,))
         assert cur.fetchone() == ("ada",)
@@ -199,7 +199,7 @@ class TestErrorMapping:
         first.execute("CREATE TABLE r (id INTEGER)")
         first.commit()
         first.execute("INSERT INTO r VALUES (?)", (1,))  # txn holds X
-        second = dbapi.connect(engine=first.engine)
+        second = dbapi.connect(first.engine)
         with pytest.raises(dbapi.OperationalError):
             second.execute("INSERT INTO r VALUES (?)", (2,))
         first.rollback()

@@ -1,0 +1,1 @@
+"""Network server suite: protocol, DSN surface, lifecycle, processes."""

@@ -1,0 +1,85 @@
+"""Fixtures for the server suite: one parameterized connection factory.
+
+``backend`` yields a :class:`_Backend` for each way a client can reach
+an engine — private in-memory (``connect()``), private durable
+(``connect("file:...")``), shared in-process (``connect(engine)``), and
+network (``connect("repro://...")``) — so the same PEP 249 surface
+tests run verbatim against all four.  ``backend.sibling()`` opens a
+second connection *to the same data* where the form supports it.
+"""
+
+from typing import Any, List, Optional
+
+import pytest
+
+from repro import dbapi
+from repro.server import Server
+from repro.sql.engine import Engine
+
+
+class _Backend:
+    """One way of reaching an engine, plus cleanup bookkeeping."""
+
+    def __init__(self, form: str, tmp_path, request):
+        self.form = form
+        self._conns: List[Any] = []
+        self._server: Optional[Server] = None
+        self._engine: Optional[Engine] = None
+        if form == "file":
+            self._dsn = f"file:{tmp_path / 'data'}"
+        elif form == "memory":
+            self._dsn = None
+        else:
+            self._engine = Engine()
+            if form == "network":
+                self._server = Server(engine=self._engine).start()
+                self._dsn = self._server.url
+
+    @property
+    def engine(self) -> Engine:
+        """The engine behind this backend (creating it on first use)."""
+        if self._engine is None:
+            self._engine = self.connect().engine
+        return self._engine
+
+    def connect(self, **kwargs: Any):
+        if self.form == "engine":
+            conn = dbapi.connect(self.engine, **kwargs)
+        elif self.form == "network":
+            kwargs.setdefault("timeout", 30.0)
+            conn = dbapi.connect(self._dsn, **kwargs)
+        elif self._conns and self._engine is not None:
+            # memory/file DSNs create a *new* engine per connect();
+            # later connections share the first one through the engine
+            conn = dbapi.connect(self._engine, **kwargs)
+        else:
+            conn = dbapi.connect(self._dsn, **kwargs)
+        self._conns.append(conn)
+        if self._engine is None and hasattr(conn, "engine"):
+            self._engine = conn.engine
+        return conn
+
+    sibling = connect
+
+    def setup_session(self):
+        """A native session on the backing engine (installs cartridges,
+        seeds data) — server-side setup for the network form."""
+        return self.engine.connect("setup")
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except dbapi.Error:
+                pass
+        if self._server is not None:
+            self._server.shutdown()
+        if self._engine is not None:
+            self._engine.close()
+
+
+@pytest.fixture(params=["memory", "file", "engine", "network"])
+def backend(request, tmp_path):
+    backend = _Backend(request.param, tmp_path, request)
+    yield backend
+    backend.close()

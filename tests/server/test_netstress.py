@@ -1,0 +1,135 @@
+"""Multi-process stress: real client processes against one server.
+
+The ISSUE's acceptance bar: N separate ``python -m repro.testing.netstress``
+subprocesses (real OS processes, not threads) hammer one served engine
+with mixed DML over text- and spatial-indexed data; afterwards the
+parent cross-validates the engine the same way the in-process thread
+stress does — shared counter equals the sum of increments, surviving
+ids equal the workers' models, and both domain indexes answer exactly
+like a functional recompute (index ≡ scan).
+"""
+
+import json
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.cartridges.spatial import install as install_spatial
+from repro.cartridges.spatial import make_rect
+from repro.cartridges.spatial.indextype import sdo_relate_functional
+from repro.cartridges.text import install as install_text
+from repro.cartridges.text.indextype import text_contains
+from repro.server import Server
+from repro.sql.engine import Engine
+from repro.testing.netstress import WORDS, _note, _rect
+
+pytestmark = [pytest.mark.server, pytest.mark.concurrency]
+
+N_PROCESSES = 5
+N_OPS = 60
+SEED_IDS = range(1, 25)
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+@pytest.fixture
+def stress_server():
+    engine = Engine(lock_timeout=60.0)
+    setup = engine.connect()
+    install_text(setup)
+    install_spatial(setup)
+    setup.execute("CREATE TABLE items (id INTEGER, val INTEGER,"
+                  " note VARCHAR2(120), shape SDO_GEOMETRY)")
+    gt = setup.catalog.get_object_type("SDO_GEOMETRY")
+    rng = random.Random(7)
+    setup.insert_row("items", [0, 0, "counter", make_rect(gt, 1, 1, 2, 2)])
+    for seed_id in SEED_IDS:
+        setup.insert_row("items",
+                         [seed_id, 0, _note(rng),
+                          make_rect(gt, *_rect(rng))])
+    setup.execute("CREATE INDEX items_tidx ON items(note)"
+                  " INDEXTYPE IS TextIndexType")
+    setup.execute("CREATE INDEX items_sidx ON items(shape)"
+                  " INDEXTYPE IS SpatialIndexType")
+    server = Server(engine=engine, max_sessions=N_PROCESSES + 2).start()
+    yield server
+    server.shutdown()
+    engine.close()
+
+
+def test_multiprocess_mixed_dml_stress(stress_server):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro.testing.netstress",
+             stress_server.url, str(worker_id), str(N_OPS)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env)
+        for worker_id in range(N_PROCESSES)
+    ]
+    summaries = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, f"worker failed: {err}\n{out}"
+        summaries.append(json.loads(out))
+
+    failures = [s for s in summaries if s["error"] is not None]
+    assert not failures, f"worker errors: {failures!r}"
+    assert all(s["ops"] == N_OPS for s in summaries)
+
+    check = stress_server.engine.connect()
+
+    # -- no lost updates on the shared counter row -------------------------
+    total_increments = sum(s["increments"] for s in summaries)
+    assert total_increments > 0
+    (val,) = check.execute("SELECT val FROM items WHERE id = 0").fetchone()
+    assert val == total_increments
+
+    # -- no lost or resurrected rows ---------------------------------------
+    expected_ids = {0} | set(SEED_IDS)
+    for summary in summaries:
+        expected_ids |= set(summary["live"])
+    actual_ids = [r[0] for r in
+                  check.execute("SELECT id FROM items").fetchall()]
+    assert len(actual_ids) == len(set(actual_ids))
+    assert set(actual_ids) == expected_ids
+
+    # -- VALIDATE: text index answers == functional recompute --------------
+    final = check.execute("SELECT id, note FROM items").fetchall()
+    for word in WORDS:
+        expected = {row_id for row_id, note in final
+                    if text_contains(note, word)}
+        actual = {r[0] for r in check.execute(
+            "SELECT id FROM items WHERE Contains(note, :1)",
+            [word]).fetchall()}
+        assert actual == expected, f"text index out of sync for {word!r}"
+
+    # -- VALIDATE: spatial index answers == functional recompute -----------
+    shapes = check.execute("SELECT id, shape FROM items").fetchall()
+    gt = check.catalog.get_object_type("SDO_GEOMETRY")
+    for window in (make_rect(gt, 200, 200, 700, 700),
+                   make_rect(gt, 0, 0, 1023, 1023),
+                   make_rect(gt, 50, 600, 300, 900)):
+        expected = {row_id for row_id, shape in shapes
+                    if sdo_relate_functional(shape, window,
+                                             "mask=ANYINTERACT")}
+        actual = {r[0] for r in check.execute(
+            "SELECT id FROM items WHERE"
+            " Sdo_Relate(shape, :1, 'mask=ANYINTERACT')",
+            [window]).fetchall()}
+        assert actual == expected, "spatial index out of sync"
+
+    # -- VALIDATE: terms table references exactly the live rowids ----------
+    live_rowids = {str(r[0]) for r in
+                   check.execute("SELECT rowid FROM items").fetchall()}
+    term_rids = {str(r[0]) for r in check.execute(
+        "SELECT rid FROM items_tidx_terms").fetchall()}
+    assert term_rids == live_rowids
+
+    # every worker really arrived over the wire as its own session
+    assert stress_server.stats.connections_accepted >= N_PROCESSES
+    assert stress_server.stats.sessions_peak >= 2

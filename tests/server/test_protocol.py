@@ -1,0 +1,211 @@
+"""Wire-protocol units: DSN parsing, framing, typed error frames.
+
+Everything here runs without a real server: framing tests drive
+``send_frame``/``recv_frame`` over a ``socket.socketpair()``, so every
+malformed shape — truncated header, truncated body, oversized length
+prefix, garbage payload — is produced byte-exactly and the error
+contract (`ProtocolError` vs `ConnectionClosed`) is pinned down where
+it is defined, not where it happens to surface.
+"""
+
+import pickle
+import socket
+import struct
+
+import pytest
+
+from repro import errors as _errors
+from repro.dbapi import DSN, InterfaceError, parse_dsn
+from repro.server.protocol import (
+    DEFAULT_PORT, MAX_FRAME, ConnectionClosed, ProtocolError, decode_error,
+    encode_error, recv_frame, send_frame)
+
+pytestmark = pytest.mark.server
+
+
+class TestParseDSN:
+    def test_none_and_empty_mean_memory(self):
+        assert parse_dsn(None) == DSN("memory")
+        assert parse_dsn("") == DSN("memory")
+
+    def test_file_dsn(self):
+        assert parse_dsn("file:/var/lib/db") == DSN("file",
+                                                    path="/var/lib/db")
+
+    def test_file_dsn_relative_path(self):
+        assert parse_dsn("file:data/db").path == "data/db"
+
+    def test_file_dsn_triple_slash(self):
+        assert parse_dsn("file:///var/lib/db").path == "/var/lib/db"
+
+    def test_file_dsn_localhost_authority(self):
+        assert parse_dsn("file://localhost/var/db").path == "/var/db"
+
+    def test_network_dsn(self):
+        dsn = parse_dsn("repro://db.example.com:7900")
+        assert dsn == DSN("network", host="db.example.com", port=7900)
+
+    def test_network_dsn_default_port(self):
+        dsn = parse_dsn("repro://localhost")
+        assert (dsn.host, dsn.port) == ("localhost", DEFAULT_PORT)
+
+    def test_network_dsn_trailing_slash_only(self):
+        assert parse_dsn("repro://h:123/").port == 123
+
+    @pytest.mark.parametrize("bad", [
+        "repro://",                      # empty host
+        "repro://host:notaport",         # non-numeric port
+        "repro://host:0",                # port out of range
+        "repro://host:70000",            # port out of range
+        "repro://host:123/path",         # paths are not part of the DSN
+        "repro://host?x=1",              # neither are query strings
+        "file:",                         # empty file path
+        "file://remote.host/db",         # file DSNs are local
+        "postgres://host/db",            # unknown scheme
+        "just-some-text",                # no scheme at all
+    ])
+    def test_malformed_dsn_raises_interface_error(self, bad):
+        with pytest.raises(InterfaceError):
+            parse_dsn(bad)
+
+    def test_non_string_dsn_raises_interface_error(self):
+        with pytest.raises(InterfaceError):
+            parse_dsn(1234)
+
+    def test_repr_round_trip_forms(self):
+        assert "memory" in repr(parse_dsn(None))
+        assert "file:/x" in repr(parse_dsn("file:/x"))
+        assert "repro://h:9" in repr(parse_dsn("repro://h:9"))
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        a, b = pair
+        sent = send_frame(a, "execute", {"sql": "SELECT 1", "binds": [1]})
+        op, payload, received = recv_frame(b)
+        assert op == "execute"
+        assert payload == {"sql": "SELECT 1", "binds": [1]}
+        assert sent == received
+
+    def test_empty_payload_defaults_to_dict(self, pair):
+        a, b = pair
+        send_frame(a, "commit")
+        assert recv_frame(b)[:2] == ("commit", {})
+
+    def test_eof_before_header_is_connection_closed(self, pair):
+        a, b = pair
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(b)
+
+    def test_truncated_header_is_protocol_error(self, pair):
+        a, b = pair
+        a.sendall(b"\x00\x00")   # half a length prefix, then EOF
+        a.close()
+        with pytest.raises(ProtocolError) as excinfo:
+            recv_frame(b)
+        assert "truncated frame header" in str(excinfo.value)
+
+    def test_truncated_body_is_protocol_error(self, pair):
+        a, b = pair
+        body = pickle.dumps(("commit", {}))
+        a.sendall(struct.pack(">I", len(body)) + body[:3])
+        a.close()
+        with pytest.raises(ProtocolError) as excinfo:
+            recv_frame(b)
+        assert "truncated frame body" in str(excinfo.value)
+
+    def test_oversized_length_prefix_is_protocol_error(self, pair):
+        a, b = pair
+        a.sendall(struct.pack(">I", MAX_FRAME + 1))
+        with pytest.raises(ProtocolError) as excinfo:
+            recv_frame(b)
+        assert "exceeds" in str(excinfo.value)
+
+    def test_undecodable_payload_is_protocol_error(self, pair):
+        a, b = pair
+        garbage = b"\x93this is not a pickle"
+        a.sendall(struct.pack(">I", len(garbage)) + garbage)
+        with pytest.raises(ProtocolError) as excinfo:
+            recv_frame(b)
+        assert "undecodable" in str(excinfo.value)
+
+    @pytest.mark.parametrize("message", [
+        "just a string",
+        ("too", "many", "parts"),
+        (42, {}),            # op must be a str
+        ("op", [1, 2, 3]),   # payload must be a dict
+    ])
+    def test_wrong_message_shape_is_protocol_error(self, pair, message):
+        a, b = pair
+        body = pickle.dumps(message)
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError) as excinfo:
+            recv_frame(b)
+        assert "malformed message" in str(excinfo.value)
+
+    def test_outgoing_oversize_refused_before_sending(self, pair):
+        a, b = pair
+        with pytest.raises(ProtocolError):
+            send_frame(a, "rows", {"rows": ["x" * 256]}, max_frame=64)
+        b.setblocking(False)
+        with pytest.raises(BlockingIOError):
+            b.recv(1)   # nothing went on the wire
+
+    def test_custom_max_frame_applies_to_receive(self, pair):
+        a, b = pair
+        send_frame(a, "rows", {"rows": ["y" * 1024]})
+        with pytest.raises(ProtocolError):
+            recv_frame(b, max_frame=128)
+
+
+class TestErrorFrames:
+    def test_picklable_exception_round_trips_exactly(self):
+        original = _errors.CallbackError(
+            "ODCIIndexFetch", "injected fault", index_name="docs_text",
+            phase="QUERY")
+        payload = encode_error(original, "OperationalError")
+        assert payload["error"] == "CallbackError"
+        assert payload["dbapi"] == "OperationalError"
+        decoded = decode_error(payload)
+        assert type(decoded) is _errors.CallbackError
+        assert str(decoded) == str(original)
+        assert decoded.index_name == "docs_text"
+        assert decoded.phase == "QUERY"
+
+    def test_timeout_error_keeps_budget_attributes(self):
+        original = _errors.CallbackTimeoutError(
+            "ODCIIndexFetch", index_name="i", phase="QUERY",
+            budget=0.5, elapsed=0.9)
+        decoded = decode_error(encode_error(original, "OperationalError"))
+        assert type(decoded) is _errors.CallbackTimeoutError
+        assert decoded.budget == 0.5
+        assert decoded.elapsed == 0.9
+
+    def test_unpicklable_exception_degrades_to_named_class(self):
+        exc = _errors.ParseError("syntax error at 'FROM'")
+        payload = encode_error(exc, "ProgrammingError")
+        payload.pop("pickled", None)   # simulate a pickle-hostile error
+        decoded = decode_error(payload)
+        assert type(decoded) is _errors.ParseError
+        assert "syntax error" in str(decoded)
+
+    def test_unknown_class_name_degrades_to_database_error(self):
+        decoded = decode_error({"error": "NoSuchError", "message": "boom"})
+        assert type(decoded) is _errors.DatabaseError
+        assert "boom" in str(decoded)
+
+    def test_corrupt_pickle_blob_degrades_to_named_class(self):
+        payload = encode_error(_errors.CatalogError("no such table"),
+                               "ProgrammingError")
+        payload["pickled"] = b"corrupt"
+        decoded = decode_error(payload)
+        assert type(decoded) is _errors.CatalogError
