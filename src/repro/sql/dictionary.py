@@ -21,7 +21,7 @@ VIEW_NAMES = ("user_tables", "user_indexes", "user_operators",
               "user_indextypes", "user_index_maintenance",
               "user_lock_stats", "user_snapshot_stats",
               "user_wal_stats", "user_recovery_stats",
-              "user_server_stats")
+              "user_server_stats", "user_parallel_stats")
 
 
 class _SnapshotStorage:
@@ -83,6 +83,8 @@ def dictionary_view(catalog: Catalog, name: str,
         return _user_recovery_stats(engine)
     if key == "user_server_stats" and engine is not None:
         return _user_server_stats(engine)
+    if key == "user_parallel_stats" and engine is not None:
+        return _user_parallel_stats(engine)
     return None
 
 
@@ -305,6 +307,40 @@ def _user_server_stats(engine: Any) -> TableDef:
     if not rows:  # serving, but no request handled yet
         rows = [[True, None, 0, ""] + shared]
     return _view("user_server_stats", columns, rows)
+
+
+def _user_parallel_stats(engine: Any) -> TableDef:
+    """One-row view over the engine's parallel-execution counters.
+
+    ``morsels_dispatched`` / ``exchange_wait_seconds`` cover the morsel
+    scan exchange; the ``prefetch_*`` columns cover async ODCI
+    prefetch, with ``prefetch_depth_histogram`` the queue-occupancy
+    distribution (``occupancy:count`` pairs) observed as each
+    prefetched batch arrived — a right-leaning histogram means the
+    producer genuinely ran ahead.  ``worker_utilization`` is busy time
+    over pool wall-clock capacity since the first parallel activity.
+    """
+    snap = engine.parallel_stats.snapshot()
+    rows = [[snap["parallel_queries"], snap["morsels_dispatched"],
+             snap["morsel_rows"], snap["worker_busy_seconds"],
+             engine.parallel_stats.utilization(),
+             snap["exchange_wait_seconds"], snap["prefetch_scans"],
+             snap["prefetch_batches"], snap["prefetch_abandoned"],
+             _histogram_text(snap["depth_histogram"]),
+             snap["pool_size"]]]
+    return _view("user_parallel_stats",
+                 [("parallel_queries", INTEGER),
+                  ("morsels_dispatched", INTEGER),
+                  ("morsel_rows", INTEGER),
+                  ("worker_busy_seconds", NUMBER),
+                  ("worker_utilization", NUMBER),
+                  ("exchange_wait_seconds", NUMBER),
+                  ("prefetch_scans", INTEGER),
+                  ("prefetch_batches", INTEGER),
+                  ("prefetch_abandoned", INTEGER),
+                  ("prefetch_depth_histogram", VARCHAR2),
+                  ("pool_size", INTEGER)],
+                 rows)
 
 
 def _user_indextypes(catalog: Catalog) -> TableDef:

@@ -69,7 +69,13 @@ class Engine:
                  wal_fsync_delay: float = 0.0,
                  wal_checkpoint_interval: int = 256,
                  durability_event_hook: Any = None,
-                 storage_fault_plan: Any = None):
+                 storage_fault_plan: Any = None,
+                 parallel_execution: bool = True,
+                 max_dop: int = 4,
+                 parallel_min_pages: int = 8,
+                 prefetch_depth: int = 2,
+                 prefetch_min_rows: int = 64,
+                 parallel_pool_size: Optional[int] = None):
         self.stats = IOStats()
         self.buffer = BufferCache(self.stats, capacity=buffer_capacity)
         self.catalog = Catalog()
@@ -92,6 +98,26 @@ class Engine:
         #: expressions to closures at plan time (see repro.sql.compile);
         #: off means every expression goes through the interpreter
         self.compile_expressions = compile_expressions
+        #: defaults for the per-session parallel-execution settings
+        self.parallel_execution = parallel_execution
+        self.max_dop = max(1, max_dop)
+        #: heap tables below this page count never go parallel (the
+        #: exchange overhead would dominate); also the pages-per-DOP
+        #: unit the planner's DOP costing divides by
+        self.parallel_min_pages = max(1, parallel_min_pages)
+        #: default ODCI prefetch queue depth (0 disables prefetch)
+        self.prefetch_depth = prefetch_depth
+        #: domain scans estimated below this many rows stay serial —
+        #: a scan the first fetch batch satisfies gains nothing from
+        #: pipelining and would only reorder trace interleavings
+        self.prefetch_min_rows = prefetch_min_rows
+        #: counters behind the user_parallel_stats dictionary view
+        from repro.sql.parallel import ParallelStats
+        self.parallel_stats = ParallelStats()
+        self._pool = None
+        self._pool_size = (parallel_pool_size if parallel_pool_size
+                           else max(2 * self.max_dop, 8))
+        self._pool_latch = threading.Lock()
         self._id_latch = threading.Lock()
         self._next_txn_id = 1
         self._next_session_id = 1
@@ -130,6 +156,41 @@ class Engine:
         """Open a new session against this engine."""
         from repro.sql.session import Session
         return Session(self, user=user)
+
+    # ------------------------------------------------------------------
+    # parallel execution
+    # ------------------------------------------------------------------
+
+    def parallel_defaults(self) -> dict:
+        """Seed values for the per-session parallel-execution settings.
+
+        ``parallel_execution`` (the off-switch), ``max_dop`` (per-
+        statement DOP cap), and the plan-time eligibility knobs
+        ``parallel_min_pages`` / ``prefetch_depth`` /
+        ``prefetch_min_rows``.  Sessions copy these at connect time so
+        tests and benches can force or forbid parallelism per session
+        without reconfiguring the engine.
+        """
+        return {"parallel_execution": self.parallel_execution,
+                "max_dop": self.max_dop,
+                "parallel_min_pages": self.parallel_min_pages,
+                "prefetch_depth": self.prefetch_depth,
+                "prefetch_min_rows": self.prefetch_min_rows}
+
+    def worker_pool(self):
+        """The engine-wide parallel worker pool (started lazily).
+
+        Shared by every session: morsel kernels and ODCI prefetch
+        producers from concurrent statements all draw from this one
+        bounded pool, mirroring Oracle's instance-wide parallel server
+        pool rather than per-query thread spawning.
+        """
+        with self._pool_latch:
+            if self._pool is None:
+                from repro.sql.parallel import WorkerPool
+                self._pool = WorkerPool(size=self._pool_size)
+                self.parallel_stats.pool_size = self._pool.size
+            return self._pool
 
     # ------------------------------------------------------------------
     # MVCC maintenance
@@ -193,6 +254,10 @@ class Engine:
         if self._closed:
             return
         self.stop_version_pruner()
+        with self._pool_latch:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
         if self.durability is not None:
             self.durability.close()
         self._closed = True

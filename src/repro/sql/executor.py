@@ -26,6 +26,17 @@ the ODCI scan protocol: it builds the ODCIPredInfo/ODCIQueryInfo
 descriptors, invokes ``index_start``, re-enters ``index_fetch`` batch by
 batch until the cartridge reports the null-terminator, fetches the
 streamed rowids from the base table, and finally calls ``index_close``.
+
+Parallel execution (see :mod:`repro.sql.parallel`): when the plan marks
+a heap full scan ``[PARALLEL dop=N]`` and the session allows it, the
+scan runs as page-range morsels on the engine's worker pool through an
+order-preserving exchange (ORDER BY gets per-morsel sorted runs merged
+k-way instead); when a domain scan is marked ``[PREFETCH depth=K]``,
+the ODCIIndexFetch loop moves to a producer task that stays ``K``
+batches ahead of materialization.  Both paths demand a statement
+snapshot — current-mode reads (DML target selection) stay serial — and
+both degrade to the serial loop when the executor is already running on
+a pool worker (nested callback SQL must not deadlock the pool).
 """
 
 from __future__ import annotations
@@ -94,6 +105,10 @@ class Executor:
         self.snapshot = snapshot
         self.use_compiled = getattr(db, "compile_expressions", True)
         self.batch_size = getattr(db, "fetch_batch_size", 32)
+        #: LIMIT-derived row budget for the statement's single scan
+        #: (None = unbounded); lets batched producers stop issuing
+        #: work — ODCIIndexFetch calls, morsels — once met
+        self._scan_budget: Optional[int] = None
         #: id(expr) -> (expr, value); the expr reference keeps the id
         #: from being recycled while the entry lives
         self._const_cache: Dict[int, Tuple[ast.Expr, Any]] = {}
@@ -104,21 +119,48 @@ class Executor:
         """Yield output tuples for the plan (streaming)."""
         root = plan.root
         if isinstance(root, pl.LimitNode):
+            self._scan_budget = self._limit_budget(root)
             yield from self._apply_limit(root)
             return
+        self._scan_budget = None
         yield from self._project_rows(root)
 
+    def _limit_budget(self, node: pl.LimitNode) -> Optional[int]:
+        """Row budget a LIMIT imposes on the scan feeding it, or None.
+
+        Only valid when every scanned row that passes the scan's own
+        filter becomes exactly one output row — a plain projection over
+        a single scan.  Sorts, grouping, DISTINCT, joins, and detached
+        FILTER nodes all consume more input rows than they emit, so any
+        of those between the LIMIT and the scan voids the budget.
+        """
+        if node.limit is None:
+            return None
+        child = node.child
+        if isinstance(child, pl.ProjectNode) \
+                and isinstance(child.child, (pl.FullScan, pl.DomainScan)):
+            return node.limit + (node.offset or 0)
+        return None
+
     def _apply_limit(self, node: pl.LimitNode) -> Iterator[Tuple[Any, ...]]:
+        # Yield-then-check: testing the limit only *after* emitting row N
+        # means the producer is never pulled for row N+1 — for a batched
+        # domain scan whose batch boundary lands exactly on the LIMIT,
+        # the old check-then-yield order issued one extra ODCIIndexFetch
+        # just to discover it wasn't needed.
+        limit = node.limit
+        if limit is not None and limit <= 0:
+            return
         produced = 0
         skipped = 0
         for row in self._project_rows(node.child):
             if node.offset and skipped < node.offset:
                 skipped += 1
                 continue
-            if node.limit is not None and produced >= node.limit:
-                return
-            produced += 1
             yield row
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
 
     def _project_rows(self, node: pl.PlanNode) -> Iterator[Tuple[Any, ...]]:
         if isinstance(node, pl.DistinctNode):
@@ -254,15 +296,19 @@ class Executor:
 
     def _batches_full_scan(self, node: pl.FullScan
                            ) -> Iterator[List[RowContext]]:
+        dop = self._effective_dop(node)
+        if dop >= 2:
+            yield from self._batches_parallel_scan(node, dop)
+            return
         make = self._ctx_factory(node.table, node.binding_name)
         passes = self._truth_fn(node, "filter", node.filter)
         storage = node.table.storage
-        snapshot = self.snapshot \
-            if getattr(storage, "versions", None) is not None else None
-        scan_batches = getattr(storage, "scan_batches", None)
-        if scan_batches is not None:
-            pages = scan_batches(snapshot) if snapshot is not None \
-                else scan_batches()
+        # storage capabilities were probed once at plan time
+        # (node.has_scan_batches / node.versioned), not per statement
+        snapshot = self.snapshot if node.versioned else None
+        if node.has_scan_batches:
+            pages = storage.scan_batches(snapshot) if snapshot is not None \
+                else storage.scan_batches()
         elif snapshot is not None:
             pages = _chunked(storage.scan(snapshot), self.batch_size)
         else:
@@ -279,6 +325,151 @@ class Executor:
                     batch.append(ctx)
             if batch:
                 yield batch
+
+    # -- parallel morsel scan --------------------------------------------------
+
+    def _effective_dop(self, node: pl.PlanNode) -> int:
+        """The degree of parallelism this execution may actually use.
+
+        0/1 means serial.  Requires the plan-time eligibility marker, a
+        session with the feature on, a statement snapshot (current-mode
+        reads — DML target selection — must observe in-flight changes,
+        which morsel workers do not), a shareable (compiled or absent)
+        filter, and *not* already running on a pool worker: a worker
+        waiting on nested workers from the same bounded pool deadlocks.
+        """
+        dop = getattr(node, "parallel_dop", 0)
+        if dop < 2 or self.snapshot is None:
+            return 0
+        db = self.db
+        if not getattr(db, "parallel_execution", False):
+            return 0
+        if node.filter is not None and (
+                not self.use_compiled
+                or node.compiled.get("filter") is None):
+            return 0
+        engine = getattr(db, "engine", None)
+        if engine is None:
+            return 0
+        if engine.worker_pool().on_worker():
+            return 0
+        return min(dop, max(1, getattr(db, "max_dop", 1)))
+
+    def _morsel_kernel(self, node: pl.FullScan
+                       ) -> Callable[[int, int], List[RowContext]]:
+        """Build the ``kernel(start, stop) -> [RowContext]`` a morsel runs.
+
+        Four tiers, fastest first: a *generated* kernel (the whole
+        predicate eval-compiled to one Python expression over the raw
+        row), the fused raw-row closure tree, a scratch-context filter
+        (one reusable context probes the compiled closure; survivors
+        get a real context), or no filter at all.  The generated tier
+        answers only accept/reject on well-typed rows — if it raises
+        anything, the morsel transparently re-runs on the closure tier,
+        which reproduces the exact serial result or error.  All tiers
+        share the plan's compiled closures, which are pure
+        ``(ctx, binds)`` functions — nothing session-bound crosses into
+        the workers except the snapshot, which is immutable by
+        construction.
+        """
+        storage = node.table.storage
+        snapshot = self.snapshot
+        make = self._ctx_factory(node.table, node.binding_name)
+        binds = self.binds
+        if node.filter is None:
+            def kernel(start: int, stop: int) -> List[RowContext]:
+                out: List[RowContext] = []
+                for page in storage.scan_page_range(start, stop, snapshot):
+                    out.extend(make(rowid, row) for rowid, row in page)
+                return out
+            return kernel
+        safe = self._safe_filter_kernel(node, storage, snapshot, make, binds)
+        factory = node.compiled.get("row_kernel") \
+            if self.use_compiled else None
+        fast_filter = factory(binds) if factory is not None else None
+        if fast_filter is None:
+            return safe
+
+        def fast(start: int, stop: int) -> List[RowContext]:
+            out: List[RowContext] = []
+            append = out.append
+            for page in storage.scan_page_range(start, stop, snapshot):
+                for rowid, row in page:
+                    if fast_filter(row):
+                        append(make(rowid, row))
+            return out
+
+        def kernel(start: int, stop: int) -> List[RowContext]:
+            try:
+                return fast(start, stop)
+            except Exception:  # noqa: BLE001 — degrade to exact semantics
+                # the generated kernel met a value it has no contract
+                # for (type mismatch, division by zero); the snapshot
+                # makes the re-read deterministic and the closure tier
+                # raises the proper taxonomy error if one is real
+                return safe(start, stop)
+        return kernel
+
+    def _safe_filter_kernel(self, node: pl.FullScan, storage: Any,
+                            snapshot: Any, make: Callable, binds: Dict
+                            ) -> Callable[[int, int], List[RowContext]]:
+        """The exact-semantics morsel kernel (closure-tree tiers)."""
+        row_filter = node.compiled.get("row_filter") \
+            if self.use_compiled else None
+        if row_filter is not None:
+            def kernel(start: int, stop: int) -> List[RowContext]:
+                out: List[RowContext] = []
+                append = out.append
+                for page in storage.scan_page_range(start, stop, snapshot):
+                    for rowid, row in page:
+                        if row_filter(row, binds) is True:
+                            append(make(rowid, row))
+                return out
+            return kernel
+        ctx_filter = node.compiled["filter"]  # guaranteed by _effective_dop
+        cols = [(node.binding_name, col.name.lower())
+                for col in node.table.columns]
+        rowid_key = (node.binding_name, "rowid")
+        binding = node.binding_name
+
+        def kernel(start: int, stop: int) -> List[RowContext]:
+            out: List[RowContext] = []
+            scratch = RowContext()
+            values = scratch.values
+            for page in storage.scan_page_range(start, stop, snapshot):
+                for rowid, row in page:
+                    values.clear()
+                    values.update(zip(cols, row))
+                    values[rowid_key] = rowid
+                    scratch.rowids[binding] = rowid
+                    if ctx_filter(scratch, binds) is True:
+                        out.append(make(rowid, row))
+            return out
+        return kernel
+
+    def _batches_parallel_scan(self, node: pl.FullScan, dop: int
+                               ) -> Iterator[List[RowContext]]:
+        from repro.sql.parallel import plan_morsels, run_morsels
+        engine = self.db.engine
+        storage = node.table.storage
+        morsels = plan_morsels(storage.page_count, dop)
+        if not morsels:
+            return
+        stats = engine.parallel_stats
+        stats.record_query(dop)
+        kernel = self._morsel_kernel(node)
+        budget = self._scan_budget
+        emitted = 0
+        exchange = run_morsels(engine.worker_pool(), kernel, morsels,
+                               dop, stats)
+        # closing this generator (LIMIT satisfied, abandoned cursor)
+        # closes the exchange, which cancels unissued morsels
+        for batch in exchange:
+            yield batch
+            emitted += len(batch)
+            if budget is not None and emitted >= budget:
+                exchange.close()
+                return
 
     def _const(self, expr: Optional[ast.Expr]) -> Any:
         """Evaluate a constant expression, once per statement.
@@ -444,7 +635,30 @@ class Executor:
         # not visible to this statement
         fetch = self._fetch_fn(node.table.storage)
         label = call.label
+
+        def materialize(result) -> List[RowContext]:
+            aux = result.aux or []
+            batch = []
+            for i, rowid in enumerate(result.rowids):
+                row = fetch(rowid)
+                if row is None:
+                    continue
+                ctx = make(rowid, row)
+                if label is not None and i < len(aux):
+                    ctx.aux[label] = aux[i]
+                if passes is None or passes(ctx):
+                    batch.append(ctx)
+            return batch
+
+        budget = self._scan_budget
+        emitted = 0
+        depth = self._prefetch_depth(node)
         try:
+            if depth > 0:
+                yield from self._domain_fetch_prefetched(
+                    node, dispatcher, methods, context, env, batch_size,
+                    materialize, depth, budget)
+                return
             while True:
                 if env.trace_enabled:
                     env.trace(f"exec:ODCIIndexFetch(n={batch_size})")
@@ -452,25 +666,84 @@ class Executor:
                     "ODCIIndexFetch", methods.index_fetch,
                     context, batch_size, env,
                     index_name=node.index.name, phase="scan")
-                aux = result.aux or []
                 # materialize the whole fetch batch into a row batch
-                batch = []
-                for i, rowid in enumerate(result.rowids):
-                    row = fetch(rowid)
-                    if row is None:
-                        continue
-                    ctx = make(rowid, row)
-                    if label is not None and i < len(aux):
-                        ctx.aux[label] = aux[i]
-                    if passes is None or passes(ctx):
-                        batch.append(ctx)
+                batch = materialize(result)
                 if batch:
                     yield batch
                 if result.done or not result.rowids:
                     break
+                emitted += len(batch)
+                if budget is not None and emitted >= budget:
+                    # the LIMIT above is satisfied: stop re-entering the
+                    # cartridge instead of fetching rows nobody will see
+                    break
         finally:
             env.trace("exec:ODCIIndexClose()")
             closer()
+
+    def _prefetch_depth(self, node: pl.DomainScan) -> int:
+        """Async-prefetch queue depth for this execution (0 = serial).
+
+        Same session/nesting gates as :meth:`_effective_dop`; the
+        plan-time marker carries the depth.  No snapshot requirement:
+        the producer re-dispatches through the owning session
+        (``call_from_worker``), so even current-mode scans keep their
+        exact serial semantics — but nested scans on a pool worker stay
+        serial to keep the pool deadlock-free.
+        """
+        depth = getattr(node, "prefetch_depth", 0)
+        if depth <= 0:
+            return 0
+        db = self.db
+        if not getattr(db, "parallel_execution", False):
+            return 0
+        engine = getattr(db, "engine", None)
+        if engine is None:
+            return 0
+        if engine.worker_pool().on_worker():
+            return 0
+        return depth
+
+    def _domain_fetch_prefetched(self, node: pl.DomainScan, dispatcher,
+                                 methods, context, env, batch_size: int,
+                                 materialize, depth: int,
+                                 budget: Optional[int]
+                                 ) -> Iterator[List[RowContext]]:
+        """The async fetch loop: a single producer task on the engine
+        pool issues ``ODCIIndexFetch`` calls (strictly sequentially —
+        the scan context is stateful) up to ``depth`` batches ahead of
+        materialization.  The caller's ``finally`` still runs the
+        idempotent closer; closing the pipeline first guarantees no
+        fetch is in flight when ``ODCIIndexClose`` fires.
+        """
+        from repro.sql.parallel import PrefetchPipeline
+        engine = self.db.engine
+        session = self.db
+        index_name = node.index.name
+
+        def fetch_next():
+            if env.trace_enabled:
+                env.trace(f"exec:ODCIIndexFetch(n={batch_size})")
+            return dispatcher.call_from_worker(
+                session, "ODCIIndexFetch", methods.index_fetch,
+                context, batch_size, env,
+                index_name=index_name, phase="scan")
+
+        pipeline = PrefetchPipeline(engine.worker_pool(), depth,
+                                    fetch_next, engine.parallel_stats)
+        emitted = 0
+        try:
+            for result in pipeline:
+                batch = materialize(result)
+                if batch:
+                    yield batch
+                emitted += len(batch)
+                if budget is not None and emitted >= budget:
+                    # row budget met: abandon queued batches and stop
+                    # the producer before it issues another fetch
+                    break
+        finally:
+            pipeline.close()
 
     def _make_closer(self, methods, context, env, index_name: str = ""):
         """An idempotent ODCIIndexClose callable, registered with the
@@ -626,15 +899,10 @@ class Executor:
                 if accepts is None or accepts(merged):
                     yield merged
 
-    def _iter_sort(self, node: pl.SortNode) -> Iterator[RowContext]:
-        """Decorate–sort–undecorate: ORDER BY expressions are evaluated
-        once per row, not once per comparison."""
-        key_fns = self._value_fns(node, "keys",
-                                  [item.expr for item in node.order_items])
-        descending = [item.descending for item in node.order_items]
-        decorated = [(tuple(fn(ctx) for fn in key_fns), ctx)
-                     for ctx in self.iter_node(node.child)]
-
+    @staticmethod
+    def _order_compare(descending: List[bool]) -> Callable[..., int]:
+        """The ORDER BY comparator over (key-tuple, ctx) pairs
+        (NULLS LAST, per-key direction)."""
         def compare(a: Tuple[Tuple[Any, ...], RowContext],
                     b: Tuple[Tuple[Any, ...], RowContext]) -> int:
             for va, vb, desc in zip(a[0], b[0], descending):
@@ -649,9 +917,61 @@ class Executor:
                     continue
                 return -cmp if desc else cmp
             return 0
+        return compare
 
-        decorated.sort(key=functools.cmp_to_key(compare))
+    def _iter_sort(self, node: pl.SortNode) -> Iterator[RowContext]:
+        """Decorate–sort–undecorate: ORDER BY expressions are evaluated
+        once per row, not once per comparison."""
+        descending = [item.descending for item in node.order_items]
+        sort_key = functools.cmp_to_key(self._order_compare(descending))
+        merged = self._sort_merge_exchange(node, sort_key)
+        if merged is not None:
+            return merged
+        key_fns = self._value_fns(node, "keys",
+                                  [item.expr for item in node.order_items])
+        decorated = [(tuple(fn(ctx) for fn in key_fns), ctx)
+                     for ctx in self.iter_node(node.child)]
+        decorated.sort(key=sort_key)
         return iter([ctx for __, ctx in decorated])
+
+    def _sort_merge_exchange(self, node: pl.SortNode, sort_key
+                             ) -> Optional[Iterator[RowContext]]:
+        """ORDER BY over a parallel-eligible scan: each morsel returns a
+        *sorted* run (decorate + sort inside the worker), and the
+        consumer k-way merges the runs instead of re-sorting everything.
+        Returns None when the sort must run serially (ineligible child,
+        uncompiled sort keys)."""
+        child = node.child
+        if not isinstance(child, pl.FullScan):
+            return None
+        dop = self._effective_dop(child)
+        if dop < 2:
+            return None
+        compiled_keys = node.compiled.get("keys") if self.use_compiled \
+            else None
+        if not compiled_keys or any(fn is None for fn in compiled_keys):
+            return None  # interpreter keys are session-bound
+        from repro.sql.parallel import (
+            merge_sorted_runs, plan_morsels, run_morsels)
+        engine = self.db.engine
+        morsels = plan_morsels(child.table.storage.page_count, dop)
+        if not morsels:
+            return iter(())
+        stats = engine.parallel_stats
+        stats.record_query(dop)
+        scan_kernel = self._morsel_kernel(child)
+        binds = self.binds
+
+        def sort_kernel(start: int, stop: int):
+            ctxs = scan_kernel(start, stop)
+            run = [(tuple(fn(ctx, binds) for fn in compiled_keys), ctx)
+                   for ctx in ctxs]
+            run.sort(key=sort_key)
+            return run
+
+        runs = [run for run in run_morsels(engine.worker_pool(),
+                                           sort_kernel, morsels, dop, stats)]
+        return (ctx for __, ctx in merge_sorted_runs(runs, key=sort_key))
 
     def _iter_group_by(self, node: pl.GroupByNode) -> Iterator[RowContext]:
         groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}

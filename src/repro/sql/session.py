@@ -111,10 +111,10 @@ class Session:
         #: when True, SELECTs skip table S-locks (plan-time stats reads)
         self._suppress_table_locks = False
         #: MVCC consistent reads (default): SELECTs resolve rows against
-        #: a statement snapshot and take *no* table locks.  Off restores
-        #: bare current-mode reads — the differential suite runs the
-        #: same workload both ways to prove parity.
+        #: a statement snapshot, taking *no* table locks; off restores
+        #: current-mode reads (the differential suite proves parity)
         self.snapshot_reads = True
+        self.__dict__.update(engine.parallel_defaults())  # parallel knobs
         #: snapshot pinned by a callback scope (ODCIIndexStart/Fetch):
         #: callback SQL reads at the opening statement's SCN
         self._pinned_snapshot = None

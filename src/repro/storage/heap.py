@@ -244,6 +244,39 @@ class HeapTable:
             if batch:
                 yield batch
 
+    def scan_page_range(self, start: int, stop: int,
+                        snapshot: Optional[Snapshot] = None
+                        ) -> Iterator[List[Tuple[RowId, List[Any]]]]:
+        """:meth:`scan_batches` restricted to pages ``[start, stop)``.
+
+        The unit a parallel morsel covers: each worker scans a disjoint
+        contiguous page range, so concurrent morsels of one statement
+        never touch the same page.  Same snapshot semantics as
+        :meth:`scan_batches` (version-chain resolution per slot).
+        """
+        segment_id = self.segment_id
+        stop = min(stop, self._page_count)
+        if snapshot is None:
+            for page_no in range(max(0, start), stop):
+                page = self.buffer.get_page(segment_id, page_no)
+                batch = [(RowId(segment_id, page_no, slot), row)
+                         for slot, row in enumerate(page.slots)
+                         if row is not None]
+                if batch:
+                    yield batch
+            return
+        resolve = self.versions.resolve
+        for page_no in range(max(0, start), stop):
+            page = self.buffer.get_page(segment_id, page_no)
+            batch = []
+            for slot, row in enumerate(list(page.slots)):
+                rowid = RowId(segment_id, page_no, slot)
+                value = resolve(rowid, row, snapshot)
+                if value is not None:
+                    batch.append((rowid, value))
+            if batch:
+                yield batch
+
     # -- durability support ----------------------------------------------
 
     def stamp_lsn(self, rowid: RowId, lsn: int) -> None:

@@ -35,6 +35,7 @@ OS preserves completed writes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -94,6 +95,10 @@ class FaultPlan:
         self._counts: Dict[Tuple[str, str], int] = {}
         self._previous: Any = None
         self._installed = False
+        #: ordinal counters, rule state, and the ledger are shared
+        #: mutable state; parallel execution dispatches ODCI calls from
+        #: worker threads, so matching must be atomic per invocation
+        self._latch = threading.Lock()
 
     # ------------------------------------------------------------------
     # rule construction
@@ -146,28 +151,30 @@ class FaultPlan:
         raises to inject a fault.  Each (routine, index) pair keeps its
         own 1-based ordinal counter.
         """
-        key = (routine, index_name)
-        ordinal = self._counts.get(key, 0) + 1
-        self._counts[key] = ordinal
-        delay = 0.0
-        outcome = "ok"
-        fault: Optional[BaseException] = None
-        for rule in self.rules:
-            if not rule.matches(routine, index_name):
-                continue
-            rule.seen += 1
-            if rule.kind == "fail" and rule.seen == rule.nth:
-                outcome = "fault"
-                fault = ODCIError(routine, rule.message)
-            elif rule.kind == "transient" and rule.seen <= rule.times:
-                outcome = "transient"
-                fault = TransientCallbackError(routine)
-            elif rule.kind == "delay":
-                delay += rule.seconds
-                if outcome == "ok":
-                    outcome = "delay"
-        self.ledger.append(LedgerEntry(routine=routine, index_name=index_name,
-                                       outcome=outcome, ordinal=ordinal))
+        with self._latch:
+            key = (routine, index_name)
+            ordinal = self._counts.get(key, 0) + 1
+            self._counts[key] = ordinal
+            delay = 0.0
+            outcome = "ok"
+            fault: Optional[BaseException] = None
+            for rule in self.rules:
+                if not rule.matches(routine, index_name):
+                    continue
+                rule.seen += 1
+                if rule.kind == "fail" and rule.seen == rule.nth:
+                    outcome = "fault"
+                    fault = ODCIError(routine, rule.message)
+                elif rule.kind == "transient" and rule.seen <= rule.times:
+                    outcome = "transient"
+                    fault = TransientCallbackError(routine)
+                elif rule.kind == "delay":
+                    delay += rule.seconds
+                    if outcome == "ok":
+                        outcome = "delay"
+            self.ledger.append(
+                LedgerEntry(routine=routine, index_name=index_name,
+                            outcome=outcome, ordinal=ordinal))
         if fault is not None:
             raise fault
         return delay

@@ -1,0 +1,312 @@
+"""Differential proof: parallel execution == serial execution.
+
+Two identically-seeded databases run the same randomized workload — one
+with morsel-parallel scans and ODCI prefetch forced eligible (page and
+row thresholds dropped to 1), one with ``parallel_execution`` off.
+Every query result must be identical, across heap tables, IOTs, and all
+four cartridges: the exchanges are order-preserving and the prefetch
+pipeline delivers batches (and faults) in fetch order, so parallelism
+must never be observable in results.
+
+A final stress test runs mixed DML and parallel scans from eight
+threads against one shared engine worker pool, holding the invariants
+that survive arbitrary interleavings (counts, commit atomicity).
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro import Database
+
+pytestmark = pytest.mark.parallel
+
+
+def _pair(installer=None):
+    """Two fresh databases: parallel forced-eligible vs serial."""
+    dbs = []
+    for parallel in (True, False):
+        db = Database()
+        if installer is not None:
+            installer(db)
+        db.parallel_execution = parallel
+        if parallel:
+            db.parallel_min_pages = 1  # every heap scan is eligible
+            db.prefetch_min_rows = 1   # every domain scan prefetches
+            db.prefetch_depth = 2
+            db.max_dop = 4
+        dbs.append(db)
+    return dbs
+
+
+def _run_both(dbs, fn):
+    results = [fn(db) for db in dbs]
+    assert results[0] == results[1]
+    return results[0]
+
+
+class TestHeapAndIOT:
+    def test_heap_randomized_predicates(self):
+        dbs = _pair()
+
+        def workload(db):
+            rng = random.Random(23)
+            out = []
+            db.execute("CREATE TABLE t (k INTEGER, grp VARCHAR2(10),"
+                       " val NUMBER)")
+            for i in range(600):
+                db.execute("INSERT INTO t VALUES (:1, :2, :3)", [
+                    i,
+                    None if i % 17 == 0 else f"g{i % 6}",
+                    None if i % 13 == 0 else rng.random()])
+            predicates = [
+                ("val < :1", lambda: [rng.random()]),
+                ("val >= :1 AND grp = :2",
+                 lambda: [rng.random(), f"g{rng.randrange(6)}"]),
+                ("NOT (val < :1 OR grp LIKE 'g1%')", lambda: [rng.random()]),
+                ("k BETWEEN :1 AND :2",
+                 lambda: sorted([rng.randrange(600), rng.randrange(600)])),
+                ("NOT (k BETWEEN :1 AND :2)",
+                 lambda: sorted([rng.randrange(600), rng.randrange(600)])),
+                ("grp IN ('g0', 'g3', :1)", lambda: [f"g{rng.randrange(6)}"]),
+                ("grp NOT IN ('g2', :1)", lambda: [f"g{rng.randrange(6)}"]),
+                ("val IS NULL OR grp IS NULL", lambda: []),
+                ("val * 2 - :1 > 0.5", lambda: [rng.random()]),
+                ("val < :1", lambda: [None]),  # NULL bind declines codegen
+            ]
+            for __ in range(40):
+                pred, make_binds = rng.choice(predicates)
+                out.append(db.execute(
+                    f"SELECT k, grp, val FROM t WHERE {pred}",
+                    make_binds()).fetchall())
+            # exchange operators downstream of the parallel scan
+            out.append(db.execute(
+                "SELECT k, val FROM t WHERE val < 0.8"
+                " ORDER BY val DESC, k").fetchall())
+            out.append(db.execute(
+                "SELECT grp, COUNT(*), SUM(k) FROM t WHERE val < 0.9"
+                " GROUP BY grp ORDER BY grp").fetchall())
+            out.append(db.execute(
+                "SELECT COUNT(*), SUM(val) FROM t WHERE k < 400"
+            ).fetchall())
+            out.append(db.execute(
+                "SELECT k FROM t WHERE val < 0.7 ORDER BY k LIMIT 25"
+            ).fetchall())
+            return out
+
+        _run_both(dbs, workload)
+
+    def test_heap_scans_interleaved_with_dml(self):
+        dbs = _pair()
+
+        def workload(db):
+            rng = random.Random(31)
+            out = []
+            db.execute("CREATE TABLE t (k INTEGER, val NUMBER)")
+            for i in range(400):
+                db.execute("INSERT INTO t VALUES (:1, :2)",
+                           [i, rng.random()])
+            for __ in range(30):
+                op = rng.random()
+                k = rng.randrange(400)
+                if op < 0.35:
+                    db.execute("UPDATE t SET val = :1 WHERE k = :2",
+                               [rng.random(), k])
+                elif op < 0.5:
+                    db.execute("DELETE FROM t WHERE k = :1", [k])
+                else:
+                    out.append(db.execute(
+                        "SELECT k, val FROM t WHERE val < :1 AND k >= :2",
+                        [rng.random(), k // 2]).fetchall())
+            out.append(db.execute("SELECT COUNT(*) FROM t").fetchall())
+            return out
+
+        _run_both(dbs, workload)
+
+    def test_iot_stays_serial_and_identical(self):
+        # IOTs expose no page-range scan; parallel settings must be a
+        # no-op for them, not an error
+        dbs = _pair()
+
+        def workload(db):
+            out = []
+            db.execute("CREATE TABLE p (k INTEGER, v VARCHAR2(20),"
+                       " PRIMARY KEY (k)) ORGANIZATION INDEX")
+            for i in range(200):
+                db.execute("INSERT INTO p VALUES (:1, :2)",
+                           [i, f"v{i % 11}"])
+            out.append(db.execute(
+                "SELECT k, v FROM p WHERE k >= 40 AND k < 160").fetchall())
+            out.append(db.execute(
+                "SELECT v, COUNT(*) FROM p GROUP BY v ORDER BY v"
+            ).fetchall())
+            return out
+
+        parallel_db = dbs[0]
+        before = parallel_db.engine.parallel_stats.parallel_queries
+        _run_both(dbs, workload)
+        assert parallel_db.engine.parallel_stats.parallel_queries == before
+
+
+class TestCartridges:
+    def test_text(self):
+        from repro.cartridges.text import install
+        dbs = _pair(install)
+        words = ["oracle", "unix", "java", "linux", "cobol", "lisp"]
+
+        def workload(db):
+            rng = random.Random(7)
+            out = []
+            db.execute("CREATE TABLE docs (id INTEGER, body VARCHAR2(400))")
+            for i in range(120):
+                db.execute("INSERT INTO docs VALUES (:1, :2)",
+                           [i, " ".join(rng.sample(words, 3))])
+            db.execute("CREATE INDEX docs_text ON docs(body)"
+                       " INDEXTYPE IS TextIndexType")
+            for __ in range(15):
+                i = rng.randrange(120)
+                db.execute("UPDATE docs SET body = :1 WHERE id = :2",
+                           [" ".join(rng.sample(words, 2)), i])
+                out.append(sorted(db.execute(
+                    "SELECT id FROM docs WHERE Contains(body, :1)",
+                    [rng.choice(words)]).fetchall()))
+            return out
+
+        _run_both(dbs, workload)
+        # the parallel-side database really did prefetch
+        assert dbs[0].engine.parallel_stats.prefetch_scans > 0
+
+    def test_spatial(self):
+        from repro.cartridges.spatial import install, make_rect
+        dbs = _pair(install)
+
+        def workload(db):
+            rng = random.Random(13)
+            gt = db.catalog.get_object_type("SDO_GEOMETRY")
+            out = []
+            db.execute("CREATE TABLE parks (gid INTEGER,"
+                       " geometry SDO_GEOMETRY)")
+            for gid in range(80):
+                x, y = rng.uniform(0, 800), rng.uniform(0, 800)
+                db.insert_row("parks", [gid, make_rect(
+                    gt, x, y, x + rng.uniform(20, 120),
+                    y + rng.uniform(20, 120))])
+            db.execute("CREATE INDEX parks_sidx ON parks(geometry)"
+                       " INDEXTYPE IS SpatialIndexType")
+            for __ in range(8):
+                x, y = rng.uniform(0, 600), rng.uniform(0, 600)
+                window = make_rect(gt, x, y, x + 250, y + 250)
+                out.append(sorted(db.execute(
+                    "SELECT gid FROM parks WHERE Sdo_Relate(geometry, :1,"
+                    " 'mask=ANYINTERACT')", [window]).fetchall()))
+            return out
+
+        _run_both(dbs, workload)
+
+    def test_chemistry(self):
+        from repro.cartridges.chemistry import install
+        dbs = _pair(install)
+        mols = ["CCO", "CC(=O)O", "CCCC", "C1CCCCC1", "CCN"]
+
+        def workload(db):
+            rng = random.Random(19)
+            out = []
+            db.execute("CREATE TABLE molecules (mid INTEGER,"
+                       " mol VARCHAR2(256))")
+            for mid in range(60):
+                db.execute("INSERT INTO molecules VALUES (:1, :2)",
+                           [mid, rng.choice(mols)])
+            db.execute("CREATE INDEX mol_idx ON molecules(mol)"
+                       " INDEXTYPE IS ChemIndexType")
+            for __ in range(8):
+                out.append(sorted(db.execute(
+                    "SELECT mid FROM molecules WHERE Chem_Match(mol, :1)",
+                    [rng.choice(mols)]).fetchall()))
+            return out
+
+        _run_both(dbs, workload)
+
+    def test_vir(self):
+        from repro.bench.workloads import make_signature_table
+        from repro.cartridges.vir import install
+        dbs = _pair(install)
+        rows, centre = make_signature_table(120, cluster_every=8, seed=4)
+        weights = ("globalcolor=0.5,localcolor=0.2,"
+                   "texture=0.2,structure=0.1")
+
+        def workload(db):
+            image_type = db.catalog.get_object_type("IMAGE_T")
+            out = []
+            db.execute("CREATE TABLE images (iid INTEGER, img IMAGE_T)")
+            db.insert_rows("images", [
+                [i, image_type.new(signature=sig, width=64, height=64)]
+                for i, sig in rows])
+            db.execute("CREATE INDEX images_vidx ON images(img)"
+                       " INDEXTYPE IS VirIndexType")
+            for threshold in (8, 12, 20):
+                out.append(sorted(db.execute(
+                    "SELECT iid FROM images WHERE"
+                    " VIRSimilar(img.signature, :1, :2, :3)",
+                    [centre, weights, threshold]).fetchall()))
+            return out
+
+        _run_both(dbs, workload)
+
+
+class TestSharedPoolStress:
+    def test_eight_threads_mixed_dml_and_parallel_scans(self):
+        db = Database()
+        db.parallel_min_pages = 1
+        db.max_dop = 4
+        db.execute("CREATE TABLE ledger (slot INTEGER, k INTEGER,"
+                   " val NUMBER)")
+        for slot in range(8):
+            for i in range(200):
+                db.execute("INSERT INTO ledger VALUES (:1, :2, :3)",
+                           [slot, i, float(i)])
+        db.execute("COMMIT")
+        errors = []
+        done = threading.Barrier(8, timeout=60)
+
+        def worker(slot):
+            try:
+                session = db.connect()
+                session.lock_timeout = 30.0
+                rng = random.Random(slot)
+                for round_no in range(12):
+                    # every thread's scans draw on the one shared pool
+                    rows = session.execute(
+                        "SELECT k, val FROM ledger WHERE slot = :1"
+                        " AND NOT (val < :2)",
+                        [slot, float(rng.randrange(200))]).fetchall()
+                    assert len(rows) <= 200
+                    count = session.execute(
+                        "SELECT COUNT(*) FROM ledger WHERE slot = :1",
+                        [slot]).fetchall()[0][0]
+                    assert count == 200  # own partition stays intact
+                    # mixed DML on the thread's own slot, committed
+                    session.execute(
+                        "UPDATE ledger SET val = val + 1"
+                        " WHERE slot = :1 AND k < :2",
+                        [slot, rng.randrange(50)])
+                    session.execute("COMMIT")
+                done.wait()
+            except BaseException as exc:  # noqa: BLE001 — collected below
+                errors.append((slot, exc))
+                try:
+                    done.abort()
+                except Exception:
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(slot,))
+                   for slot in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors[:2]
+        assert db.execute(
+            "SELECT COUNT(*) FROM ledger").fetchall() == [(1600,)]
+        assert db.engine.parallel_stats.parallel_queries > 0
+        db.close()
