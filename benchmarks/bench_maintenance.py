@@ -18,7 +18,7 @@ Measures the write path introduced by the array maintenance interface:
   f-strings on the DML hot path, which ``env.trace_enabled`` now skips
   entirely when tracing is off (recorded as a note, not gated).
 
-Emits ``benchmarks/results/BENCH_maintenance.json``.  Run directly::
+Emits ``BENCH_maintenance.json`` at the repo root.  Run directly::
 
     python benchmarks/bench_maintenance.py            # record JSON + table
     python benchmarks/bench_maintenance.py --smoke --check   # CI perf gate
@@ -46,6 +46,9 @@ from repro.bench.workloads import make_corpus
 REPORT_FILE = "maintenance.txt"
 JSON_FILE = "BENCH_maintenance.json"
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: machine-readable results live at the repo root (text reports stay
+#: under benchmarks/results/)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: regression tolerance for --check: a speedup ratio may not drop below
 #: 80% of the committed baseline's
@@ -309,7 +312,7 @@ def check_against_baseline(results, baseline_path):
 
 def write_results(results):
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    json_path = os.path.join(RESULTS_DIR, JSON_FILE)
+    json_path = os.path.join(REPO_ROOT, JSON_FILE)
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -343,7 +346,7 @@ def main(argv=None):
     if args.check:
         render_table(results).emit()
         failures = check_against_baseline(
-            results, os.path.join(RESULTS_DIR, JSON_FILE))
+            results, os.path.join(REPO_ROOT, JSON_FILE))
         for failure in failures:
             print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
         return 1 if failures else 0

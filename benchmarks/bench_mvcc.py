@@ -16,7 +16,7 @@ Measures the read path introduced by multi-version concurrency control:
   what version-chain resolution costs when there is nothing to
   resolve (informational, not gated).
 
-Emits ``benchmarks/results/BENCH_mvcc.json``.  Run directly::
+Emits ``BENCH_mvcc.json`` at the repo root.  Run directly::
 
     python benchmarks/bench_mvcc.py            # record JSON + table
     python benchmarks/bench_mvcc.py --smoke --check   # CI perf gate
@@ -47,6 +47,9 @@ from repro.txn.locks import LockMode
 REPORT_FILE = "mvcc.txt"
 JSON_FILE = "BENCH_mvcc.json"
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: machine-readable results live at the repo root (text reports stay
+#: under benchmarks/results/)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: regression tolerance for --check: the speedup ratio may not drop
 #: below 80% of the committed baseline's
@@ -340,7 +343,7 @@ def check_against_baseline(results, baseline_path):
 
 def write_results(results):
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    json_path = os.path.join(RESULTS_DIR, JSON_FILE)
+    json_path = os.path.join(REPO_ROOT, JSON_FILE)
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -371,7 +374,7 @@ def main(argv=None):
     if args.check:
         render_table(results).emit()
         failures = check_against_baseline(
-            results, os.path.join(RESULTS_DIR, JSON_FILE))
+            results, os.path.join(REPO_ROOT, JSON_FILE))
         for failure in failures:
             print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
         return 1 if failures else 0

@@ -15,7 +15,7 @@ in-process, all over loopback:
   ``arraysize``-sized FETCH batches, rows/s across the wire for small
   and large batch sizes (the knob ``Cursor.arraysize`` gives clients).
 
-Emits ``benchmarks/results/BENCH_server.json``.  Run directly::
+Emits ``BENCH_server.json`` at the repo root.  Run directly::
 
     python benchmarks/bench_server.py            # record JSON + table
     python benchmarks/bench_server.py --smoke --check   # CI perf gate
@@ -44,6 +44,9 @@ from repro.sql.engine import Engine
 REPORT_FILE = "server.txt"
 JSON_FILE = "BENCH_server.json"
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: machine-readable results live at the repo root (text reports stay
+#: under benchmarks/results/)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: acceptance floor: a single network client on loopback must push at
 #: least this many point SELECTs per second.  Deliberately generous —
@@ -245,7 +248,7 @@ def check_against_baseline(results, baseline_path):
 
 def write_results(results):
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    json_path = os.path.join(RESULTS_DIR, JSON_FILE)
+    json_path = os.path.join(REPO_ROOT, JSON_FILE)
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -280,7 +283,7 @@ def main(argv=None):
     if args.check:
         render_table(results).emit()
         failures = check_against_baseline(
-            results, os.path.join(RESULTS_DIR, JSON_FILE))
+            results, os.path.join(REPO_ROOT, JSON_FILE))
         for failure in failures:
             print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
         return 1 if failures else 0

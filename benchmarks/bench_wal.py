@@ -16,7 +16,7 @@ Measures the durability subsystem's two costs:
   delay) vs the pure in-memory engine, recording what logging itself
   costs (informational, not gated).
 
-Emits ``benchmarks/results/BENCH_wal.json``.  Run directly::
+Emits ``BENCH_wal.json`` at the repo root.  Run directly::
 
     python benchmarks/bench_wal.py            # record JSON + table
     python benchmarks/bench_wal.py --smoke --check   # CI perf gate
@@ -45,6 +45,9 @@ from repro.bench.harness import ReportTable
 REPORT_FILE = "wal.txt"
 JSON_FILE = "BENCH_wal.json"
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+#: machine-readable results live at the repo root (text reports stay
+#: under benchmarks/results/)
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: regression tolerance for --check: the speedup ratio may not drop
 #: below 80% of the committed baseline's
@@ -244,7 +247,7 @@ def check_against_baseline(results, baseline_path):
 
 def write_results(results):
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    json_path = os.path.join(RESULTS_DIR, JSON_FILE)
+    json_path = os.path.join(REPO_ROOT, JSON_FILE)
     with open(json_path, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -275,7 +278,7 @@ def main(argv=None):
     if args.check:
         render_table(results).emit()
         failures = check_against_baseline(
-            results, os.path.join(RESULTS_DIR, JSON_FILE))
+            results, os.path.join(REPO_ROOT, JSON_FILE))
         for failure in failures:
             print(f"PERF CHECK FAILED: {failure}", file=sys.stderr)
         return 1 if failures else 0

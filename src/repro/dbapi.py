@@ -602,9 +602,11 @@ class _RemoteResult:
 
     Rows arrive in FETCH batches sized by the owning DB-API cursor's
     ``arraysize`` (``fetchone`` never pulls more than one batch ahead);
-    ``fetchall`` drains in large batches.  ``close()`` releases the
-    server-side cursor early so abandoned scans free their ODCI state
-    without waiting for the connection to go away.
+    ``fetchall`` drains in ``arraysize``-sized frames when the user has
+    raised ``arraysize`` above the DB-API default of 1, else in large
+    default batches.  ``close()`` releases the server-side cursor early
+    so abandoned scans free their ODCI state without waiting for the
+    connection to go away.
     """
 
     _FETCHALL_BATCH = 1024
@@ -648,8 +650,13 @@ class _RemoteResult:
         return out
 
     def fetchall(self) -> List[Tuple[Any, ...]]:
+        frame = self._FETCHALL_BATCH
+        if self._dbapi_cursor is not None:
+            arraysize = int(self._dbapi_cursor.arraysize)
+            if arraysize > 1:  # negotiated frame size; 1 is the DB-API
+                frame = arraysize  # default, not a drain preference
         while not self._done:
-            self._fetch_batch(self._FETCHALL_BATCH)
+            self._fetch_batch(frame)
         out, self._buffer = self._buffer, []
         return out
 

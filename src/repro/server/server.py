@@ -60,6 +60,7 @@ SESSION_SETTINGS = frozenset((
     "lock_timeout", "skip_unusable_indexes", "snapshot_reads",
     "batch_index_maintenance", "deferred_index_maintenance",
     "bulk_index_build", "compile_expressions", "fetch_batch_size",
+    "vectorized_execution",
 ))
 
 #: latency histogram bucket upper bounds, in milliseconds

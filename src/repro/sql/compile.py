@@ -52,7 +52,8 @@ from repro.types.values import (
     NULL, _like_regex, is_null, sql_and, sql_compare, sql_eq, sql_like,
     sql_not, sql_or, sql_truth)
 
-__all__ = ["CannotCompile", "ExprCompiler", "compile_plan"]
+__all__ = ["CannotCompile", "ExprCompiler", "compile_plan",
+           "compile_vector_kernel", "compile_vector_projection"]
 
 #: a compiled expression: (row context, bind values) -> SQL value
 CompiledFn = Callable[[RowContext, Dict[str, Any]], Any]
@@ -384,6 +385,131 @@ class ExprCompiler:
                 raise ExecutionError(
                     f"aggregate {func} not allowed in this context") from None
         return fn
+
+
+# ---------------------------------------------------------------------------
+# Vector kernels (columnar batches)
+# ---------------------------------------------------------------------------
+#
+# PR 9's row kernels eval-compile a predicate into inline bytecode over
+# one raw row; the vector kernels below push the *loop* into the
+# generated code too, so a whole ColumnBatch is filtered with one Python
+# call — a list comprehension over ``range(n)`` producing the selection
+# vector.  The projection variant fuses filter output into gathering:
+# one comprehension walks the selection vector and builds the output
+# tuples directly, so selected rows are never materialized as
+# intermediate row tuples.
+#
+# The codegen is the row-kernel codegen with the column leaf re-pointed
+# at column vectors (``v3[i]`` instead of ``r[3]``); the 3VL dual
+# emitters, bind-guard factory contract, and fallback rules are
+# inherited unchanged.  The import of the codegen class is deferred to
+# call time: sql.parallel imports this module at load, we import it only
+# when a plan is annotated.
+
+_VECTOR_CODEGEN_CLS: Optional[type] = None
+
+
+def _vector_codegen_cls() -> type:
+    global _VECTOR_CODEGEN_CLS
+    if _VECTOR_CODEGEN_CLS is None:
+        from repro.sql.parallel import _RowKernelCodegen, _Val
+
+        class _VectorKernelCodegen(_RowKernelCodegen):
+            """Row-kernel codegen over column vectors ``v<index>[i]``."""
+
+            def __init__(self, binding: str, table: Any):
+                super().__init__(binding, table)
+                self.used_columns: set = set()
+
+            def _column_expr(self, index: int):
+                self.used_columns.add(index)
+                return _Val(f"v{index}[i]", notnull=False, maybe_nullv=True)
+
+        _VECTOR_CODEGEN_CLS = _VectorKernelCodegen
+    return _VECTOR_CODEGEN_CLS
+
+
+def _exec_factory(gen: Any, lines: List[str], filename: str) -> Callable:
+    from repro.sql.parallel import _emit_bind_guards, _kernel_namespace
+    src = [lines[0]]
+    src.extend(_emit_bind_guards(gen))
+    src.extend(lines[1:])
+    namespace = _kernel_namespace(gen)
+    exec(compile("\n".join(src), filename, "exec"),  # noqa: S102
+         namespace)
+    return namespace["_factory"]
+
+
+def compile_vector_kernel(predicate: Optional[ast.Expr], binding: str,
+                          table: Any) -> Optional[Callable]:
+    """Generate a vector-kernel factory for a scan filter, or None.
+
+    Returns ``factory(binds) -> kernel | None`` where
+    ``kernel(cols, rowids, n) -> sel`` filters one columnar batch and
+    returns its selection vector (ascending row indices that passed).
+    Factory-level bind inspection and the per-expression decline rules
+    are identical to :func:`~repro.sql.parallel.compile_row_kernel`.
+    """
+    if predicate is None:
+        return None
+    gen = _vector_codegen_cls()(binding, table)
+    try:
+        body = gen.truth(predicate)
+    except CannotCompile:
+        return None
+    lines = ["def _factory(binds):"]
+    lines.append("    def _kernel(cols, rowids, n):")
+    for index in sorted(gen.used_columns):
+        lines.append(f"        v{index} = cols[{index}]")
+    lines.append(f"        return [i for i in range(n) if {body}]")
+    lines.append("    return _kernel")
+    return _exec_factory(gen, lines, "<vector-kernel>")
+
+
+def compile_vector_projection(exprs: List[ast.Expr], binding: str,
+                              table: Any) -> Optional[Callable]:
+    """Generate a fused gather for projection items or sort keys.
+
+    Returns ``factory(binds) -> project | None`` where
+    ``project(cols, rowids, sel) -> List[tuple]`` materializes one
+    output tuple per selected row, straight from the column vectors.
+    Null parity with the closure path: bare column references pass
+    stored values through untouched (a stored ``None`` stays ``None``,
+    exactly as the row context returns it), while computed items map a
+    null result to the ``NULL`` singleton just as the compiled closures
+    do.  Any item outside the generated value subset declines.
+    """
+    if not exprs:
+        return None
+    gen = _vector_codegen_cls()(binding, table)
+    parts: List[str] = []
+    try:
+        for expr in exprs:
+            if isinstance(expr, ast.Literal):
+                # hoist the literal itself (NULL included) so the
+                # emitted value is the exact object the closure returns
+                parts.append(gen._const(expr.value))
+                continue
+            val = gen.value(expr)
+            if isinstance(expr, (ast.ColumnRef, ast.BindParam)):
+                parts.append(val.code)  # raw passthrough
+            elif val.notnull:
+                parts.append(val.code)
+            else:
+                t = gen._temp()
+                parts.append(
+                    f"(_NULLV if ({t} := ({val.code})) is None else {t})")
+    except CannotCompile:
+        return None
+    tuple_src = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+    lines = ["def _factory(binds):"]
+    lines.append("    def _project(cols, rowids, sel):")
+    for index in sorted(gen.used_columns):
+        lines.append(f"        v{index} = cols[{index}]")
+    lines.append(f"        return [{tuple_src} for i in sel]")
+    lines.append("    return _project")
+    return _exec_factory(gen, lines, "<vector-project>")
 
 
 # ---------------------------------------------------------------------------

@@ -21,7 +21,8 @@ VIEW_NAMES = ("user_tables", "user_indexes", "user_operators",
               "user_indextypes", "user_index_maintenance",
               "user_lock_stats", "user_snapshot_stats",
               "user_wal_stats", "user_recovery_stats",
-              "user_server_stats", "user_parallel_stats")
+              "user_server_stats", "user_parallel_stats",
+              "user_executor_stats")
 
 
 class _SnapshotStorage:
@@ -85,6 +86,8 @@ def dictionary_view(catalog: Catalog, name: str,
         return _user_server_stats(engine)
     if key == "user_parallel_stats" and engine is not None:
         return _user_parallel_stats(engine)
+    if key == "user_executor_stats" and engine is not None:
+        return _user_executor_stats(engine)
     return None
 
 
@@ -340,6 +343,34 @@ def _user_parallel_stats(engine: Any) -> TableDef:
                   ("prefetch_abandoned", INTEGER),
                   ("prefetch_depth_histogram", VARCHAR2),
                   ("pool_size", INTEGER)],
+                 rows)
+
+
+def _user_executor_stats(engine: Any) -> TableDef:
+    """One-row view over the engine's vectorized-executor counters.
+
+    ``vector_batches`` / ``vector_rows`` count batches and selected
+    rows produced by generated vector kernels; ``fallback_batches`` are
+    batches re-run on the compiled-closure path after a kernel raised
+    mid-batch, and ``factory_declines`` are whole statements that fell
+    back because the kernel factory declined the bind values.
+    ``materialize_boundaries`` counts points where columnar batches
+    were turned back into row tuples for a row-at-a-time consumer.
+    ``batch_size_histogram`` is ``bucket:count`` pairs over the
+    selected-row counts of vectorized batches.
+    """
+    snap = engine.executor_stats.snapshot()
+    rows = [[snap["vector_batches"], snap["vector_rows"],
+             snap["fallback_batches"], snap["factory_declines"],
+             snap["materialize_boundaries"],
+             _histogram_text(snap["batch_size_histogram"])]]
+    return _view("user_executor_stats",
+                 [("vector_batches", INTEGER),
+                  ("vector_rows", INTEGER),
+                  ("fallback_batches", INTEGER),
+                  ("factory_declines", INTEGER),
+                  ("materialize_boundaries", INTEGER),
+                  ("batch_size_histogram", VARCHAR2)],
                  rows)
 
 

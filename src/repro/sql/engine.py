@@ -75,7 +75,8 @@ class Engine:
                  parallel_min_pages: int = 8,
                  prefetch_depth: int = 2,
                  prefetch_min_rows: int = 64,
-                 parallel_pool_size: Optional[int] = None):
+                 parallel_pool_size: Optional[int] = None,
+                 vectorized_execution: bool = True):
         self.stats = IOStats()
         self.buffer = BufferCache(self.stats, capacity=buffer_capacity)
         self.catalog = Catalog()
@@ -111,9 +112,18 @@ class Engine:
         #: a scan the first fetch batch satisfies gains nothing from
         #: pipelining and would only reorder trace interleavings
         self.prefetch_min_rows = prefetch_min_rows
+        #: default for Session.vectorized_execution — run eligible
+        #: scans/projections/sorts/aggregations on columnar batches with
+        #: generated vector kernels (see repro.sql.columnar); requires
+        #: compile_expressions, and every vectorized form falls back
+        #: per batch to the closure path on decline or error
+        self.vectorized_execution = vectorized_execution
         #: counters behind the user_parallel_stats dictionary view
         from repro.sql.parallel import ParallelStats
         self.parallel_stats = ParallelStats()
+        #: counters behind the user_executor_stats dictionary view
+        from repro.sql.columnar import ExecutorStats
+        self.executor_stats = ExecutorStats()
         self._pool = None
         self._pool_size = (parallel_pool_size if parallel_pool_size
                            else max(2 * self.max_dop, 8))
@@ -169,13 +179,16 @@ class Engine:
         ``parallel_min_pages`` / ``prefetch_depth`` /
         ``prefetch_min_rows``.  Sessions copy these at connect time so
         tests and benches can force or forbid parallelism per session
-        without reconfiguring the engine.
+        without reconfiguring the engine.  ``vectorized_execution``
+        rides along: it is the same kind of per-session execution
+        default (see :mod:`repro.sql.columnar`).
         """
         return {"parallel_execution": self.parallel_execution,
                 "max_dop": self.max_dop,
                 "parallel_min_pages": self.parallel_min_pages,
                 "prefetch_depth": self.prefetch_depth,
-                "prefetch_min_rows": self.prefetch_min_rows}
+                "prefetch_min_rows": self.prefetch_min_rows,
+                "vectorized_execution": self.vectorized_execution}
 
     def worker_pool(self):
         """The engine-wide parallel worker pool (started lazily).

@@ -51,6 +51,7 @@ from repro.errors import ExecutionError, ODCIError
 from repro.sql import ast_nodes as ast
 from repro.sql import planner as pl
 from repro.sql.catalog import TableDef
+from repro.sql.columnar import ColumnBatch, ExecutorStats
 from repro.sql.expressions import (
     AggregateCall, Evaluator, RowContext, aggregate_key)
 from repro.types.values import NULL, is_null, sql_compare
@@ -104,6 +105,17 @@ class Executor:
         #: DML target selection and the snapshot_reads=False seed path)
         self.snapshot = snapshot
         self.use_compiled = getattr(db, "compile_expressions", True)
+        #: columnar pipeline gate: vector kernels are generated against
+        #: the same plan artifacts as closures, so compile_expressions
+        #: off implies vectorized off
+        self.use_vectorized = self.use_compiled and getattr(
+            db, "vectorized_execution", True)
+        engine = getattr(db, "engine", None)
+        self.xstats: ExecutorStats = (
+            engine.executor_stats
+            if engine is not None
+            and getattr(engine, "executor_stats", None) is not None
+            else ExecutorStats())
         self.batch_size = getattr(db, "fetch_batch_size", 32)
         #: LIMIT-derived row budget for the statement's single scan
         #: (None = unbounded); lets batched producers stop issuing
@@ -175,6 +187,11 @@ class Executor:
         if not isinstance(node, pl.ProjectNode):
             raise ExecutionError(f"expected projection at plan top, got "
                                  f"{node.label()}")
+        if isinstance(node.child, pl.FullScan):
+            fused = self._vector_project_scan(node, node.child)
+            if fused is not None:
+                yield from fused
+                return
         fns = self._value_fns(node, "items", [e for e, _ in node.items])
         for batch in self.iter_batches(node.child):
             for ctx in batch:
@@ -296,6 +313,21 @@ class Executor:
 
     def _batches_full_scan(self, node: pl.FullScan
                            ) -> Iterator[List[RowContext]]:
+        # Row consumer over a vector-eligible filtered scan (joins, DML
+        # subselects): run the vector filter over columns, then cross
+        # the materialization boundary for survivors only — the kernel
+        # win pays for the transpose when the filter is selective.
+        if node.filter is not None:
+            cbatches = self._vector_scan(node, require_kernel=True)
+            if cbatches is not None:
+                make = self._ctx_factory(node.table, node.binding_name)
+                self.xstats.record_materialize_boundary()
+                for cbatch in cbatches:
+                    batch = [make(rowid, row)
+                             for rowid, row in cbatch.iter_rows()]
+                    if batch:
+                        yield batch
+                return
         dop = self._effective_dop(node)
         if dop >= 2:
             yield from self._batches_parallel_scan(node, dop)
@@ -325,6 +357,198 @@ class Executor:
                     batch.append(ctx)
             if batch:
                 yield batch
+
+    # -- vectorized columnar scan ----------------------------------------------
+
+    def _vector_scan(self, node: pl.FullScan, require_kernel: bool = False
+                     ) -> Optional[Iterator[ColumnBatch]]:
+        """Columnar batches for a full scan, or None for the row path.
+
+        Eligibility is plan-time (``vector_mode == "VECTORIZED"``, which
+        implies the filter — if any — compiled to a vector kernel) plus
+        the session gate and the kernel factory's per-execution bind
+        inspection: a declined factory sends the whole statement back to
+        the row pipeline, mirroring the PR 9 row-kernel contract.  With
+        ``require_kernel`` a filterless scan declines too — transposing
+        pages for a row consumer with no filter to vectorize is pure
+        overhead.
+        """
+        if not self.use_vectorized:
+            return None
+        if node.vector_mode != "VECTORIZED" or not node.has_scan_columns:
+            return None
+        kernel = None
+        if node.filter is not None:
+            factory = node.compiled.get("vector_kernel")
+            if factory is None:
+                return None
+            kernel = factory(self.binds)
+            if kernel is None:
+                # bind values outside the kernel contract (NULL, bool,
+                # non-string LIKE pattern)
+                self.xstats.record_factory_decline()
+                return None
+        elif require_kernel:
+            return None
+        dop = self._effective_dop(node)
+        if dop >= 2:
+            return self._cbatches_parallel(node, kernel, dop)
+        return self._cbatches_serial(node, kernel)
+
+    def _cbatches_serial(self, node: pl.FullScan, kernel: Optional[Callable]
+                         ) -> Iterator[ColumnBatch]:
+        storage = node.table.storage
+        snapshot = self.snapshot if node.versioned else None
+        width = len(node.table.columns)
+        xstats = self.xstats
+        for rowids, columns in storage.scan_batches_columnar(width, snapshot):
+            cbatch = ColumnBatch(rowids, columns)
+            if kernel is not None:
+                try:
+                    cbatch.sel = kernel(columns, rowids, cbatch.n)
+                    xstats.record_vector_batch(cbatch.n)
+                except Exception:  # noqa: BLE001 — degrade to exact semantics
+                    # mid-batch kernel failure: re-run THIS batch on the
+                    # closure path so accept/reject outcomes, evaluation
+                    # order, and error classes are byte-identical
+                    xstats.record_fallback_batch()
+                    cbatch.sel = self._closure_sel(node, cbatch)
+            else:
+                xstats.record_vector_batch(cbatch.n)
+            if cbatch.selected_count():
+                yield cbatch
+
+    def _closure_sel(self, node: pl.FullScan,
+                     cbatch: ColumnBatch) -> List[int]:
+        """Selection vector for one batch via the closure/interpreter
+        path — the serial-exact fallback tier."""
+        make = self._ctx_factory(node.table, node.binding_name)
+        passes = self._truth_fn(node, "filter", node.filter)
+        rowids = cbatch.rowids
+        return [i for i in range(cbatch.n)
+                if passes(make(rowids[i], cbatch.row(i)))]
+
+    def _cbatches_parallel(self, node: pl.FullScan,
+                           kernel: Optional[Callable], dop: int
+                           ) -> Iterator[ColumnBatch]:
+        """Morsel-parallel columnar scan: the exchange carries
+        ``ColumnBatch`` values unchanged; each worker filters its pages
+        with the vector kernel, falling back per batch to the pure
+        ``(ctx, binds)`` closure (safe off-thread, like the row tiers).
+        """
+        from repro.sql.parallel import plan_morsels, run_morsels
+        engine = self.db.engine
+        storage = node.table.storage
+        morsels = plan_morsels(storage.page_count, dop)
+        if not morsels:
+            return
+        stats = engine.parallel_stats
+        stats.record_query(dop)
+        width = len(node.table.columns)
+        snapshot = self.snapshot
+        xstats = self.xstats
+        binds = self.binds
+        # guaranteed compiled when a filter exists (_effective_dop gate)
+        ctx_filter = node.compiled.get("filter")
+        cols = [(node.binding_name, col.name.lower())
+                for col in node.table.columns]
+        rowid_key = (node.binding_name, "rowid")
+        binding = node.binding_name
+
+        def closure_sel(cbatch: ColumnBatch) -> List[int]:
+            scratch = RowContext()
+            values = scratch.values
+            sel = []
+            for i in range(cbatch.n):
+                rowid = cbatch.rowids[i]
+                values.clear()
+                values.update(zip(cols, cbatch.row(i)))
+                values[rowid_key] = rowid
+                scratch.rowids[binding] = rowid
+                if ctx_filter(scratch, binds) is True:
+                    sel.append(i)
+            return sel
+
+        def morsel_kernel(start: int, stop: int) -> List[ColumnBatch]:
+            out: List[ColumnBatch] = []
+            for rowids, columns in storage.scan_page_range_columnar(
+                    start, stop, width, snapshot):
+                cbatch = ColumnBatch(rowids, columns)
+                if kernel is not None:
+                    try:
+                        cbatch.sel = kernel(columns, rowids, cbatch.n)
+                        xstats.record_vector_batch(cbatch.n)
+                    except Exception:  # noqa: BLE001 — exact semantics
+                        xstats.record_fallback_batch()
+                        cbatch.sel = closure_sel(cbatch)
+                else:
+                    xstats.record_vector_batch(cbatch.n)
+                if cbatch.selected_count():
+                    out.append(cbatch)
+            return out
+
+        budget = self._scan_budget
+        emitted = 0
+        exchange = run_morsels(engine.worker_pool(), morsel_kernel,
+                               morsels, dop, stats)
+        for cbatches in exchange:
+            for cbatch in cbatches:
+                yield cbatch
+                emitted += cbatch.selected_count()
+            if budget is not None and emitted >= budget:
+                exchange.close()
+                return
+
+    def _vector_project_scan(self, node: pl.ProjectNode, scan: pl.FullScan
+                             ) -> Optional[Iterator[Tuple[Any, ...]]]:
+        """Fused filter→project over columnar batches, or None.
+
+        Output tuples are gathered straight from the column vectors
+        through the selection vector — selected rows are never
+        materialized as row tuples between the two operators.
+        """
+        if not self.use_vectorized or node.vector_mode != "VECTORIZED":
+            return None
+        factory = node.compiled.get("vector_items")
+        if factory is None:
+            return None
+        project = factory(self.binds)
+        if project is None:
+            self.xstats.record_factory_decline()
+            return None
+        cbatches = self._vector_scan(scan)
+        if cbatches is None:
+            return None
+        return self._project_cbatches(node, scan, project, cbatches)
+
+    def _project_cbatches(self, node: pl.ProjectNode, scan: pl.FullScan,
+                          project: Callable,
+                          cbatches: Iterator[ColumnBatch]
+                          ) -> Iterator[Tuple[Any, ...]]:
+        xstats = self.xstats
+        fallback = None
+        for cbatch in cbatches:
+            try:
+                rows = project(cbatch.columns, cbatch.rowids,
+                               cbatch.selected())
+            except Exception:  # noqa: BLE001 — degrade to exact semantics
+                # a projection item hit a value outside the generated
+                # code's contract: materialize this batch and re-project
+                # through the closure path, which yields the same prefix
+                # then raises the proper taxonomy error if one is real
+                if fallback is None:
+                    fallback = (
+                        self._value_fns(node, "items",
+                                        [e for e, _ in node.items]),
+                        self._ctx_factory(scan.table, scan.binding_name))
+                xstats.record_fallback_batch()
+                xstats.record_materialize_boundary()
+                fns, make = fallback
+                for rowid, row in cbatch.iter_rows():
+                    ctx = make(rowid, row)
+                    yield tuple(fn(ctx) for fn in fns)
+                continue
+            yield from rows
 
     # -- parallel morsel scan --------------------------------------------------
 
@@ -678,7 +902,8 @@ class Executor:
                     # cartridge instead of fetching rows nobody will see
                     break
         finally:
-            env.trace("exec:ODCIIndexClose()")
+            if env.trace_enabled:
+                env.trace("exec:ODCIIndexClose()")
             closer()
 
     def _prefetch_depth(self, node: pl.DomainScan) -> int:
@@ -927,10 +1152,63 @@ class Executor:
         merged = self._sort_merge_exchange(node, sort_key)
         if merged is not None:
             return merged
+        vectored = self._vector_sort(node, sort_key)
+        if vectored is not None:
+            return vectored
         key_fns = self._value_fns(node, "keys",
                                   [item.expr for item in node.order_items])
         decorated = [(tuple(fn(ctx) for fn in key_fns), ctx)
                      for ctx in self.iter_node(node.child)]
+        decorated.sort(key=sort_key)
+        return iter([ctx for __, ctx in decorated])
+
+    def _vector_sort(self, node: pl.SortNode,
+                     sort_key) -> Optional[Iterator[RowContext]]:
+        """ORDER BY over a vector-eligible scan: the filter and the sort
+        keys both evaluate on column vectors (decorate on columns); each
+        surviving row materializes exactly once, into the decorated
+        pair.  Tie order matches the row path — both decorate in scan
+        order and the sort is stable.  Returns None for the row path.
+        """
+        if not self.use_vectorized or node.vector_mode != "VECTORIZED":
+            return None
+        child = node.child
+        if not isinstance(child, pl.FullScan):
+            return None
+        factory = node.compiled.get("vector_keys")
+        if factory is None:
+            return None
+        keys_of = factory(self.binds)
+        if keys_of is None:
+            self.xstats.record_factory_decline()
+            return None
+        cbatches = self._vector_scan(child)
+        if cbatches is None:
+            return None
+        make = self._ctx_factory(child.table, child.binding_name)
+        xstats = self.xstats
+        key_fns = None
+        decorated = []
+        for cbatch in cbatches:
+            try:
+                keys = keys_of(cbatch.columns, cbatch.rowids,
+                               cbatch.selected())
+            except Exception:  # noqa: BLE001 — degrade to exact semantics
+                if key_fns is None:
+                    key_fns = self._value_fns(
+                        node, "keys",
+                        [item.expr for item in node.order_items])
+                xstats.record_fallback_batch()
+                keys = None
+            xstats.record_materialize_boundary()
+            if keys is None:
+                for rowid, row in cbatch.iter_rows():
+                    ctx = make(rowid, row)
+                    decorated.append(
+                        (tuple(fn(ctx) for fn in key_fns), ctx))
+            else:
+                for key, (rowid, row) in zip(keys, cbatch.iter_rows()):
+                    decorated.append((key, make(rowid, row)))
         decorated.sort(key=sort_key)
         return iter([ctx for __, ctx in decorated])
 
@@ -974,6 +1252,86 @@ class Executor:
         return (ctx for __, ctx in merge_sorted_runs(runs, key=sort_key))
 
     def _iter_group_by(self, node: pl.GroupByNode) -> Iterator[RowContext]:
+        vectored = self._vector_group_by(node)
+        if vectored is not None:
+            return vectored
+        return self._iter_group_by_rows(node)
+
+    def _vector_group_by(self, node: pl.GroupByNode
+                         ) -> Optional[Iterator[RowContext]]:
+        """Grouped column folds over columnar batches, or None.
+
+        Plan time restricted the group keys and aggregate arguments to
+        bare columns, so accumulation reads column vectors directly; the
+        accumulator semantics (NULL skip, DISTINCT markers, result
+        typing) live in :class:`_Accumulator` for both pipelines.
+        """
+        if not self.use_vectorized or node.vector_mode != "VECTORIZED":
+            return None
+        child = node.child
+        if not isinstance(child, pl.FullScan):
+            return None
+        slots = node.compiled.get("vector_group")
+        if slots is None:
+            return None
+        cbatches = self._vector_scan(child)
+        if cbatches is None:
+            return None
+        return self._group_cbatches(node, child, slots, cbatches)
+
+    def _group_cbatches(self, node: pl.GroupByNode, scan: pl.FullScan,
+                        slots: Tuple, cbatches: Iterator[ColumnBatch]
+                        ) -> Iterator[RowContext]:
+        group_indices, agg_indices = slots
+        aggregates = node.aggregates
+        having = self._truth_fn(node, "having", node.having)
+        make = self._ctx_factory(scan.table, scan.binding_name)
+        self.xstats.record_materialize_boundary()
+        groups: Dict[Tuple[Any, ...], Tuple[RowContext, List]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for cbatch in cbatches:
+            columns = cbatch.columns
+            group_cols = [columns[i] for i in group_indices]
+            agg_cols = [None if i is None else columns[i]
+                        for i in agg_indices]
+            for i in cbatch.selected():
+                key = tuple(
+                    ("\x00NULL" if is_null(col[i]) else col[i])
+                    for col in group_cols)
+                try:
+                    hash(key)
+                except TypeError:
+                    key = tuple(repr(k) for k in key)
+                state = groups.get(key)
+                if state is None:
+                    # one materialized row per group (first seen), for
+                    # HAVING and the projection above
+                    state = (make(cbatch.rowids[i], cbatch.row(i)),
+                             [_Accumulator(a) for a in aggregates])
+                    groups[key] = state
+                    order.append(key)
+                for acc, col in zip(state[1], agg_cols):
+                    if col is None:
+                        acc.count += 1  # COUNT(*)
+                    else:
+                        acc.add_value(col[i])
+        if not groups and not node.group_exprs:
+            # global aggregate over an empty input still yields one row
+            empty = RowContext()
+            for agg in aggregates:
+                empty.agg[aggregate_key(agg)] = _Accumulator(agg).result()
+            if having is None or having(empty):
+                yield empty
+            return
+        for key in order:
+            out, accs = groups[key]
+            for agg, acc in zip(aggregates, accs):
+                out.agg[aggregate_key(agg)] = acc.result()
+            if having is None or having(out):
+                yield out
+
+    def _iter_group_by_rows(self, node: pl.GroupByNode
+                            ) -> Iterator[RowContext]:
         groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
         order: List[Tuple[Any, ...]] = []
         aggregates = node.aggregates
@@ -1048,11 +1406,15 @@ class _Accumulator:
         self.distinct_seen = set() if call.distinct else None
 
     def add(self, ctx: RowContext) -> None:
-        call = self.call
-        if call.arg is None:  # COUNT(*)
+        if self.call.arg is None:  # COUNT(*)
             self.count += 1
             return
-        value = self.arg_fn(ctx)
+        self.add_value(self.arg_fn(ctx))
+
+    def add_value(self, value: Any) -> None:
+        """Fold one argument value in — shared by the row pipeline
+        (via :meth:`add`) and the vectorized column folds."""
+        call = self.call
         if is_null(value):
             return
         if self.distinct_seen is not None:

@@ -547,8 +547,8 @@ class _RowKernelCodegen:
                 raise CannotCompile("row kernel: foreign binding")
             index = self._positions.get(expr.column)
             if index is None:
-                raise CannotCompile("row kernel: pseudo-column")
-            return _Val(f"r[{index}]", notnull=False, maybe_nullv=True)
+                return self._pseudo_column(expr)
+            return self._column_expr(index)
         if isinstance(expr, ast.UnaryMinus):
             operand = self.value(expr.operand)
             if operand.notnull:
@@ -568,6 +568,15 @@ class _RowKernelCodegen:
             return _Val(f"(({le} {expr.op} {re_}) if {conds} else None)",
                         False, False)
         raise CannotCompile(f"row kernel value: {type(expr).__name__}")
+
+    # Column-leaf hooks: the vector-kernel codegen (sql/compile.py)
+    # subclasses these to index column vectors instead of row tuples.
+
+    def _column_expr(self, index: int) -> _Val:
+        return _Val(f"r[{index}]", notnull=False, maybe_nullv=True)
+
+    def _pseudo_column(self, expr: ast.ColumnRef) -> _Val:
+        raise CannotCompile("row kernel: pseudo-column")
 
     def _bind_local(self, expr: ast.BindParam, pattern: bool) -> str:
         key = expr.name.lower()
@@ -690,6 +699,36 @@ class _RowKernelCodegen:
         return f"({' and '.join(conds)})"
 
 
+def _emit_bind_guards(gen: _RowKernelCodegen) -> List[str]:
+    """Factory-body lines that load binds and decline unsupported values.
+
+    A NULL or missing bind, a bool (whose Python comparison semantics
+    diverge from ``sql_compare``), or a non-string LIKE pattern makes
+    the factory return None — the execution falls back to the closure
+    tree.  Shared with the vector-kernel factories in sql/compile.py.
+    """
+    lines = []
+    for key, (local, needs_rx) in gen._binds.items():
+        lines.append(f"    {local} = binds.get({key!r}, _NULLV)")
+        lines.append(f"    if {local} is None or {local} is _NULLV"
+                     f" or {local}.__class__ is bool:")
+        lines.append("        return None")
+        if needs_rx:
+            lines.append(f"    if not isinstance({local}, str):")
+            lines.append("        return None")
+            lines.append(f"    rx_{local} = _like_rx({local})")
+    return lines
+
+
+def _kernel_namespace(gen: _RowKernelCodegen) -> Dict[str, Any]:
+    """Exec namespace for a generated kernel factory: hoisted constants,
+    the NULL singleton, and the LIKE-regex compiler."""
+    namespace = dict(gen.env)
+    namespace["_NULLV"] = NULL
+    namespace["_like_rx"] = _like_regex
+    return namespace
+
+
 def compile_row_kernel(predicate: Optional[ast.Expr], binding: str,
                        table: Any) -> Optional[Callable[[Dict], Any]]:
     """Generate an eval-compiled row-kernel factory for a scan filter.
@@ -709,21 +748,11 @@ def compile_row_kernel(predicate: Optional[ast.Expr], binding: str,
     except CannotCompile:
         return None
     lines = ["def _factory(binds):"]
-    for key, (local, needs_rx) in gen._binds.items():
-        lines.append(f"    {local} = binds.get({key!r}, _NULLV)")
-        lines.append(f"    if {local} is None or {local} is _NULLV"
-                     f" or {local}.__class__ is bool:")
-        lines.append("        return None")
-        if needs_rx:
-            lines.append(f"    if not isinstance({local}, str):")
-            lines.append("        return None")
-            lines.append(f"    rx_{local} = _like_rx({local})")
+    lines.extend(_emit_bind_guards(gen))
     lines.append("    def _kernel(r):")
     lines.append(f"        return {body}")
     lines.append("    return _kernel")
-    namespace = dict(gen.env)
-    namespace["_NULLV"] = NULL
-    namespace["_like_rx"] = _like_regex
+    namespace = _kernel_namespace(gen)
     exec(compile("\n".join(lines), "<row-kernel>", "exec"),  # noqa: S102
          namespace)
     return namespace["_factory"]

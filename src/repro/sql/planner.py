@@ -69,6 +69,10 @@ class PlanNode:
     #: "COMPILED" when every row expression on this node compiled,
     #: "INTERPRETED" when any fell back, None when the node has none
     exec_mode: Optional[str] = field(default=None, init=False)
+    #: "VECTORIZED" when this node operates on columnar batches, "ROW"
+    #: when vectorized execution is on but this node fell back to the
+    #: row pipeline, None for nodes outside the vectorizable chain
+    vector_mode: Optional[str] = field(default=None, init=False)
 
     def label(self) -> str:
         """One-line description used by EXPLAIN."""
@@ -85,9 +89,10 @@ class PlanNode:
     def explain(self, depth: int = 0) -> List[str]:
         """Indented EXPLAIN lines for this subtree."""
         mode = f" [{self.exec_mode}]" if self.exec_mode else ""
+        vector = f" [{self.vector_mode}]" if self.vector_mode else ""
         line = (f"{'  ' * depth}{self.label()} "
                 f"(rows={self.est_rows:.0f} cost={self.est_cost:.2f})"
-                f"{mode}{self._markers()}")
+                f"{mode}{vector}{self._markers()}")
         lines = [line]
         for note in self.annotations:
             lines.append(f"{'  ' * (depth + 1)}{note}")
@@ -106,6 +111,7 @@ class FullScan(PlanNode):
     #: instead of getattr-probing the storage on every scan)
     has_scan_batches: bool = field(default=False, init=False)
     has_page_range: bool = field(default=False, init=False)
+    has_scan_columns: bool = field(default=False, init=False)
     versioned: bool = field(default=False, init=False)
     #: ≥2 when the planner judged this scan morsel-parallel eligible;
     #: the executing session clamps it to its own max_dop (0 = serial)
@@ -115,6 +121,7 @@ class FullScan(PlanNode):
         storage = self.table.storage
         self.has_scan_batches = hasattr(storage, "scan_batches")
         self.has_page_range = hasattr(storage, "scan_page_range")
+        self.has_scan_columns = hasattr(storage, "scan_batches_columnar")
         self.versioned = getattr(storage, "versions", None) is not None
 
     def _markers(self) -> str:
@@ -681,6 +688,7 @@ class Planner:
             from repro.sql.compile import compile_plan
             plan.compiled_nodes = compile_plan(plan, self.catalog)
         self._annotate_parallel(plan.root)
+        self._annotate_vectorized(plan.root)
         self._peeked_binds = {}
         return plan
 
@@ -742,6 +750,138 @@ class Planner:
             # expression; its factory re-checks bind values per execution
             node.compiled["row_kernel"] = compile_row_kernel(
                 node.filter, node.binding_name, node.table)
+
+    # -- vectorized execution annotations --------------------------------
+
+    def _annotate_vectorized(self, root: PlanNode) -> None:
+        """Attach vector kernels and stamp ``vector_mode`` markers.
+
+        Like :meth:`_annotate_parallel`, annotations only — costs and
+        access-path choice are untouched, so the shared plan-cache entry
+        is identical whether the executing session runs columnar or
+        row-at-a-time.  A node in the vectorizable chain is stamped
+        ``VECTORIZED`` when its vector artifacts compiled and ``ROW``
+        when it falls back to the row pipeline (mirroring the
+        ``COMPILED``/``INTERPRETED`` pair for closures).
+        """
+        db = self.db
+        if db is None:
+            return
+        if not getattr(db, "compile_expressions", True) \
+                or not getattr(db, "vectorized_execution", True):
+            return
+        from repro.sql.compile import (compile_vector_kernel,
+                                       compile_vector_projection)
+
+        def scan_of(node: PlanNode) -> Optional[FullScan]:
+            """The node's child when it is a columnar-capable full scan."""
+            child = getattr(node, "child", None)
+            if isinstance(child, FullScan) and child.has_scan_columns \
+                    and child.versioned:
+                return child
+            return None
+
+        def annotate_scan(scan: FullScan) -> bool:
+            """Compile the scan's filter into a vector kernel (once)."""
+            if scan.vector_mode is not None:
+                return scan.vector_mode == "VECTORIZED"
+            if scan.filter is not None:
+                # same gate as parallel: an interpreter-fallback filter
+                # closes over session state and stays on the row path
+                if scan.compiled.get("filter") is None:
+                    scan.vector_mode = "ROW"
+                    return False
+                kernel = compile_vector_kernel(
+                    scan.filter, scan.binding_name, scan.table)
+                if kernel is None:
+                    scan.vector_mode = "ROW"
+                    return False
+                scan.compiled["vector_kernel"] = kernel
+            scan.vector_mode = "VECTORIZED"
+            return True
+
+        def visit(node: PlanNode) -> None:
+            if isinstance(node, ProjectNode):
+                scan = scan_of(node)
+                if scan is not None:
+                    factory = compile_vector_projection(
+                        [e for e, __ in node.items],
+                        scan.binding_name, scan.table)
+                    if factory is not None and annotate_scan(scan):
+                        node.compiled["vector_items"] = factory
+                        node.vector_mode = "VECTORIZED"
+                    else:
+                        node.vector_mode = "ROW"
+            elif isinstance(node, SortNode):
+                scan = scan_of(node)
+                if scan is not None:
+                    factory = compile_vector_projection(
+                        [item.expr for item in node.order_items],
+                        scan.binding_name, scan.table)
+                    if factory is not None and annotate_scan(scan):
+                        node.compiled["vector_keys"] = factory
+                        node.vector_mode = "VECTORIZED"
+                    else:
+                        node.vector_mode = "ROW"
+            elif isinstance(node, GroupByNode):
+                scan = scan_of(node)
+                if scan is not None:
+                    slots = self._vector_group_slots(node, scan)
+                    if slots is not None and annotate_scan(scan):
+                        node.compiled["vector_group"] = slots
+                        node.vector_mode = "VECTORIZED"
+                    else:
+                        node.vector_mode = "ROW"
+            elif isinstance(node, FullScan) and node.vector_mode is None:
+                if node.filter is not None:
+                    # consumed as rows: the vector filter still pays for
+                    # itself (survivors-only materialization boundary)
+                    annotate_scan(node)
+                else:
+                    # filterless scan with a row consumer: transposing
+                    # would be pure overhead
+                    node.vector_mode = "ROW"
+            for child in node.children():
+                visit(child)
+
+        visit(root)
+
+    @staticmethod
+    def _vector_group_slots(node: GroupByNode,
+                            scan: FullScan) -> Optional[Tuple]:
+        """Column indices for a grouped column fold, or None to decline.
+
+        Vectorized GROUP BY requires every group key and aggregate
+        argument to be a bare column of the scanned table — anything
+        computed falls back to the row pipeline (the accumulator
+        semantics stay in one place either way).
+        """
+        positions = {col.name.lower(): i
+                     for i, col in enumerate(scan.table.columns)}
+
+        def index_of(expr: ast.Expr) -> Optional[int]:
+            if isinstance(expr, ast.ColumnRef) and expr.bound \
+                    and not expr.attr_path \
+                    and expr.alias == scan.binding_name:
+                return positions.get(expr.column)
+            return None
+
+        group_indices = []
+        for expr in node.group_exprs:
+            index = index_of(expr)
+            if index is None:
+                return None
+            group_indices.append(index)
+        agg_indices = []
+        for agg in node.aggregates:
+            if agg.arg is None:
+                agg_indices.append(None)  # COUNT(*)
+                continue
+            index = index_of(agg.arg)
+            if index is None:
+                return None
+            agg_indices.append(index)
+        return tuple(group_indices), tuple(agg_indices)
 
     def _peek_value(self, expr: ast.Expr) -> Any:
         """Plan-time value of an argument expression, for stats routines."""

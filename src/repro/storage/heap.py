@@ -244,6 +244,51 @@ class HeapTable:
             if batch:
                 yield batch
 
+    def scan_batches_columnar(
+            self, width: int, snapshot: Optional[Snapshot] = None
+            ) -> Iterator[Tuple[List[RowId], List[List[Any]]]]:
+        """Full scan, one page per batch, transposed into columns.
+
+        Yields ``(rowids, columns)`` where ``columns[c][i]`` is column
+        ``c`` of the batch's row ``i`` — the layer above wraps these in
+        a ``ColumnBatch``.  ``width`` is the table's column count (the
+        heap does not know its schema); it sizes the columns when a page
+        is empty after filtering.  Same snapshot semantics as
+        :meth:`scan_batches`: version-chain resolution fills the columns
+        directly, no intermediate row-tuple batch is built.
+        """
+        yield from self.scan_page_range_columnar(
+            0, self._page_count, width, snapshot)
+
+    def scan_page_range_columnar(
+            self, start: int, stop: int, width: int,
+            snapshot: Optional[Snapshot] = None
+            ) -> Iterator[Tuple[List[RowId], List[List[Any]]]]:
+        """:meth:`scan_batches_columnar` restricted to ``[start, stop)``
+        — the columnar morsel unit for parallel scans."""
+        segment_id = self.segment_id
+        stop = min(stop, self._page_count)
+        resolve = self.versions.resolve if snapshot is not None else None
+        for page_no in range(max(0, start), stop):
+            page = self.buffer.get_page(segment_id, page_no)
+            rowids: List[RowId] = []
+            rows: List[List[Any]] = []
+            if resolve is None:
+                for slot, row in enumerate(page.slots):
+                    if row is not None:
+                        rowids.append(RowId(segment_id, page_no, slot))
+                        rows.append(row)
+            else:
+                for slot, row in enumerate(list(page.slots)):
+                    rowid = RowId(segment_id, page_no, slot)
+                    value = resolve(rowid, row, snapshot)
+                    if value is not None:
+                        rowids.append(rowid)
+                        rows.append(value)
+            if rowids:
+                columns = [list(col) for col in zip(*rows)]
+                yield rowids, columns
+
     def scan_page_range(self, start: int, stop: int,
                         snapshot: Optional[Snapshot] = None
                         ) -> Iterator[List[Tuple[RowId, List[Any]]]]:

@@ -1,12 +1,15 @@
 """Differential proof: parallel execution == serial execution.
 
-Two identically-seeded databases run the same randomized workload — one
+Identically-seeded databases run the same randomized workload — one
 with morsel-parallel scans and ODCI prefetch forced eligible (page and
 row thresholds dropped to 1), one with ``parallel_execution`` off.
-Every query result must be identical, across heap tables, IOTs, and all
-four cartridges: the exchanges are order-preserving and the prefetch
-pipeline delivers batches (and faults) in fetch order, so parallelism
-must never be observable in results.
+The heap tests widen the pair to a four-way matrix that also covers
+``vectorized_execution`` off and the tree-walking interpreter
+(``compile_expressions`` off).  Every query result must be identical,
+across heap tables, IOTs, and all four cartridges: the exchanges are
+order-preserving and the prefetch pipeline delivers batches (and
+faults) in fetch order, so neither parallelism nor vectorization must
+ever be observable in results.
 
 A final stress test runs mixed DML and parallel scans from eight
 threads against one shared engine worker pool, holding the invariants
@@ -46,9 +49,41 @@ def _run_both(dbs, fn):
     return results[0]
 
 
+def _fleet():
+    """Four fresh databases spanning the execution matrix: morsel-
+    parallel vectorized, serial vectorized, serial compiled-closure
+    (vector kernels off), and the tree-walking interpreter.  Every
+    query result must be identical across all four."""
+    configs = [
+        ("parallel", {}),
+        ("serial", {}),
+        ("serial", {"vectorized_execution": False}),
+        ("serial", {"compile_expressions": False}),
+    ]
+    dbs = []
+    for mode, options in configs:
+        db = Database(**options)
+        db.parallel_execution = mode == "parallel"
+        if mode == "parallel":
+            db.parallel_min_pages = 1  # every heap scan is eligible
+            db.prefetch_min_rows = 1   # every domain scan prefetches
+            db.prefetch_depth = 2
+            db.max_dop = 4
+        dbs.append(db)
+    return dbs
+
+
+def _run_all(dbs, fn):
+    results = [fn(db) for db in dbs]
+    for other in results[1:]:
+        assert results[0] == other
+    return results[0]
+
+
+@pytest.mark.vectorized
 class TestHeapAndIOT:
     def test_heap_randomized_predicates(self):
-        dbs = _pair()
+        dbs = _fleet()
 
         def workload(db):
             rng = random.Random(23)
@@ -95,10 +130,35 @@ class TestHeapAndIOT:
             ).fetchall())
             return out
 
-        _run_both(dbs, workload)
+        _run_all(dbs, workload)
+        # the leading database really did vectorize
+        assert dbs[0].engine.executor_stats.snapshot()["vector_batches"] > 0
+
+    def test_mid_batch_fallback_parity(self):
+        """A kernel that raises mid-batch re-runs that batch on the
+        closure path: same rows before the error, same error class, on
+        every configuration."""
+        dbs = _fleet()
+
+        def workload(db):
+            db.execute("CREATE TABLE t (k INTEGER, val NUMBER)")
+            for i in range(300):
+                db.execute("INSERT INTO t VALUES (:1, :2)",
+                           [i, None if i % 11 == 0 else float(i)])
+            try:
+                db.execute("SELECT k FROM t"
+                           " WHERE val / (k - 150) > 0").fetchall()
+                return ("ok",)
+            except Exception as exc:  # noqa: BLE001 - parity incl. errors
+                return (type(exc).__name__, str(exc))
+
+        outcome = _run_all(dbs, workload)
+        assert outcome[0] == "ExecutionError"
+        assert dbs[1].engine.executor_stats.snapshot()[
+            "fallback_batches"] >= 1
 
     def test_heap_scans_interleaved_with_dml(self):
-        dbs = _pair()
+        dbs = _fleet()
 
         def workload(db):
             rng = random.Random(31)
@@ -122,7 +182,7 @@ class TestHeapAndIOT:
             out.append(db.execute("SELECT COUNT(*) FROM t").fetchall())
             return out
 
-        _run_both(dbs, workload)
+        _run_all(dbs, workload)
 
     def test_iot_stays_serial_and_identical(self):
         # IOTs expose no page-range scan; parallel settings must be a

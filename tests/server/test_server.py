@@ -316,6 +316,57 @@ class TestStats:
         conn.close()
 
 
+class TestFetchFraming:
+    """fetchall drains in frames matching the negotiated ``arraysize``."""
+
+    def _seeded_conn(self, server, n_rows=100):
+        conn = dbapi.connect(server.url, timeout=30.0)
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE t (id INTEGER)")
+        cur.executemany("INSERT INTO t VALUES (:1)",
+                        [[i] for i in range(n_rows)])
+        conn.commit()
+        return conn
+
+    def _spy_fetches(self, conn):
+        recorded = []
+        original = conn._roundtrip
+
+        def spy(op, payload):
+            if op == "fetch":
+                recorded.append(payload["n"])
+            return original(op, payload)
+
+        conn._roundtrip = spy
+        return recorded
+
+    def test_fetchall_honors_raised_arraysize_on_the_wire(self, server):
+        conn = self._seeded_conn(server)
+        recorded = self._spy_fetches(conn)
+        cur = conn.cursor()
+        cur.arraysize = 7
+        cur.execute("SELECT id FROM t ORDER BY id")
+        rows = cur.fetchall()
+        assert rows == [(i,) for i in range(100)]
+        assert recorded, "no FETCH ops observed"
+        assert all(n == 7 for n in recorded), recorded
+        conn.close()
+
+    def test_default_arraysize_keeps_large_drain_batches(self, server):
+        """arraysize 1 is the DB-API default, not a drain preference:
+        fetchall must not degrade to one row per round trip."""
+        conn = self._seeded_conn(server)
+        recorded = self._spy_fetches(conn)
+        cur = conn.cursor()
+        assert cur.arraysize == 1
+        cur.execute("SELECT id FROM t")
+        rows = cur.fetchall()
+        assert len(rows) == 100
+        assert all(n > 1 for n in recorded), recorded
+        assert len(recorded) <= 2  # one drain + the done frame at most
+        conn.close()
+
+
 class TestAbandonedCursors:
     """Satellite fix: cursors abandoned mid-fetch fire ODCIIndexClose
     and give their workspace handles back, on both transports."""

@@ -286,6 +286,28 @@ class TestEndToEndDifferential:
         assert first == [(0,), (1,), (2,)]
         assert second == [(0,), (1,), (2,), (3,), (4,)]
 
+    @pytest.mark.vectorized
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_three_way_vectorized_closure_interpreter(self, sql):
+        """Same corpus, three execution paths: vector kernels, compiled
+        closures, tree-walking interpreter.  NULL-heavy scores keep the
+        validity handling honest on every query."""
+        from repro import Database
+        results = []
+        for kw in ({}, {"vectorized_execution": False},
+                   {"compile_expressions": False}):
+            db = Database(**kw)
+            db.execute("CREATE TABLE people (id NUMBER,"
+                       " name VARCHAR2(30), score NUMBER)")
+            rng = random.Random(99)
+            for i in range(60):
+                score = NULL if rng.random() < 0.2 else rng.randint(0, 100)
+                db.execute("INSERT INTO people VALUES (:1, :2, :3)",
+                           [i, f"name{i % 7}", score])
+            results.append(db.execute(sql).fetchall())
+        as_reprs = [[tuple(map(repr, r)) for r in rows] for rows in results]
+        assert as_reprs[0] == as_reprs[1] == as_reprs[2], sql
+
     def test_functional_operator_falls_back_identically(self, employees_db):
         """An OperatorCall in a filter is interpreter-only; results must
         not change with compilation on or off."""

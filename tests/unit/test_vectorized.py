@@ -1,0 +1,235 @@
+"""Vectorized columnar execution: kernels, fallbacks, knobs, stats.
+
+The vectorized pipeline (:mod:`repro.sql.columnar` plus the vector
+kernels in :mod:`repro.sql.compile`) is only allowed to be *faster*
+than the compiled-closure batch pipeline — never different.  These
+tests pin the EXPLAIN annotation, the session/engine knob, the
+per-batch fallback contract (kernel errors re-run the batch on the
+closure path and surface the same error classes), the
+``user_executor_stats`` dictionary view, and the ColumnBatch /
+selection-vector plumbing itself.
+"""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError
+from repro.sql.columnar import ColumnBatch, ExecutorStats
+from repro.types.values import NULL
+
+pytestmark = pytest.mark.vectorized
+
+
+def _populate(db, n=300, seed=7):
+    db.execute("CREATE TABLE t (id INTEGER, grp VARCHAR2(8), val NUMBER)")
+    rng = random.Random(seed)
+    for i in range(n):
+        val = NULL if rng.random() < 0.25 else round(rng.uniform(-5, 5), 3)
+        db.execute("INSERT INTO t VALUES (:1, :2, :3)",
+                   [i, f"g{i % 5}", val])
+    return db
+
+
+# ---------------------------------------------------------------------------
+# ColumnBatch plumbing
+# ---------------------------------------------------------------------------
+
+class TestColumnBatch:
+    def test_from_rows_round_trips_through_iter_rows(self):
+        rows = [(rid, [rid * 2, f"s{rid}"]) for rid in range(5)]
+        batch = ColumnBatch.from_rows([rid for rid, __ in rows],
+                                      [r for __, r in rows], width=2)
+        assert batch.n == 5
+        assert batch.selected_count() == 5
+        assert [(rid, list(row)) for rid, row in batch.iter_rows()] \
+            == [(rid, row) for rid, row in rows]
+
+    def test_selection_vector_restricts_iteration(self):
+        batch = ColumnBatch.from_rows(list(range(10)),
+                                      [[i] for i in range(10)], width=1)
+        batch.sel = [1, 4, 7]
+        assert batch.selected_count() == 3
+        assert [row[0] for __, row in batch.iter_rows()] == [1, 4, 7]
+
+    def test_typed_columns_only_pack_pure_ints(self):
+        batch = ColumnBatch.from_rows(
+            [0, 1], [[1, True, 1.0], [2, 3, 2.0]], width=3)
+        batch.with_typed_columns()
+        # column 0 is pure int -> packable; column 1 holds a bool (an
+        # int subclass whose identity must survive), column 2 floats
+        assert batch.columns[1][0] is True
+        assert batch.row(0) == [1, True, 1.0]
+
+    def test_executor_stats_snapshot_and_histogram(self):
+        stats = ExecutorStats()
+        stats.record_vector_batch(10)
+        stats.record_vector_batch(500)
+        stats.record_fallback_batch()
+        stats.record_factory_decline()
+        stats.record_materialize_boundary()
+        snap = stats.snapshot()
+        assert snap["vector_batches"] == 2
+        assert snap["vector_rows"] == 510
+        assert snap["fallback_batches"] == 1
+        assert snap["factory_declines"] == 1
+        assert snap["materialize_boundaries"] == 1
+        assert sum(snap["batch_size_histogram"].values()) == 2
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN annotation and the vectorized_execution knob
+# ---------------------------------------------------------------------------
+
+class TestExplainAndKnob:
+    def test_vectorized_marker_on_eligible_scan(self, db):
+        _populate(db, n=40)
+        lines = db.explain("SELECT id, val FROM t WHERE id > 3")
+        assert any("TABLE SCAN" in ln and "[VECTORIZED]" in ln
+                   for ln in lines)
+        assert any(ln.strip().startswith("PROJECT")
+                   and "[VECTORIZED]" in ln for ln in lines)
+
+    def test_row_fallback_marker_on_pseudo_column_filter(self, db):
+        """rowid is not a packable column vector: the scan still runs
+        compiled, but on the row path — mirroring [INTERPRETED]."""
+        _populate(db, n=40)
+        lines = db.explain("SELECT id FROM t WHERE rowid = :1")
+        scan = next(ln for ln in lines if "TABLE SCAN" in ln)
+        assert "[ROW]" in scan and "[COMPILED]" in scan
+
+    def test_session_knob_off_suppresses_annotation(self):
+        db = _populate(Database())
+        db.vectorized_execution = False
+        db.plan_cache.clear()
+        lines = db.explain("SELECT id FROM t WHERE id > 3")
+        assert not any("[VECTORIZED]" in ln for ln in lines)
+
+    def test_engine_default_off_flows_to_sessions(self):
+        db = _populate(Database(vectorized_execution=False))
+        assert db.vectorized_execution is False
+        lines = db.explain("SELECT id FROM t WHERE id > 3")
+        assert not any("[VECTORIZED]" in ln for ln in lines)
+        rows = db.execute("SELECT id FROM t WHERE id > 3").fetchall()
+        assert len(rows) == 296
+
+    def test_interpreter_mode_never_vectorizes(self):
+        db = _populate(Database(compile_expressions=False))
+        lines = db.explain("SELECT id FROM t WHERE id > 3")
+        assert not any("[VECTORIZED]" in ln for ln in lines)
+
+
+# ---------------------------------------------------------------------------
+# fallback contract
+# ---------------------------------------------------------------------------
+
+class TestFallbackContract:
+    def test_kernel_decline_bind_falls_back_whole_statement(self, db):
+        """A NULL bind declines the kernel factory; results and stats
+        must show the closure path served the statement."""
+        _populate(db)
+        before = db.engine.executor_stats.snapshot()["factory_declines"]
+        rows = db.execute("SELECT id FROM t WHERE val < :1",
+                          [None]).fetchall()
+        assert rows == []  # NULL comparison is never TRUE
+        after = db.engine.executor_stats.snapshot()["factory_declines"]
+        assert after > before
+
+    def test_mid_batch_error_reruns_batch_on_closure_path(self, db):
+        """A kernel exception must surface the interpreter's error
+        class, not a raw Python traceback, via the per-batch re-run."""
+        _populate(db)
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.execute("SELECT id FROM t WHERE val / (id - 5) > 1"
+                       " AND id < 50").fetchall()
+        snap = db.engine.executor_stats.snapshot()
+        assert snap["fallback_batches"] >= 1
+
+    def test_fused_projection_error_matches_closure_path(self, db):
+        _populate(db)
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.execute("SELECT val / (id - 7) FROM t"
+                       " WHERE id < 50").fetchall()
+
+    def test_executor_stats_view_reports_activity(self, db):
+        _populate(db)
+        db.execute("SELECT id FROM t WHERE id > 100").fetchall()
+        rows = db.execute("SELECT vector_batches, vector_rows,"
+                          " batch_size_histogram"
+                          " FROM user_executor_stats").fetchall()
+        assert len(rows) == 1
+        batches, vrows, histogram = rows[0]
+        assert batches >= 1 and vrows >= 1
+        assert ":" in histogram  # "bucket:count" pairs
+
+
+# ---------------------------------------------------------------------------
+# three-way differential: vectorized == closure == interpreter
+# ---------------------------------------------------------------------------
+
+THREE_WAY_QUERIES = [
+    ("SELECT id, val FROM t WHERE val < :1 AND id > :2", [1.5, 10]),
+    ("SELECT id FROM t WHERE val IS NULL", []),
+    ("SELECT id FROM t WHERE val IS NOT NULL AND grp = 'g2'", []),
+    ("SELECT grp, COUNT(*), SUM(val), AVG(val), MIN(val), MAX(val)"
+     " FROM t GROUP BY grp", []),
+    ("SELECT grp, COUNT(val) FROM t GROUP BY grp"
+     " HAVING COUNT(*) > 10", []),
+    ("SELECT id FROM t WHERE id < 60 ORDER BY val DESC, id", []),
+    ("SELECT id * 2 + 1, val FROM t WHERE id BETWEEN 5 AND 25", []),
+    ("SELECT grp FROM t WHERE grp LIKE 'g%' AND id < 9", []),
+    ("SELECT id FROM t WHERE grp IN ('g1', 'g3') AND val > 0", []),
+    ("SELECT COUNT(*) FROM t", []),
+    ("SELECT id FROM t WHERE NOT (val > 0 OR id < 100)", []),
+    ("SELECT id FROM t WHERE val < :1", [None]),  # kernel-decline bind
+    ("SELECT id, val FROM t WHERE id >= 0 LIMIT 17", []),
+]
+
+
+@pytest.mark.vectorized
+class TestThreeWayDifferential:
+    @pytest.fixture(scope="class")
+    def trio(self):
+        """[vectorized, compiled-closure, interpreter] over one dataset,
+        NULL-heavy so validity handling is exercised on every query."""
+        configs = [{}, {"vectorized_execution": False},
+                   {"compile_expressions": False}]
+        return [_populate(Database(**kw), n=400, seed=23)
+                for kw in configs]
+
+    @pytest.mark.parametrize("sql,binds", THREE_WAY_QUERIES)
+    def test_rows_agree_across_all_three_paths(self, trio, sql, binds):
+        results = [db.execute(sql, list(binds)).fetchall() for db in trio]
+        as_reprs = [[tuple(map(repr, r)) for r in rows] for rows in results]
+        assert as_reprs[0] == as_reprs[1] == as_reprs[2], sql
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_randomized_predicates_agree(self, trio, seed):
+        rng = random.Random(seed)
+        cols = ["id", "val"]
+        comparisons = ["<", "<=", ">", ">=", "=", "!="]
+        for __ in range(6):
+            left = rng.choice(cols)
+            op = rng.choice(comparisons)
+            bound = round(rng.uniform(-4, 4), 2)
+            conj = rng.choice(["AND", "OR"])
+            null_side = rng.choice(["val IS NULL", "val IS NOT NULL",
+                                    "grp LIKE 'g%'"])
+            sql = (f"SELECT id, grp, val FROM t WHERE {left} {op} :1"
+                   f" {conj} {null_side}")
+            results = [db.execute(sql, [bound]).fetchall() for db in trio]
+            reprs = [[tuple(map(repr, r)) for r in rows]
+                     for rows in results]
+            assert reprs[0] == reprs[1] == reprs[2], sql
+
+    def test_error_classes_agree_mid_batch(self, trio):
+        sql = "SELECT id FROM t WHERE val / (id - 11) > 0 AND id < 40"
+        outcomes = []
+        for db in trio:
+            try:
+                db.execute(sql).fetchall()
+                outcomes.append(("ok",))
+            except Exception as exc:  # noqa: BLE001 - parity incl. errors
+                outcomes.append((type(exc).__name__, str(exc)))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
